@@ -1,0 +1,69 @@
+//! Criterion bench for Figure 10: existence-check latency of the
+//! standard vs learned Bloom filter (memory results come from
+//! `repro fig10`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_bloom::{BloomFilter, LearnedBloom};
+use li_data::strings::UrlGenerator;
+use li_models::NgramLogReg;
+use std::time::Duration;
+
+fn bench_fig10(c: &mut Criterion) {
+    let n = 20_000;
+    let mut gen = UrlGenerator::new(42);
+    let (keys, negs) = gen.dataset(n, n, 0.5);
+    let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+    let vb: Vec<&[u8]> = negs.iter().map(|s| s.as_bytes()).collect();
+
+    let mut standard = BloomFilter::new(n, 0.01);
+    for k in &kb {
+        standard.insert(k);
+    }
+    let clf = NgramLogReg::train(13, 6, 0.1, &kb, &vb, 3);
+    let learned = LearnedBloom::build(clf, &kb, &vb, 0.01, None);
+
+    let probes: Vec<&str> = keys
+        .iter()
+        .zip(&negs)
+        .flat_map(|(k, n)| [k.as_str(), n.as_str()])
+        .take(4096)
+        .collect();
+
+    let mut group = c.benchmark_group("fig10/contains");
+    group.measurement_time(Duration::from_millis(700));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    {
+        let probes = probes.clone();
+        let mut qi = 0usize;
+        group.bench_function("standard-bloom", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) % probes.len();
+                    probes[qi]
+                },
+                |q| standard.contains(q.as_bytes()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    {
+        let probes = probes.clone();
+        let mut qi = 0usize;
+        group.bench_function("learned-bloom", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) % probes.len();
+                    probes[qi]
+                },
+                |q| learned.contains(q.as_bytes()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for Figure 11: chained hash map lookups with the
+//! learned vs random hash function (20-byte records).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_data::{Dataset, Record20};
+use li_hash::{CdfHasher, ChainedHashMap, MurmurHasher};
+use std::time::Duration;
+
+const N: usize = 300_000;
+
+fn bench_fig11(c: &mut Criterion) {
+    let keyset = Dataset::Maps.generate(N, 42);
+    let keys = keyset.keys();
+    let queries = keyset.sample_existing(4096, 5);
+
+    let mut learned_map: ChainedHashMap<Record20, _> =
+        ChainedHashMap::new(N, CdfHasher::train(keys, N / 2000));
+    let mut murmur_map: ChainedHashMap<Record20, _> =
+        ChainedHashMap::new(N, MurmurHasher::new(1));
+    for &k in keys {
+        learned_map.insert(k, Record20::from_key(k));
+        murmur_map.insert(k, Record20::from_key(k));
+    }
+
+    let mut group = c.benchmark_group("fig11/chained-get");
+    group.measurement_time(Duration::from_millis(700));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    {
+        let queries = queries.clone();
+        let mut qi = 0usize;
+        group.bench_function("model-hash", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi]
+                },
+                |q| learned_map.get(q).map(|r| r.payload).unwrap_or(0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    {
+        let queries = queries.clone();
+        let mut qi = 0usize;
+        group.bench_function("random-hash", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi]
+                },
+                |q| murmur_map.get(q).map(|r| r.payload).unwrap_or(0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

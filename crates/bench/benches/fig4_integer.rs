@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 4: learned index vs B-Tree lookups on the
+//! three integer datasets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_bench::fig4::{rmi_config_for, scaled_leaves, LEAF_FRACTIONS, PAGE_SIZES};
+use li_core::{RangeIndex, Rmi};
+use li_data::Dataset;
+use std::time::Duration;
+
+const N: usize = 500_000;
+
+fn bench_fig4(c: &mut Criterion) {
+    for ds in Dataset::ALL {
+        let keyset = ds.generate(N, 42);
+        let queries = keyset.sample_existing(4096, 7);
+
+        let mut group = c.benchmark_group(format!("fig4/{}", ds.name().replace(' ', "-")));
+        group.measurement_time(Duration::from_millis(800));
+        group.warm_up_time(Duration::from_millis(200));
+        group.sample_size(20);
+
+        for page in [PAGE_SIZES[0], PAGE_SIZES[2], PAGE_SIZES[4]] {
+            let idx = li_btree::BTreeIndex::new(keyset.keys().to_vec(), page);
+            let mut qi = 0usize;
+            let queries = queries.clone();
+            group.bench_function(format!("btree-page{page}"), move |b| {
+                b.iter_batched(
+                    || {
+                        qi = (qi + 1) & 4095;
+                        queries[qi]
+                    },
+                    |q| idx.lower_bound(q),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        for (label, fraction) in [LEAF_FRACTIONS[0], LEAF_FRACTIONS[3]] {
+            let leaves = scaled_leaves(fraction, N);
+            let idx = Rmi::build(keyset.keys().to_vec(), &rmi_config_for(ds, leaves));
+            let mut qi = 0usize;
+            let queries = queries.clone();
+            group.bench_function(format!("rmi-{label}-equiv"), move |b| {
+                b.iter_batched(
+                    || {
+                        qi = (qi + 1) & 4095;
+                        queries[qi]
+                    },
+                    |q| idx.lower_bound(q),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 5: alternative baselines on Lognormal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_core::{RangeIndex, Rmi, RmiConfig, TopModel};
+use li_data::Dataset;
+use li_models::FeatureMap;
+use std::time::Duration;
+
+const N: usize = 500_000;
+
+fn bench_fig5(c: &mut Criterion) {
+    let keyset = Dataset::Lognormal.generate(N, 42);
+    let data = keyset.keys().to_vec();
+    let queries = keyset.sample_existing(4096, 9);
+
+    let mut group = c.benchmark_group("fig5/lognormal");
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    let structures: Vec<(&str, Box<dyn RangeIndex>)> = vec![
+        ("lookup-table", Box::new(li_btree::LookupTable::new(data.clone()))),
+        ("fast", Box::new(li_btree::FastTree::new(data.clone()))),
+        (
+            "interp-btree",
+            Box::new(li_btree::InterpBTree::with_budget(data.clone(), 64 * 1024)),
+        ),
+        (
+            "multivariate-rmi",
+            Box::new(Rmi::build(
+                data.clone(),
+                &RmiConfig::two_stage(TopModel::Multivariate(FeatureMap::FULL), N / 2000),
+            )),
+        ),
+    ];
+    for (name, idx) in structures {
+        let mut qi = 0usize;
+        let queries = queries.clone();
+        group.bench_function(name, move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi]
+                },
+                |q| idx.lower_bound(q),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

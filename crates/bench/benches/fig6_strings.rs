@@ -1,0 +1,79 @@
+//! Criterion bench for Figure 6: string-key lookups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_btree::PagedIndex;
+use li_core::string_rmi::{StringRmi, StringRmiConfig, StringTopModel};
+use li_core::SearchStrategy;
+use std::time::Duration;
+
+const N: usize = 100_000;
+
+fn bench_fig6(c: &mut Criterion) {
+    let data = li_data::strings::doc_ids(N, 42);
+    let mut rng = li_data::SplitMix64::new(9);
+    let queries: Vec<String> = (0..4096).map(|_| data[rng.below(data.len())].clone()).collect();
+
+    let mut group = c.benchmark_group("fig6/doc-ids");
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    {
+        let idx = PagedIndex::new(data.clone(), 128);
+        let queries = queries.clone();
+        let mut qi = 0usize;
+        group.bench_function("btree-page128", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi].clone()
+                },
+                |q| idx.lower_bound(&q),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for (name, top, search) in [
+        (
+            "rmi-linear",
+            StringTopModel::Linear,
+            SearchStrategy::ModelBiasedBinary,
+        ),
+        (
+            "rmi-1hidden",
+            StringTopModel::Mlp { hidden: 1, width: 16 },
+            SearchStrategy::ModelBiasedBinary,
+        ),
+        (
+            "rmi-1hidden-QS",
+            StringTopModel::Mlp { hidden: 1, width: 16 },
+            SearchStrategy::BiasedQuaternary,
+        ),
+    ] {
+        let idx = StringRmi::build(
+            data.clone(),
+            &StringRmiConfig {
+                top,
+                leaves: N / 100,
+                search,
+                ..Default::default()
+            },
+        );
+        let queries = queries.clone();
+        let mut qi = 0usize;
+        group.bench_function(name, move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi].clone()
+                },
+                |q| idx.lower_bound(&q),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

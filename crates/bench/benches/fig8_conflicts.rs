@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 8: learned vs murmur hash execution time
+//! (the conflict *rates* are measured by `repro fig8`; here we time the
+//! hash functions themselves — the paper's "execution time … around
+//! 25-40ns" claim).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_data::Dataset;
+use li_hash::{CdfHasher, KeyHasher, MurmurHasher};
+use std::time::Duration;
+
+const N: usize = 500_000;
+
+fn bench_fig8(c: &mut Criterion) {
+    let keyset = Dataset::Maps.generate(N, 42);
+    let keys = keyset.keys();
+    let queries = keyset.sample_existing(4096, 3);
+
+    let learned = CdfHasher::train(keys, N / 2000);
+    let murmur = MurmurHasher::new(7);
+
+    let mut group = c.benchmark_group("fig8/hash-execution");
+    group.measurement_time(Duration::from_millis(700));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    {
+        let queries = queries.clone();
+        let mut qi = 0usize;
+        group.bench_function("learned-cdf", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi]
+                },
+                |q| learned.slot(q, N),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    {
+        let queries = queries.clone();
+        let mut qi = 0usize;
+        group.bench_function("murmur", move |b| {
+            b.iter_batched(
+                || {
+                    qi = (qi + 1) & 4095;
+                    queries[qi]
+                },
+                |q| murmur.slot(q, N),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for Table 1: cuckoo and in-place chained hash-map
+//! lookup latency at high utilization on Lognormal keys.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use li_data::{Dataset, Record20};
+use li_hash::{CdfHasher, CuckooHashMap, InPlaceChained};
+use std::time::Duration;
+
+const N: usize = 300_000;
+
+fn bench_table1(c: &mut Criterion) {
+    let keyset = Dataset::Lognormal.generate(N, 42);
+    let keys = keyset.keys();
+    let queries = keyset.sample_existing(4096, 11);
+
+    let mut cuckoo32: CuckooHashMap<u32> = CuckooHashMap::new(N + N / 64);
+    let mut cuckoo_rec: CuckooHashMap<Record20> = CuckooHashMap::new(N + N / 64);
+    let mut commercial: CuckooHashMap<Record20> = CuckooHashMap::new_commercial(N + N / 16);
+    for &k in keys {
+        let _ = cuckoo32.try_insert(k, k as u32);
+        let _ = cuckoo_rec.try_insert(k, Record20::from_key(k));
+        let _ = commercial.try_insert(k, Record20::from_key(k));
+    }
+    let records: Vec<(u64, Record20)> = keys.iter().map(|&k| (k, Record20::from_key(k))).collect();
+    let inplace = InPlaceChained::build(&records, CdfHasher::train(keys, N / 2000));
+
+    let mut group = c.benchmark_group("table1/get");
+    group.measurement_time(Duration::from_millis(700));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    macro_rules! bench_map {
+        ($name:literal, $get:expr) => {{
+            let queries = queries.clone();
+            let mut qi = 0usize;
+            let get = $get;
+            group.bench_function($name, move |b| {
+                b.iter_batched(
+                    || {
+                        qi = (qi + 1) & 4095;
+                        queries[qi]
+                    },
+                    |q| get(q),
+                    BatchSize::SmallInput,
+                )
+            });
+        }};
+    }
+
+    bench_map!("cuckoo-32bit", move |q: u64| cuckoo32
+        .get(q)
+        .map(|v| v as u64)
+        .unwrap_or(0));
+    bench_map!("cuckoo-record", move |q: u64| cuckoo_rec
+        .get(q)
+        .map(|r| r.payload)
+        .unwrap_or(0));
+    bench_map!("commercial-cuckoo", move |q: u64| commercial
+        .get(q)
+        .map(|r| r.payload)
+        .unwrap_or(0));
+    bench_map!("inplace-learned", move |q: u64| inplace
+        .get(q)
+        .map(|r| r.payload)
+        .unwrap_or(0));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

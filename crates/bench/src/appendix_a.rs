@@ -1,0 +1,115 @@
+//! Appendix A: error scaling of constant-size models vs B-Trees.
+//!
+//! The theory: for a constant-size model the expected position error
+//! grows as O(√N) (`std = √(N·F(1−F))`), whereas a constant-size B-Tree
+//! (fixed separator budget) leaves residual regions that grow as O(N).
+//! This experiment measures both on uniform keys and prints them next to
+//! the analytic prediction.
+
+use crate::harness::BenchConfig;
+use crate::table::Table;
+use li_data::keyset::uniform_keys;
+use li_models::{cdf::mean_position_error_std, LinearModel, Model};
+
+/// One scale point.
+#[derive(Debug, Clone)]
+pub struct AppendixARow {
+    /// Key count N.
+    pub n: usize,
+    /// Measured mean |error| of a constant-size linear model.
+    pub model_mean_abs_err: f64,
+    /// Analytic √N·π/8 prediction for the same.
+    pub analytic: f64,
+    /// Residual page size of a constant-budget (1024-separator) B-Tree.
+    pub btree_page: usize,
+}
+
+/// Run the scaling sweep: N doubling from `cfg.keys / 16` to `cfg.keys`.
+pub fn run(cfg: &BenchConfig) -> Vec<AppendixARow> {
+    let mut rows = Vec::new();
+    let mut n = (cfg.keys / 16).max(1024);
+    while n <= cfg.keys {
+        let keyset = uniform_keys(n, u64::MAX / 2, cfg.seed);
+        let keys = keyset.keys_f64();
+        let model = LinearModel::fit_keys(&keys);
+        let mean_abs: f64 = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (model.predict(k) - i as f64).abs())
+            .sum::<f64>()
+            / keys.len() as f64;
+        rows.push(AppendixARow {
+            n,
+            model_mean_abs_err: mean_abs,
+            analytic: mean_position_error_std(n),
+            // A constant-size B-Tree has a fixed separator budget; its
+            // "error" (page size) is N / budget.
+            btree_page: n / 1024,
+        });
+        n *= 2;
+    }
+    rows
+}
+
+/// Render the Appendix-A table.
+pub fn print(rows: &[AppendixARow]) {
+    let mut t = Table::new(
+        "Appendix A — error scaling of constant-size structures",
+        &["N", "model mean|err|", "analytic √N·π/8", "const-size btree page"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("{}", r.n),
+            format!("{:.1}", r.model_mean_abs_err),
+            format!("{:.1}", r.analytic),
+            format!("{}", r.btree_page),
+        ]);
+    }
+    t.note("model error grows ~√N (sub-linear); a constant-size B-Tree's residual region grows linearly in N");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_grows_sublinearly() {
+        let rows = run(&BenchConfig {
+            keys: 256_000,
+            queries: 0,
+            seed: 1,
+        });
+        assert!(rows.len() >= 3);
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        let n_ratio = last.n as f64 / first.n as f64;
+        let err_ratio = last.model_mean_abs_err / first.model_mean_abs_err;
+        // O(√N): error ratio should track sqrt(n_ratio), far below n_ratio.
+        assert!(
+            err_ratio < n_ratio * 0.5,
+            "err ratio {err_ratio} vs n ratio {n_ratio}"
+        );
+        assert!(
+            err_ratio > n_ratio.sqrt() * 0.3,
+            "err ratio {err_ratio} suspiciously flat"
+        );
+        // B-Tree residual is linear (up to integer-division rounding).
+        let page_ratio = last.btree_page as f64 / first.btree_page.max(1) as f64;
+        assert!((page_ratio - n_ratio).abs() / n_ratio < 0.15, "page ratio {page_ratio} vs n ratio {n_ratio}");
+    }
+
+    #[test]
+    fn measured_error_matches_analytic_order() {
+        let rows = run(&BenchConfig {
+            keys: 128_000,
+            queries: 0,
+            seed: 2,
+        });
+        for r in &rows {
+            let ratio = r.model_mean_abs_err / r.analytic;
+            assert!((0.2..5.0).contains(&ratio), "N={} ratio {ratio}", r.n);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Appendix E: Bloom filters with model-hashes.
+//!
+//! "For a desired total FPR p* = 0.1%, we find that setting m = 1000000
+//! gives a total size of 2.21MB, a 27.4% reduction in memory, compared
+//! to the 15% reduction following the approach in Section 5.1.1 … For a
+//! desired total FPR p* = 1% we get a total size of 1.19MB, a 41%
+//! reduction in memory, compared to the 36% reduction reported in
+//! Section 5.2."
+
+use crate::harness::BenchConfig;
+use crate::table::Table;
+use li_bloom::{empirical_fpr, BloomFilter, LearnedBloom, ModelHashBloom};
+use li_data::strings::UrlGenerator;
+use li_models::NgramLogReg;
+
+/// One (p*, m) configuration result.
+#[derive(Debug, Clone)]
+pub struct AppendixERow {
+    /// Approach label.
+    pub approach: String,
+    /// Target overall FPR.
+    pub target_fpr: f64,
+    /// Total size in bytes (model + filter structures).
+    pub total_bytes: usize,
+    /// Filter-structure bytes only (bitmap + backup / overflow), i.e.
+    /// the part that scales with the key count.
+    pub filter_bytes: usize,
+    /// Empirical FPR on the test set.
+    pub test_fpr: f64,
+}
+
+/// Run the Appendix-E comparison: classical Bloom vs §5.1.1 learned
+/// Bloom vs §5.1.2 model-hash Bloom, at p* ∈ {0.1%, 1%}.
+pub fn run(cfg: &BenchConfig) -> Vec<AppendixERow> {
+    let n_keys = (cfg.keys / 10).clamp(2_000, 50_000);
+    let mut gen = UrlGenerator::new(cfg.seed ^ 0xE);
+    let (keys, mut negs) = gen.dataset(n_keys, n_keys * 2, 0.5);
+    let test = negs.split_off(n_keys);
+    let validation = negs;
+    let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+    let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+    let clf = NgramLogReg::train(11, 8, 0.1, &kb[..kb.len().min(2000)], &vb[..vb.len().min(2000)], 3);
+
+    let mut rows = Vec::new();
+    for p in [0.001, 0.01] {
+        let mut bf = BloomFilter::new(keys.len(), p);
+        for k in &kb {
+            bf.insert(k);
+        }
+        rows.push(AppendixERow {
+            approach: "standard bloom".into(),
+            target_fpr: p,
+            total_bytes: bf.size_bytes(),
+            filter_bytes: bf.size_bytes(),
+            test_fpr: empirical_fpr(|x| bf.contains(x), test.iter().map(|s| s.as_bytes())),
+        });
+
+        let lb = LearnedBloom::build(clf.clone(), &kb, &vb, p, None);
+        rows.push(AppendixERow {
+            approach: "learned bloom (5.1.1)".into(),
+            target_fpr: p,
+            total_bytes: lb.size_bytes(),
+            filter_bytes: lb.report().overflow_bytes,
+            test_fpr: empirical_fpr(|x| lb.contains(x), test.iter().map(|s| s.as_bytes())),
+        });
+
+        // Model-hash bitmap sized like the paper's m = 1M for 1.7M keys:
+        // m ≈ 0.6 bits per key × n, rounded up to 64.
+        let m = (keys.len() * 6 / 10).next_multiple_of(64).max(1024);
+        let mh = ModelHashBloom::build(clf.clone(), &kb, &vb, m, p, None);
+        rows.push(AppendixERow {
+            approach: format!("model-hash bloom (5.1.2), m={m}"),
+            target_fpr: p,
+            total_bytes: mh.size_bytes(),
+            filter_bytes: mh.bitmap_bytes() + mh.backup_bytes(),
+            test_fpr: empirical_fpr(|x| mh.contains(x), test.iter().map(|s| s.as_bytes())),
+        });
+    }
+    rows
+}
+
+/// Render the Appendix-E table.
+pub fn print(rows: &[AppendixERow], keys: usize) {
+    let mut t = Table::new(
+        &format!("Appendix E — Model-hash Bloom filters ({keys} keys scale)"),
+        &["Approach", "Target FPR", "Total (KB)", "Filter (KB)", "Test FPR", "vs bloom"],
+    );
+    for r in rows {
+        let baseline = rows
+            .iter()
+            .find(|b| b.approach == "standard bloom" && b.target_fpr == r.target_fpr)
+            .map(|b| b.total_bytes as f64);
+        let vs = match baseline {
+            Some(b) if r.approach != "standard bloom" => {
+                format!("{:+.0}%", 100.0 * (r.total_bytes as f64 - b) / b)
+            }
+            _ => String::new(),
+        };
+        t.row(&[
+            r.approach.clone(),
+            format!("{:.2}%", 100.0 * r.target_fpr),
+            format!("{:.1}", r.total_bytes as f64 / 1024.0),
+            format!("{:.1}", r.filter_bytes as f64 / 1024.0),
+            format!("{:.3}%", 100.0 * r.test_fpr),
+            vs,
+        ]);
+    }
+    t.note("paper@1.7M: p*=0.1% → -27.4% (vs -15% for 5.1.1); p*=1% → -41% (vs -36%)");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_hash_respects_fpr_and_shrinks_memory() {
+        let rows = run(&BenchConfig {
+            keys: 100_000, // → 10k URLs
+            queries: 0,
+            seed: 2,
+        });
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.test_fpr <= r.target_fpr * 4.0 + 0.005,
+                "{}: {} vs {}",
+                r.approach,
+                r.test_fpr,
+                r.target_fpr
+            );
+        }
+        // The scale-free Appendix-E property: the model-hash system's
+        // *filter* portion (bitmap + relaxed backup) undercuts a
+        // standalone filter at p*. (The classifier's fixed table only
+        // amortizes at the paper's 1.7M-key scale, so totals are
+        // reported but not asserted here.)
+        let bloom_1pct = rows
+            .iter()
+            .find(|r| r.approach == "standard bloom" && r.target_fpr == 0.01)
+            .unwrap();
+        let mh_1pct = rows
+            .iter()
+            .find(|r| r.approach.starts_with("model-hash") && r.target_fpr == 0.01)
+            .unwrap();
+        assert!(
+            mh_1pct.filter_bytes < bloom_1pct.total_bytes,
+            "model-hash filter portion {} must undercut standalone {}",
+            mh_1pct.filter_bytes,
+            bloom_1pct.total_bytes
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Figure 10 + §5.2: learned Bloom filter memory footprint vs FPR.
+//!
+//! "A normal Bloom filter with a desired 1% FPR requires 2.04MB … we
+//! find that our model plus the spillover Bloom filter uses 1.31MB, a
+//! 36% reduction in size. If we want to enforce an overall FPR of 0.1%
+//! … brings the total Bloom filter size down from 3.06MB to 2.59MB, a
+//! 15% reduction." Figure 10 sweeps the FPR for three model sizes
+//! (W=128/32/16, E=32).
+//!
+//! At the default scale we train the paper's GRU (W=16, E=32) plus a
+//! smaller GRU and an n-gram logistic regression as the three
+//! model-size points; the key/non-key URL sets come from the generator
+//! substituting for Google's transparency report.
+
+use crate::harness::BenchConfig;
+use crate::table::Table;
+use li_bloom::{empirical_fpr, BloomFilter, LearnedBloom};
+use li_data::strings::UrlGenerator;
+use li_models::{Classifier, GruClassifier, GruConfig, NgramLogReg};
+
+/// One point of the memory-vs-FPR curve.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Model label ("bloom" for the classical baseline).
+    pub model: String,
+    /// Target overall FPR p*.
+    pub target_fpr: f64,
+    /// Total memory in bytes (model + overflow, or the plain filter).
+    pub total_bytes: usize,
+    /// Classifier FNR (0 for the classical filter).
+    pub fnr: f64,
+    /// Empirical FPR on the held-out test set.
+    pub test_fpr: f64,
+}
+
+/// The FPR sweep of Figure 10.
+pub const FPR_SWEEP: [f64; 4] = [0.001, 0.005, 0.01, 0.02];
+
+/// A trained classifier plus its deployment-size accounting.
+enum ClassifierKind {
+    Gru(GruClassifier),
+    Ngram(NgramLogReg),
+}
+
+impl ClassifierKind {
+    fn deploy_bytes(&self) -> usize {
+        match self {
+            // f32 accounting, as the paper reports GRU sizes.
+            ClassifierKind::Gru(g) => g.size_bytes_f32(),
+            ClassifierKind::Ngram(n) => n.size_bytes(),
+        }
+    }
+}
+
+impl Classifier for ClassifierKind {
+    fn score(&self, input: &[u8]) -> f64 {
+        match self {
+            ClassifierKind::Gru(g) => g.score(input),
+            ClassifierKind::Ngram(n) => n.score(input),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.deploy_bytes()
+    }
+}
+
+/// Run the Figure-10 sweep. `cfg.keys` is the blacklist size (the paper
+/// uses 1.7M URLs; default harness scale uses `keys/10`, capped, because
+/// GRU training is the budget item).
+pub fn run(cfg: &BenchConfig) -> Vec<Fig10Row> {
+    let n_keys = (cfg.keys / 10).clamp(2_000, 50_000);
+    let mut gen = UrlGenerator::new(cfg.seed);
+    let (keys, mut negs) = gen.dataset(n_keys, n_keys * 2, 0.5);
+    let test = negs.split_off(n_keys);
+    let validation = negs;
+
+    let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+    let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+
+    // Classifier training subsample keeps GRU time sane.
+    let train_n = kb.len().min(1500);
+    let train_pos = &kb[..train_n];
+    let train_neg = &vb[..train_n.min(vb.len())];
+
+    let models: Vec<(String, ClassifierKind)> = vec![
+        (
+            "GRU W=16,E=32".into(),
+            ClassifierKind::Gru(GruClassifier::train(
+                &GruConfig {
+                    width: 16,
+                    embed: 32,
+                    max_len: 24,
+                    epochs: 6,
+                    learning_rate: 0.02,
+                    batch_size: 32,
+                    seed: cfg.seed,
+                },
+                train_pos,
+                train_neg,
+            )),
+        ),
+        (
+            "GRU W=8,E=16".into(),
+            ClassifierKind::Gru(GruClassifier::train(
+                &GruConfig {
+                    width: 8,
+                    embed: 16,
+                    max_len: 24,
+                    epochs: 6,
+                    learning_rate: 0.02,
+                    batch_size: 32,
+                    seed: cfg.seed ^ 1,
+                },
+                train_pos,
+                train_neg,
+            )),
+        ),
+        (
+            "ngram-logreg 2^13".into(),
+            ClassifierKind::Ngram(NgramLogReg::train(13, 8, 0.1, train_pos, train_neg, cfg.seed)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for p in FPR_SWEEP {
+        let mut bf = BloomFilter::new(keys.len(), p);
+        for k in &kb {
+            bf.insert(k);
+        }
+        rows.push(Fig10Row {
+            model: "bloom".into(),
+            target_fpr: p,
+            total_bytes: bf.size_bytes(),
+            fnr: 0.0,
+            test_fpr: empirical_fpr(|x| bf.contains(x), test.iter().map(|s| s.as_bytes())),
+        });
+    }
+    for (name, clf) in models {
+        for p in FPR_SWEEP {
+            let deploy = clf.deploy_bytes();
+            let lb = LearnedBloom::build(clone_kind(&clf), &kb, &vb, p, Some(deploy));
+            let test_fpr =
+                empirical_fpr(|x| lb.contains(x), test.iter().map(|s| s.as_bytes()));
+            rows.push(Fig10Row {
+                model: name.clone(),
+                target_fpr: p,
+                total_bytes: lb.size_bytes(),
+                fnr: lb.report().fnr,
+                test_fpr,
+            });
+        }
+    }
+    rows
+}
+
+fn clone_kind(c: &ClassifierKind) -> ClassifierKind {
+    match c {
+        ClassifierKind::Gru(g) => ClassifierKind::Gru(g.clone()),
+        ClassifierKind::Ngram(n) => ClassifierKind::Ngram(n.clone()),
+    }
+}
+
+/// Render the Figure-10 table.
+pub fn print(rows: &[Fig10Row], keys: usize) {
+    let mut t = Table::new(
+        &format!("Figure 10 / §5.2 — Learned Bloom filter ({} blacklist URLs)", keys),
+        &["Model", "Target FPR", "Total (KB)", "FNR", "Test FPR", "vs bloom"],
+    );
+    for r in rows {
+        let baseline = rows
+            .iter()
+            .find(|b| b.model == "bloom" && b.target_fpr == r.target_fpr)
+            .map(|b| b.total_bytes as f64);
+        let vs = match baseline {
+            Some(b) if r.model != "bloom" => {
+                format!("{:+.0}%", 100.0 * (r.total_bytes as f64 - b) / b)
+            }
+            _ => String::new(),
+        };
+        t.row(&[
+            r.model.clone(),
+            format!("{:.2}%", 100.0 * r.target_fpr),
+            format!("{:.1}", r.total_bytes as f64 / 1024.0),
+            format!("{:.0}%", 100.0 * r.fnr),
+            format!("{:.3}%", 100.0 * r.test_fpr),
+            vs,
+        ]);
+    }
+    t.note("paper@1.7M URLs: 1% FPR bloom 2.04MB vs learned (W=16,E=32) 1.31MB (-36%); 0.1%: 3.06MB vs 2.59MB (-15%)");
+    t.note("negative 'vs bloom' percentages mean the learned filter is smaller");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_models_and_fprs() {
+        let rows = run(&BenchConfig {
+            keys: 30_000, // → 3000 URLs
+            queries: 0,
+            seed: 4,
+        });
+        // 4 models (incl. bloom) × 4 FPRs.
+        assert_eq!(rows.len(), 16);
+        // No-false-negative property is asserted inside LearnedBloom
+        // tests; here check FPRs are honest.
+        for r in &rows {
+            assert!(r.test_fpr <= r.target_fpr * 4.0 + 0.01, "{}: {} vs {}", r.model, r.test_fpr, r.target_fpr);
+        }
+    }
+
+    #[test]
+    fn learned_filter_beats_bloom_at_scale_for_some_config() {
+        // The §5.2 headline holds when model size amortizes over enough
+        // keys relative to FPR cost.
+        let rows = run(&BenchConfig {
+            keys: 200_000, // → 20k URLs
+            queries: 0,
+            seed: 9,
+        });
+        let improved = rows.iter().any(|r| {
+            if r.model == "bloom" {
+                return false;
+            }
+            let bloom = rows
+                .iter()
+                .find(|b| b.model == "bloom" && b.target_fpr == r.target_fpr)
+                .unwrap();
+            r.total_bytes < bloom.total_bytes
+        });
+        assert!(improved, "no learned configuration beat the bloom baseline");
+    }
+}

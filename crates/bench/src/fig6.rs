@@ -1,0 +1,165 @@
+//! Figure 6: string data — Learned Index vs B-Tree vs Hybrid vs
+//! "Learned QS" (quaternary search).
+//!
+//! The paper's rows: B-Tree at page sizes {32..256}; non-hybrid learned
+//! indexes with 1 and 2 hidden layers (10k 2nd-stage models); hybrid
+//! indexes at error thresholds t = 128 and t = 64 (1/2 hidden layers);
+//! and the best model — "a non-hybrid RMI model index with quaternary
+//! search, named 'Learned QS'". Columns: size, total lookup ns, model
+//! execution ns (and its share of the total).
+
+use crate::harness::{mb, time_batch_ref_ns, BenchConfig};
+use crate::table::Table;
+use li_btree::PagedIndex;
+use li_core::string_rmi::{StringRmi, StringRmiConfig, StringTopModel};
+use li_core::SearchStrategy;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Configuration label.
+    pub config: String,
+    /// Index size in bytes.
+    pub size_bytes: usize,
+    /// Mean total lookup ns.
+    pub lookup_ns: f64,
+    /// Mean model/traversal-only ns.
+    pub model_ns: f64,
+}
+
+/// Paper's string-dataset B-Tree pages.
+pub const PAGE_SIZES: [usize; 4] = [32, 64, 128, 256];
+
+/// Run the Figure-6 comparison over `cfg.keys` document-id strings.
+/// (The paper's dataset is 10M doc-ids; the default scale here is
+/// whatever `cfg.keys` says, same fractions for the 2nd stage.)
+pub fn run(cfg: &BenchConfig) -> Vec<Fig6Row> {
+    let n = cfg.keys;
+    let data = li_data::strings::doc_ids(n, cfg.seed);
+    let mut rng = li_data::SplitMix64::new(cfg.seed ^ 0xF16_6);
+    let queries: Vec<String> = (0..cfg.queries)
+        .map(|_| data[rng.below(data.len())].clone())
+        .collect();
+
+    let mut rows = Vec::new();
+
+    for page in PAGE_SIZES {
+        let idx = PagedIndex::new(data.clone(), page);
+        let lookup_ns = time_batch_ref_ns(&queries, |q| idx.lower_bound(q));
+        let model_ns = time_batch_ref_ns(&queries, |q| idx.predict(q).start);
+        rows.push(Fig6Row {
+            config: format!("btree page={page}"),
+            size_bytes: idx.size_bytes_with(|s| s.len()),
+            lookup_ns,
+            model_ns,
+        });
+    }
+
+    // 10k models at 10M keys = 1/1000 of the key count.
+    let leaves = (n / 1000).max(64);
+    let mut learned = |label: String, top: StringTopModel, hybrid: Option<u32>, search: SearchStrategy| {
+        let scfg = StringRmiConfig {
+            max_len: 16,
+            top,
+            leaves,
+            search,
+            hybrid_threshold: hybrid,
+        };
+        let idx = StringRmi::build(data.clone(), &scfg);
+        let lookup_ns = time_batch_ref_ns(&queries, |q| idx.lower_bound(q));
+        let model_ns = time_batch_ref_ns(&queries, |q| idx.predict(q).0);
+        rows.push(Fig6Row {
+            config: label,
+            size_bytes: idx.size_bytes(),
+            lookup_ns,
+            model_ns,
+        });
+    };
+
+    for hidden in [1usize, 2] {
+        learned(
+            format!("learned {hidden} hidden layer(s)"),
+            StringTopModel::Mlp { hidden, width: 16 },
+            None,
+            SearchStrategy::ModelBiasedBinary,
+        );
+    }
+    for t in [128u32, 64] {
+        for hidden in [1usize, 2] {
+            learned(
+                format!("hybrid t={t}, {hidden} hidden layer(s)"),
+                StringTopModel::Mlp { hidden, width: 16 },
+                Some(t),
+                SearchStrategy::ModelBiasedBinary,
+            );
+        }
+    }
+    learned(
+        "Learned QS, 1 hidden layer".into(),
+        StringTopModel::Mlp { hidden: 1, width: 16 },
+        None,
+        SearchStrategy::BiasedQuaternary,
+    );
+
+    rows
+}
+
+/// Render the Figure-6 table.
+pub fn print(rows: &[Fig6Row], keys: usize) {
+    let reference = rows
+        .iter()
+        .find(|r| r.config == "btree page=128")
+        .expect("reference present");
+    let (ref_size, ref_ns) = (reference.size_bytes as f64, reference.lookup_ns);
+    let mut t = Table::new(
+        &format!("Figure 6 — String data ({keys} doc-id keys)"),
+        &["Config", "Size (MB)", "Lookup (ns)", "Model (ns)"],
+    );
+    for r in rows {
+        t.row(&[
+            r.config.clone(),
+            format!("{:.2} ({:.2}x)", mb(r.size_bytes), r.size_bytes as f64 / ref_size),
+            format!("{:.0} ({:.2}x)", r.lookup_ns, ref_ns / r.lookup_ns),
+            format!(
+                "{:.0} ({:.0}%)",
+                r.model_ns,
+                100.0 * r.model_ns / r.lookup_ns.max(1e-9)
+            ),
+        ]);
+    }
+    t.note("paper@10M: string speedups are modest (0.8-1.1x); model execution dominates; quaternary search gives the best learned time");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            keys: 20_000,
+            queries: 4_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn produces_all_rows() {
+        let rows = run(&tiny());
+        // 4 btree + 2 learned + 4 hybrid + 1 QS = 11.
+        assert_eq!(rows.len(), 11);
+        assert!(rows.iter().all(|r| r.lookup_ns > 0.0));
+    }
+
+    #[test]
+    fn learned_string_index_smaller_than_btree32() {
+        let rows = run(&tiny());
+        let btree32 = rows.iter().find(|r| r.config == "btree page=32").unwrap();
+        let learned = rows
+            .iter()
+            .find(|r| r.config.starts_with("learned 1"))
+            .unwrap();
+        assert!(learned.size_bytes < btree32.size_bytes);
+    }
+}

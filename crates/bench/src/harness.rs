@@ -1,0 +1,98 @@
+//! Shared measurement utilities.
+
+use std::time::Instant;
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Keys per dataset (the paper uses 200M; default here is 2M).
+    pub keys: usize,
+    /// Lookup queries per measurement.
+    pub queries: usize,
+    /// RNG seed for data + workload.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            keys: 2_000_000,
+            queries: 200_000,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A configuration scaled for quick smoke runs and unit tests.
+    pub fn smoke() -> Self {
+        Self {
+            keys: 50_000,
+            queries: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Time `f(q)` over every query, returning mean nanoseconds per call.
+/// A short warm-up precedes the measured pass; the accumulated result is
+/// black-boxed so the compiler cannot elide the work.
+pub fn time_batch_ns<Q: Copy>(queries: &[Q], mut f: impl FnMut(Q) -> usize) -> f64 {
+    assert!(!queries.is_empty());
+    let mut acc = 0usize;
+    for &q in queries.iter().take((queries.len() / 10).max(1)) {
+        acc = acc.wrapping_add(f(q));
+    }
+    let t0 = Instant::now();
+    for &q in queries {
+        acc = acc.wrapping_add(f(q));
+    }
+    let elapsed = t0.elapsed();
+    std::hint::black_box(acc);
+    elapsed.as_nanos() as f64 / queries.len() as f64
+}
+
+/// Same, for borrowed (non-`Copy`) queries such as strings.
+pub fn time_batch_ref_ns<Q>(queries: &[Q], mut f: impl FnMut(&Q) -> usize) -> f64 {
+    assert!(!queries.is_empty());
+    let mut acc = 0usize;
+    for q in queries.iter().take((queries.len() / 10).max(1)) {
+        acc = acc.wrapping_add(f(q));
+    }
+    let t0 = Instant::now();
+    for q in queries {
+        acc = acc.wrapping_add(f(q));
+    }
+    let elapsed = t0.elapsed();
+    std::hint::black_box(acc);
+    elapsed.as_nanos() as f64 / queries.len() as f64
+}
+
+/// Format a byte count as MB with 2 decimals (the paper's size unit).
+pub fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_batch_returns_positive_ns() {
+        let queries: Vec<u64> = (0..1000).collect();
+        let ns = time_batch_ns(&queries, |q| q as usize * 2);
+        assert!(ns > 0.0 && ns < 1e6, "{ns}");
+    }
+
+    #[test]
+    fn ref_variant_works_for_strings() {
+        let queries: Vec<String> = (0..100).map(|i| format!("{i}")).collect();
+        let ns = time_batch_ref_ns(&queries, |q| q.len());
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn mb_conversion() {
+        assert!((mb(1024 * 1024) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text table printing in the style of the paper's figures.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a footnote printed under the table.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&widths));
+        out.push('|');
+        for c in 0..cols {
+            out.push_str(&format!(" {:<width$} |", self.header[c], width = widths[c]));
+        }
+        out.push('\n');
+        out.push_str(&line(&widths));
+        for row in &self.rows {
+            out.push('|');
+            for c in 0..cols {
+                out.push_str(&format!(" {:<width$} |", row[c], width = widths[c]));
+            }
+            out.push('\n');
+        }
+        out.push_str(&line(&widths));
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format helper: `12.34 (1.5x)` style cells used throughout the paper.
+pub fn with_factor(value: f64, reference: f64, unit: &str) -> String {
+    if reference > 0.0 {
+        format!("{value:.2}{unit} ({:.2}x)", reference / value)
+    } else {
+        format!("{value:.2}{unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        t.note("footnote");
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("| long-name |"));
+        assert!(r.contains("note: footnote"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn factor_formatting() {
+        assert_eq!(with_factor(2.0, 4.0, "ns"), "2.00ns (2.00x)");
+        assert_eq!(with_factor(2.0, 0.0, "ns"), "2.00ns");
+    }
+}

@@ -1,0 +1,159 @@
+//! Table 1 (Appendix C): hash-map alternative baselines.
+//!
+//! "AVX Cuckoo, 32-bit value … AVX Cuckoo, 20 Byte record … Comm.
+//! Cuckoo, 20Byte record … In-place chained Hash-map with learned hash
+//! functions, record" — lookup time and utilization, on the Lognormal
+//! data.
+
+use crate::harness::{time_batch_ns, BenchConfig};
+use crate::table::Table;
+use li_data::{Dataset, Record20};
+use li_hash::{CdfHasher, CuckooHashMap, InPlaceChained};
+
+/// One measured architecture.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Architecture label.
+    pub name: &'static str,
+    /// Mean lookup ns.
+    pub lookup_ns: f64,
+    /// Slot utilization (1.0 = 100%).
+    pub utilization: f64,
+}
+
+/// Run the Table-1 comparison.
+pub fn run(cfg: &BenchConfig) -> Vec<Table1Row> {
+    let keyset = Dataset::Lognormal.generate(cfg.keys, cfg.seed);
+    let keys = keyset.keys();
+    let queries = keyset.sample_existing(cfg.queries, cfg.seed ^ 0x7A);
+    let mut rows = Vec::new();
+
+    // AVX-style cuckoo with 32-bit values.
+    {
+        let mut m: CuckooHashMap<u32> = CuckooHashMap::new(keys.len() + keys.len() / 64);
+        for &k in keys {
+            let _ = m.try_insert(k, (k >> 8) as u32);
+        }
+        rows.push(Table1Row {
+            name: "AVX-style Cuckoo, 32-bit value",
+            lookup_ns: time_batch_ns(&queries, |q| m.get(q).map(|v| v as usize).unwrap_or(0)),
+            utilization: m.utilization(),
+        });
+    }
+
+    // AVX-style cuckoo with 20-byte records.
+    {
+        let mut m: CuckooHashMap<Record20> = CuckooHashMap::new(keys.len() + keys.len() / 64);
+        for &k in keys {
+            let _ = m.try_insert(k, Record20::from_key(k));
+        }
+        rows.push(Table1Row {
+            name: "AVX-style Cuckoo, 20 Byte record",
+            lookup_ns: time_batch_ns(&queries, |q| {
+                m.get(q).map(|r| r.payload as usize).unwrap_or(0)
+            }),
+            utilization: m.utilization(),
+        });
+    }
+
+    // Commercial-grade cuckoo (validated reads + stash).
+    {
+        let mut m: CuckooHashMap<Record20> =
+            CuckooHashMap::new_commercial(keys.len() + keys.len() / 16);
+        for &k in keys {
+            let _ = m.try_insert(k, Record20::from_key(k));
+        }
+        rows.push(Table1Row {
+            name: "Comm. Cuckoo, 20 Byte record",
+            lookup_ns: time_batch_ns(&queries, |q| {
+                m.get(q).map(|r| r.payload as usize).unwrap_or(0)
+            }),
+            utilization: m.utilization().min(1.0),
+        });
+    }
+
+    // In-place chained with the learned hash function.
+    {
+        let hasher = CdfHasher::train(keys, (keys.len() / 2000).max(64));
+        let records: Vec<(u64, Record20)> =
+            keys.iter().map(|&k| (k, Record20::from_key(k))).collect();
+        let m = InPlaceChained::build(&records, hasher);
+        rows.push(Table1Row {
+            name: "In-place chained w/ learned hash, record",
+            lookup_ns: time_batch_ns(&queries, |q| {
+                m.get(q).map(|r| r.payload as usize).unwrap_or(0)
+            }),
+            utilization: m.utilization(),
+        });
+    }
+
+    rows
+}
+
+/// Render Table 1.
+pub fn print(rows: &[Table1Row], keys: usize) {
+    let mut t = Table::new(
+        &format!("Table 1 (App. C) — Hash-map alternatives, Lognormal ({keys} keys)"),
+        &["Type", "Time (ns)", "Utilization"],
+    );
+    for r in rows {
+        t.row(&[
+            r.name.to_string(),
+            format!("{:.0}", r.lookup_ns),
+            format!("{:.0}%", r.utilization * 100.0),
+        ]);
+    }
+    t.note("paper: AVX cuckoo 31ns/99% (32-bit) and 43ns/99% (record), comm. cuckoo 90ns/95%, learned in-place chained 35ns/100%");
+    t.note("expected shape: payload size slows cuckoo; commercial overhead ~2x; learned in-place ~cuckoo speed at 100% utilization");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_architectures_with_high_utilization() {
+        let rows = run(&BenchConfig {
+            keys: 50_000,
+            queries: 10_000,
+            seed: 5,
+        });
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.lookup_ns > 0.0, "{}", r.name);
+            assert!(r.utilization > 0.9, "{}: {}", r.name, r.utilization);
+        }
+        let inplace = rows.iter().find(|r| r.name.contains("In-place")).unwrap();
+        assert!((inplace.utilization - 1.0).abs() < 1e-9, "100% by construction");
+    }
+
+    #[test]
+    fn all_architectures_answer_their_queries() {
+        // Latency *ordering* (commercial ≈ 2× lean, learned in-place ≈
+        // cuckoo) is asserted by eye from `repro table1` release runs —
+        // micro-timing in the test profile is codegen-dependent. Here we
+        // pin the structural claims.
+        let rows = run(&BenchConfig {
+            keys: 80_000,
+            queries: 40_000,
+            seed: 6,
+        });
+        let lean = rows
+            .iter()
+            .find(|r| r.name == "AVX-style Cuckoo, 20 Byte record")
+            .unwrap();
+        let comm = rows
+            .iter()
+            .find(|r| r.name == "Comm. Cuckoo, 20 Byte record")
+            .unwrap();
+        let inplace = rows.iter().find(|r| r.name.contains("In-place")).unwrap();
+        // Commercial mode never rejects inserts, so it holds every key.
+        assert!(comm.utilization > 0.9);
+        // Lean cuckoo reaches Table 1's ~99% utilization.
+        assert!(lean.utilization > 0.95, "{}", lean.utilization);
+        // In-place chained is exactly full.
+        assert!((inplace.utilization - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! # li-bloom — learned existence indexes (§5 of the paper)
+//!
+//! "The last common index type of DBMS are existence indexes, most
+//! importantly Bloom filters … a Bloom filter does guarantee that there
+//! exists no false negatives, but has potential false positives."
+//!
+//! Three filters, one contract (no false negatives):
+//!
+//! * [`BloomFilter`] — the classical baseline: an `m`-bit array with `k`
+//!   hash functions, sized analytically from the target false-positive
+//!   rate (`m = −n·ln p / (ln 2)²`).
+//! * [`LearnedBloom`] (§5.1.1) — "Bloom filters as a classification
+//!   problem": a probabilistic classifier `f` with threshold `τ`, plus
+//!   an **overflow** Bloom filter over the classifier's false negatives
+//!   so the no-false-negative guarantee is restored. The FPR budget is
+//!   split `FPR_τ = FPR_B = p*/2` and τ is tuned on a held-out
+//!   validation set of non-keys, exactly as in the paper.
+//! * [`ModelHashBloom`] (§5.1.2 / Appendix E) — "Bloom filters with
+//!   model-hashes": discretize the classifier output into an `m`-bit
+//!   bitmap (`d = ⌊f(x)·m⌋`) and combine with a backup Bloom filter at
+//!   `FPR_B = p*/FPR_m`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod learned;
+pub mod model_hash;
+pub mod standard;
+
+pub use learned::{LearnedBloom, LearnedBloomReport};
+pub use li_models::Classifier;
+pub use model_hash::ModelHashBloom;
+pub use standard::BloomFilter;
+
+/// Measure the empirical false-positive rate of any `contains`-style
+/// predicate over a set of known non-keys.
+pub fn empirical_fpr<'a>(
+    contains: impl Fn(&'a [u8]) -> bool,
+    non_keys: impl IntoIterator<Item = &'a [u8]>,
+) -> f64 {
+    let mut total = 0usize;
+    let mut positive = 0usize;
+    for nk in non_keys {
+        total += 1;
+        if contains(nk) {
+            positive += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        positive as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_fpr_counts_positives() {
+        let keys: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d"];
+        let fpr = empirical_fpr(|x| x[0] <= b'b', keys.iter().copied());
+        assert!((fpr - 0.5).abs() < 1e-12);
+        assert_eq!(empirical_fpr(|_| true, std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Bloom filters with model-hashes (§5.1.2 / Appendix E).
+//!
+//! "An alternative approach … is to learn a hash function with the goal
+//! to maximize collisions among keys and among non-keys while minimizing
+//! collisions of keys and non-keys … we can create a hash function d,
+//! which maps f to a bit array of size m by scaling its output as
+//! d = ⌊f(x)·m⌋." Appendix E adds the backup filter: "we have a
+//! traditional Bloom filter with false positive rate
+//! FPR_B = p*/FPR_m … the overall FPR of the system is FPR_m × FPR_B."
+//!
+//! [`ModelHashBloom::build`] sets the bitmap from the keys, measures
+//! `FPR_m` on the validation non-keys, sizes the backup filter for
+//! `p*/FPR_m`, and inserts **all** keys into the backup (both structures
+//! must agree for a positive, and neither can produce a false negative).
+
+use crate::standard::BloomFilter;
+use li_models::Classifier;
+
+/// Model-hash Bloom filter: classifier-driven bitmap + backup filter.
+pub struct ModelHashBloom<C> {
+    classifier: C,
+    bitmap: Vec<u64>,
+    m: usize,
+    backup: BloomFilter,
+    fpr_m: f64,
+    model_bytes: usize,
+}
+
+impl<C: Classifier> ModelHashBloom<C> {
+    /// Build with an `m`-bit model bitmap and overall FPR target `p*`.
+    pub fn build(
+        classifier: C,
+        keys: &[&[u8]],
+        validation_non_keys: &[&[u8]],
+        m: usize,
+        p_star: f64,
+        model_bytes: Option<usize>,
+    ) -> Self {
+        assert!(m >= 64);
+        assert!(p_star > 0.0 && p_star < 1.0);
+        assert!(!keys.is_empty());
+        let mut bitmap = vec![0u64; m.div_ceil(64)];
+        let slot = |score: f64| -> usize { ((score * m as f64) as usize).min(m - 1) };
+        for k in keys {
+            let s = slot(classifier.score(k));
+            bitmap[s / 64] |= 1 << (s % 64);
+        }
+
+        // FPR_m on validation: fraction of non-keys whose slot is set.
+        let hits = validation_non_keys
+            .iter()
+            .filter(|nk| {
+                let s = slot(classifier.score(nk));
+                bitmap[s / 64] >> (s % 64) & 1 == 1
+            })
+            .count();
+        let fpr_m = (hits as f64 / validation_non_keys.len().max(1) as f64).max(1e-6);
+
+        // Backup filter at FPR_B = p*/FPR_m (clamped below 1).
+        let fpr_b = (p_star / fpr_m).min(0.5);
+        let mut backup = BloomFilter::new(keys.len(), fpr_b);
+        for k in keys {
+            backup.insert(k);
+        }
+
+        let model_bytes = model_bytes.unwrap_or_else(|| classifier.size_bytes());
+        Self {
+            classifier,
+            bitmap,
+            m,
+            backup,
+            fpr_m,
+            model_bytes,
+        }
+    }
+
+    /// "We say that a query q is predicted to be a key if M[⌊f(q)·m⌋] = 1
+    /// and the Bloom filter also returns that it is a key."
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let s = ((self.classifier.score(key) * self.m as f64) as usize).min(self.m - 1);
+        (self.bitmap[s / 64] >> (s % 64) & 1 == 1) && self.backup.contains(key)
+    }
+
+    /// Measured bitmap FPR on the validation set.
+    pub fn fpr_m(&self) -> f64 {
+        self.fpr_m
+    }
+
+    /// Total size: model + bitmap + backup filter.
+    pub fn size_bytes(&self) -> usize {
+        self.model_bytes + self.bitmap.len() * 8 + self.backup.size_bytes()
+    }
+
+    /// Size of the model bitmap alone.
+    pub fn bitmap_bytes(&self) -> usize {
+        self.bitmap.len() * 8
+    }
+
+    /// Size of the backup Bloom filter alone.
+    pub fn backup_bytes(&self) -> usize {
+        self.backup.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical_fpr;
+    use li_data::strings::UrlGenerator;
+    use li_models::NgramLogReg;
+
+    fn setup(n: usize) -> (Vec<String>, Vec<String>, Vec<String>, NgramLogReg) {
+        let mut gen = UrlGenerator::new(23);
+        let (keys, mut negs) = gen.dataset(n, n * 2, 0.5);
+        let test = negs.split_off(n);
+        let validation = negs;
+        let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+        let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+        let clf = NgramLogReg::train(13, 8, 0.1, &kb, &vb, 9);
+        (keys, validation, test, clf)
+    }
+
+    #[test]
+    fn zero_false_negatives() {
+        let (keys, validation, _, clf) = setup(2000);
+        let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+        let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+        let mh = ModelHashBloom::build(clf, &kb, &vb, 1 << 14, 0.01, None);
+        for k in &keys {
+            assert!(mh.contains(k.as_bytes()), "false negative: {k}");
+        }
+    }
+
+    #[test]
+    fn fpr_near_target_on_test_set() {
+        let (keys, validation, test, clf) = setup(3000);
+        let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+        let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+        let p = 0.02;
+        let mh = ModelHashBloom::build(clf, &kb, &vb, 1 << 14, p, None);
+        let fpr = empirical_fpr(|x| mh.contains(x), test.iter().map(|x| x.as_bytes()));
+        assert!(fpr <= p * 2.5, "fpr {fpr} target {p}");
+    }
+
+    #[test]
+    fn good_model_relaxes_backup_filter() {
+        // The Appendix-E effect: because the bitmap filters out most
+        // non-keys (FPR_m << 1), the backup filter may run at a much
+        // looser FPR and thus be smaller than a standalone filter at p*.
+        let (keys, validation, _, clf) = setup(4000);
+        let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+        let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+        let p = 0.01;
+        let mh = ModelHashBloom::build(clf, &kb, &vb, 1 << 14, p, None);
+        let standalone = BloomFilter::new(keys.len(), p).size_bytes();
+        assert!(
+            mh.backup_bytes() < standalone,
+            "backup {} standalone {}",
+            mh.backup_bytes(),
+            standalone
+        );
+        assert!(mh.fpr_m() < 0.7, "bitmap should reject many non-keys");
+    }
+
+    #[test]
+    fn bitmap_size_is_m_bits() {
+        let (keys, validation, _, clf) = setup(500);
+        let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
+        let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
+        let mh = ModelHashBloom::build(clf, &kb, &vb, 1 << 12, 0.01, Some(0));
+        assert_eq!(mh.bitmap_bytes(), (1 << 12) / 8);
+        assert_eq!(mh.size_bytes(), mh.bitmap_bytes() + mh.backup_bytes());
+    }
+}

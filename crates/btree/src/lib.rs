@@ -1,0 +1,128 @@
+//! # li-btree — baseline read-optimized index structures
+//!
+//! Every range-index baseline the paper compares learned indexes against,
+//! implemented from scratch:
+//!
+//! * [`BTreeIndex`] — the §3.7.1 main baseline: "a production quality
+//!   B-Tree implementation which is similar to the stx::btree but with
+//!   further cache-line optimization, dense pages (i.e., fill factor of
+//!   100%)". Ours is a static CSS-tree-style layout: flat per-level key
+//!   arrays, offsets instead of pointers, configurable page size.
+//! * [`FastTree`] — the FAST [Kim et al., SIGMOD 2010] stand-in: an
+//!   implicit branch-free binary tree padded to a power of two
+//!   (reproducing FAST's power-of-2 memory blow-up noted in Figure 5).
+//! * [`LookupTable`] — the Figure-5 "Lookup Table w/ AVX search": a
+//!   3-stage 64-way hierarchical table with branch-free compare-count
+//!   scans.
+//! * [`InterpBTree`] — the Figure-5 "fixed-size B-Tree & interpolation
+//!   search" baseline: index size fixed to a byte budget, interpolation
+//!   search inside nodes.
+//!
+//! The [`RangeIndex`] trait is the common interface all of them — and the
+//! learned indexes in `li-core` — implement, split into a *predict* phase
+//! (narrow to a candidate region; for a B-Tree this is the traversal to
+//! the page) and a *search* phase (find the key within the region), so
+//! the benchmark harness can report the paper's "Model (ns)" column.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod fast;
+pub mod interp;
+pub mod lookup_table;
+pub mod paged;
+pub mod search;
+
+pub use btree::BTreeIndex;
+pub use fast::FastTree;
+pub use interp::InterpBTree;
+pub use lookup_table::LookupTable;
+pub use paged::PagedIndex;
+
+/// A candidate region produced by an index's predict phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The position estimate (for a B-Tree: start of the page; for a
+    /// learned index: the model output).
+    pub pos: usize,
+    /// Inclusive lower bound of the region guaranteed to contain the
+    /// lower-bound position of the key.
+    pub lo: usize,
+    /// Exclusive upper bound of that region.
+    pub hi: usize,
+}
+
+/// A read-only range index over a sorted `u64` key array.
+///
+/// Semantics follow §3.4 of the paper: `lower_bound(q)` returns the
+/// position of the first stored key `>= q` (i.e. `data.len()` when every
+/// key is smaller), exactly like `slice::partition_point(|k| k < q)` on
+/// the underlying sorted array.
+pub trait RangeIndex: Send + Sync {
+    /// The sorted key array the index was built over.
+    fn data(&self) -> &[u64];
+
+    /// Predict phase: narrow the key to a candidate region. The paper's
+    /// "Model (ns)" column times exactly this.
+    fn predict(&self, key: u64) -> Prediction;
+
+    /// Full lookup: position of the first key `>= key`.
+    fn lower_bound(&self, key: u64) -> usize;
+
+    /// Position of the first key `> key`.
+    fn upper_bound(&self, key: u64) -> usize {
+        let lb = self.lower_bound(key);
+        let data = self.data();
+        // Keys are unique, so at most one equal key to skip.
+        if lb < data.len() && data[lb] == key {
+            lb + 1
+        } else {
+            lb
+        }
+    }
+
+    /// Position of `key` if present.
+    fn lookup(&self, key: u64) -> Option<usize> {
+        let lb = self.lower_bound(key);
+        let data = self.data();
+        (lb < data.len() && data[lb] == key).then_some(lb)
+    }
+
+    /// All positions whose keys fall in `[lo, hi)` — the range scan the
+    /// sorted layout exists to serve (§2.2).
+    fn range(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        if hi <= lo {
+            return 0..0;
+        }
+        let start = self.lower_bound(lo);
+        let end = self.lower_bound(hi);
+        start..end
+    }
+
+    /// Index overhead in bytes, **excluding** the data array itself (the
+    /// paper's "Size (MB)" column counts only the index).
+    fn size_bytes(&self) -> usize;
+
+    /// Human-readable name including configuration, e.g.
+    /// `"btree(page=128)"`.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn provided_methods_agree_with_semantics() {
+        let data: Vec<u64> = vec![10, 20, 30, 40];
+        let idx = BTreeIndex::new(data, 2);
+        assert_eq!(idx.lookup(20), Some(1));
+        assert_eq!(idx.lookup(25), None);
+        assert_eq!(idx.upper_bound(20), 2);
+        assert_eq!(idx.upper_bound(25), 2);
+        assert_eq!(idx.range(15, 35), 1..3);
+        assert_eq!(idx.range(35, 15), 0..0);
+        assert_eq!(idx.range(0, 100), 0..4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Hierarchical lookup table with branch-free scans (Figure 5 baseline).
+//!
+//! §3.7.1: *"We included a comparison against a 3-stage lookup table,
+//! which is constructed by taking every 64th key and putting it into an
+//! array including padding to make it a multiple of 64. Then we repeat
+//! that process one more time over the array without padding, creating
+//! two arrays in total. To lookup a key, we use binary search on the top
+//! table followed by an AVX optimized branch-free scan for the second
+//! table and the data itself."*
+//!
+//! Our branch-free scan counts `key > probe` over a fixed 64-slot window
+//! with no early exit — the scalar form of an AVX compare+popcount; the
+//! compiler autovectorizes the loop.
+
+use crate::{Prediction, RangeIndex};
+
+const FANOUT: usize = 64;
+
+/// 3-stage 64-way lookup table over a sorted `u64` array.
+#[derive(Debug, Clone)]
+pub struct LookupTable {
+    data: Vec<u64>,
+    /// Stage 2: every 64th key of `data`, padded to a multiple of 64
+    /// with `u64::MAX`.
+    mid: Vec<u64>,
+    /// Stage 1 (top): every 64th key of `mid`, no padding.
+    top: Vec<u64>,
+}
+
+impl LookupTable {
+    /// Build over `data` (sorted ascending).
+    pub fn new(data: Vec<u64>) -> Self {
+        debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        let mut mid: Vec<u64> = data.iter().step_by(FANOUT).copied().collect();
+        // "including padding to make it a multiple of 64"
+        while mid.len() % FANOUT != 0 {
+            mid.push(u64::MAX);
+        }
+        let top: Vec<u64> = mid.iter().step_by(FANOUT).copied().collect();
+        Self { data, mid, top }
+    }
+
+    /// Branch-free count of elements `< key` in a ≤64-wide window.
+    /// Fixed trip count, no early exit: autovectorizes to the compare +
+    /// mask + popcount pattern of the paper's AVX scan.
+    #[inline]
+    fn scan_window(window: &[u64], key: u64) -> usize {
+        let mut count = 0usize;
+        for &k in window {
+            count += usize::from(k < key);
+        }
+        count
+    }
+
+    /// Index of the mid-table slot whose page contains the key.
+    #[inline]
+    fn find_mid_slot(&self, key: u64) -> usize {
+        // Binary search on the top table: last top entry <= key names the
+        // 64-wide mid window.
+        let t = self.top.partition_point(|&k| k <= key);
+        let window_idx = t.saturating_sub(1);
+        let start = window_idx * FANOUT;
+        let end = (start + FANOUT).min(self.mid.len());
+        // Branch-free scan within the mid window: last entry <= key.
+        let in_window = Self::scan_window(&self.mid[start..end], key.saturating_add(1));
+        start + in_window.saturating_sub(1)
+    }
+}
+
+impl RangeIndex for LookupTable {
+    fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    #[inline]
+    fn predict(&self, key: u64) -> Prediction {
+        if self.data.len() <= FANOUT {
+            return Prediction {
+                pos: 0,
+                lo: 0,
+                hi: self.data.len(),
+            };
+        }
+        let slot = self.find_mid_slot(key);
+        let lo = slot * FANOUT;
+        let hi = (lo + FANOUT).min(self.data.len());
+        Prediction { pos: lo, lo, hi }
+    }
+
+    #[inline]
+    fn lower_bound(&self, key: u64) -> usize {
+        let p = self.predict(key);
+        // Final branch-free scan over the data window. Counting keys < key
+        // inside [lo, hi) gives the global lower bound because the next
+        // window's first key is > key by the separator property.
+        p.lo + Self::scan_window(&self.data[p.lo..p.hi], key)
+    }
+
+    fn size_bytes(&self) -> usize {
+        (self.mid.len() + self.top.len()) * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> String {
+        "lookup-table(64x64)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(data: &[u64], key: u64) -> usize {
+        data.partition_point(|&k| k < key)
+    }
+
+    fn check(data: Vec<u64>) {
+        let idx = LookupTable::new(data.clone());
+        let mut queries = vec![0u64, 1, u64::MAX];
+        for &k in data.iter().step_by(7) {
+            queries.extend_from_slice(&[k.saturating_sub(1), k, k.saturating_add(1)]);
+        }
+        for q in queries {
+            assert_eq!(idx.lower_bound(q), oracle(&data, q), "n={} q={q}", data.len());
+        }
+    }
+
+    #[test]
+    fn matches_oracle_at_boundary_sizes() {
+        for n in [0usize, 1, 63, 64, 65, 4095, 4096, 4097, 10_000] {
+            check((0..n as u64).map(|i| i * 3 + 1).collect());
+        }
+    }
+
+    #[test]
+    fn mid_table_is_padded_to_64() {
+        let idx = LookupTable::new((0..1000u64).collect());
+        assert_eq!(idx.mid.len() % FANOUT, 0);
+    }
+
+    #[test]
+    fn size_is_roughly_data_over_64() {
+        let n = 1 << 20;
+        let idx = LookupTable::new((0..n as u64).collect());
+        let expected_mid = n / FANOUT;
+        // top adds another /64.
+        let bytes = idx.size_bytes();
+        assert!(bytes >= expected_mid * 8);
+        assert!(bytes < expected_mid * 8 * 2);
+    }
+
+    #[test]
+    fn scan_window_counts_strictly_less() {
+        assert_eq!(LookupTable::scan_window(&[1, 2, 3, 4], 3), 2);
+        assert_eq!(LookupTable::scan_window(&[], 3), 0);
+        assert_eq!(LookupTable::scan_window(&[u64::MAX], u64::MAX), 0);
+    }
+
+    #[test]
+    fn clustered_keys_roundtrip() {
+        let mut data: Vec<u64> = (0..5000u64).map(|i| (i / 10) * 1000 + i % 3).collect();
+        data.sort_unstable();
+        data.dedup();
+        check(data);
+    }
+}

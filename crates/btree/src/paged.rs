@@ -1,0 +1,151 @@
+//! Generic paged separator index — the B-Tree baseline for any `Ord`
+//! key type (used for the Figure-6 string comparison).
+//!
+//! [`crate::BTreeIndex`] is specialized (and size-accounted) for `u64`;
+//! string experiments need the same "index the first key of every page"
+//! structure over `String`. `PagedIndex<T>` keeps one separator level
+//! per `page_size` chunk, searched with binary search per node, exactly
+//! like the CSS-tree layout — but generic, with caller-visible byte
+//! accounting for variable-length keys.
+
+use std::ops::Range;
+
+/// A static multi-level paged index over a sorted slice of `T`.
+#[derive(Debug, Clone)]
+pub struct PagedIndex<T> {
+    data: Vec<T>,
+    /// Separator levels, root level first; each entry is (first key of
+    /// chunk) paired implicitly by position.
+    levels: Vec<Vec<T>>,
+    page_size: usize,
+}
+
+impl<T: Ord + Clone> PagedIndex<T> {
+    /// Build over sorted `data` with `page_size` keys per page.
+    pub fn new(data: Vec<T>, page_size: usize) -> Self {
+        assert!(page_size >= 2);
+        debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        let mut levels: Vec<Vec<T>> = Vec::new();
+        if data.len() > page_size {
+            let mut level: Vec<T> = data.iter().step_by(page_size).cloned().collect();
+            while level.len() > page_size {
+                let upper: Vec<T> = level.iter().step_by(page_size).cloned().collect();
+                levels.push(level);
+                level = upper;
+            }
+            levels.push(level);
+            levels.reverse();
+        }
+        Self {
+            data,
+            levels,
+            page_size,
+        }
+    }
+
+    /// The underlying sorted data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Keys per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Descend to the candidate page for `key`; returns the data range
+    /// of that page (the "model" phase of a B-Tree lookup).
+    pub fn predict(&self, key: &T) -> Range<usize> {
+        if self.levels.is_empty() {
+            return 0..self.data.len();
+        }
+        let mut child = 0usize;
+        for level in &self.levels {
+            let start = child * self.page_size;
+            let end = (start + self.page_size).min(level.len());
+            let in_node = level[start..end].partition_point(|k| k <= key);
+            child = start + in_node.saturating_sub(1);
+        }
+        let lo = child * self.page_size;
+        let hi = (lo + self.page_size).min(self.data.len());
+        lo..hi
+    }
+
+    /// Position of the first element `>= key`.
+    pub fn lower_bound(&self, key: &T) -> usize {
+        let page = self.predict(key);
+        page.start + self.data[page.clone()].partition_point(|k| k < key)
+    }
+
+    /// Position of `key` if present.
+    pub fn lookup(&self, key: &T) -> Option<usize> {
+        let p = self.lower_bound(key);
+        (p < self.data.len() && &self.data[p] == key).then_some(p)
+    }
+
+    /// Separator count across all levels (size = this × per-key bytes).
+    pub fn separator_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Index bytes given a per-key size function (strings vary).
+    pub fn size_bytes_with(&self, key_bytes: impl Fn(&T) -> usize) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(key_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_oracle_for_strings() {
+        let mut data: Vec<String> = (0..2000).map(|i| format!("k{:06}", i * 3)).collect();
+        data.sort_unstable();
+        let idx = PagedIndex::new(data.clone(), 32);
+        for i in 0..2100 {
+            let q = format!("k{:06}", i * 3 + 1);
+            assert_eq!(
+                idx.lower_bound(&q),
+                data.partition_point(|s| s < &q),
+                "q={q}"
+            );
+        }
+        for s in data.iter().step_by(17) {
+            assert_eq!(idx.lookup(s), data.binary_search(s).ok());
+        }
+    }
+
+    #[test]
+    fn matches_u64_btree_semantics() {
+        let data: Vec<u64> = (0..5000u64).map(|i| i * 7).collect();
+        let paged = PagedIndex::new(data.clone(), 64);
+        let btree = crate::BTreeIndex::new(data.clone(), 64);
+        use crate::RangeIndex;
+        for q in (0..36_000u64).step_by(11) {
+            assert_eq!(paged.lower_bound(&q), btree.lower_bound(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn size_accounting_for_strings() {
+        let data: Vec<String> = (0..1000).map(|i| format!("{i:08}")).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let idx = PagedIndex::new(sorted, 100);
+        // 10 separators of 8 bytes each (+ higher levels none).
+        assert_eq!(idx.separator_count(), 10);
+        assert_eq!(idx.size_bytes_with(|s| s.len()), 80);
+    }
+
+    #[test]
+    fn small_data_has_no_levels() {
+        let idx = PagedIndex::new(vec![1u64, 2, 3], 16);
+        assert_eq!(idx.separator_count(), 0);
+        assert_eq!(idx.lower_bound(&2), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Last-mile search primitives over sorted slices.
+//!
+//! §3.4 of the paper discusses search strategies once an index (learned
+//! or traditional) has narrowed a key to a region. These are the shared
+//! building blocks: plain and branchless binary search, exponential
+//! search from a position hint, and interpolation search. The
+//! *model-biased* variants that exploit a learned prediction live in
+//! `li-core::search`; they are built on these.
+
+/// Position of the first element `>= key` in `data[lo..hi]`, returned as
+/// an absolute index. Plain binary search (the paper's note [8]: "binary
+/// search … usually the fastest strategy … for small payloads").
+#[inline]
+pub fn lower_bound(data: &[u64], key: u64, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo <= hi && hi <= data.len());
+    lo + data[lo..hi].partition_point(|&k| k < key)
+}
+
+/// Branchless binary search over the whole slice: the comparison feeds an
+/// arithmetic select instead of a branch, trading mispredictions for a
+/// fixed instruction stream (the technique behind "AVX search" baselines;
+/// reference [14] of the paper).
+#[inline]
+pub fn branchless_lower_bound(data: &[u64], key: u64) -> usize {
+    let mut base = 0usize;
+    let mut len = data.len();
+    while len > 1 {
+        let half = len / 2;
+        // cmov-style: advance base iff the probe key is < key.
+        base += usize::from(data[base + half - 1] < key) * half;
+        len -= half;
+    }
+    base + usize::from(len == 1 && data.get(base).is_some_and(|&k| k < key))
+}
+
+/// Exponential (galloping) search outward from `hint`, then binary search
+/// in the located bracket. §3.4: *"another possibility is to use
+/// exponential search techniques. Assuming a normal distributed error,
+/// those techniques on average should work as good as alternative search
+/// strategies while not requiring to store any min- and max-errors."*
+pub fn exponential_search(data: &[u64], key: u64, hint: usize) -> usize {
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    let hint = hint.min(n - 1);
+    if data[hint] < key {
+        // Gallop right: bracket (hint + step/2, hint + step].
+        let mut step = 1usize;
+        let mut prev = hint;
+        loop {
+            let next = hint.saturating_add(step);
+            if next >= n {
+                return lower_bound(data, key, prev + 1, n);
+            }
+            if data[next] >= key {
+                return lower_bound(data, key, prev + 1, next + 1);
+            }
+            prev = next;
+            step <<= 1;
+        }
+    } else {
+        // Gallop left.
+        let mut step = 1usize;
+        let mut prev = hint;
+        loop {
+            if step > hint {
+                return lower_bound(data, key, 0, prev);
+            }
+            let next = hint - step;
+            if data[next] < key {
+                return lower_bound(data, key, next + 1, prev);
+            }
+            prev = next;
+            step <<= 1;
+        }
+    }
+}
+
+/// Interpolation search for the first element `>= key` in
+/// `data[lo..hi]`. Falls back to binary search when the interpolation
+/// stops making progress (skewed regions), so worst case stays
+/// O(log n). Used by [`crate::InterpBTree`] (Figure 5's baseline from
+/// reference [1]).
+pub fn interpolation_search(data: &[u64], key: u64, mut lo: usize, mut hi: usize) -> usize {
+    debug_assert!(lo <= hi && hi <= data.len());
+    // Invariant: answer is in [lo, hi]; data[lo-1] < key <= data[hi].
+    let mut iterations = 0usize;
+    while hi > lo {
+        let first = data[lo];
+        let last = data[hi - 1];
+        if key <= first {
+            return lo;
+        }
+        if key > last {
+            return hi;
+        }
+        if first == last {
+            // All keys equal in this window and key is within them.
+            return lo;
+        }
+        // Interpolation converges in O(log log n) probes on near-uniform
+        // windows but only linearly on skewed ones; hand off to binary
+        // search after a few probes so the worst case stays O(log n)
+        // with a small constant (introspective search).
+        iterations += 1;
+        if iterations > 4 {
+            return lower_bound(data, key, lo, hi);
+        }
+        // Estimated position of key by linear interpolation.
+        let span = (last - first) as f64;
+        let frac = (key - first) as f64 / span;
+        let guess = lo + ((hi - 1 - lo) as f64 * frac) as usize;
+        let guess = guess.clamp(lo, hi - 1);
+        if data[guess] < key {
+            lo = guess + 1;
+        } else {
+            hi = guess;
+            // data[guess] >= key, but elements before guess may also be.
+            // Loop continues narrowing; hi now points at a valid >= key.
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(data: &[u64], key: u64) -> usize {
+        data.partition_point(|&k| k < key)
+    }
+
+    fn datasets() -> Vec<Vec<u64>> {
+        vec![
+            vec![],
+            vec![5],
+            vec![1, 3, 5, 7, 9, 11],
+            (0..1000u64).map(|i| i * 3).collect(),
+            // Skewed: quadratic growth breaks naive interpolation.
+            (0..500u64).map(|i| i * i).collect(),
+            // Duplicate-free but highly clustered.
+            (0..300u64).map(|i| if i < 290 { i } else { i * 1000 }).collect(),
+        ]
+    }
+
+    fn queries(data: &[u64]) -> Vec<u64> {
+        let mut qs = vec![0, 1, u64::MAX, u64::MAX - 1];
+        for &k in data {
+            qs.extend_from_slice(&[k.saturating_sub(1), k, k + 1]);
+        }
+        qs
+    }
+
+    #[test]
+    fn lower_bound_matches_oracle() {
+        for data in datasets() {
+            for q in queries(&data) {
+                assert_eq!(lower_bound(&data, q, 0, data.len()), oracle(&data, q));
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_matches_oracle() {
+        for data in datasets() {
+            for q in queries(&data) {
+                assert_eq!(branchless_lower_bound(&data, q), oracle(&data, q), "{data:?} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_matches_oracle_from_any_hint() {
+        for data in datasets() {
+            if data.is_empty() {
+                assert_eq!(exponential_search(&data, 7, 0), 0);
+                continue;
+            }
+            for q in queries(&data) {
+                for hint in [0, data.len() / 2, data.len() - 1, data.len() + 100] {
+                    assert_eq!(
+                        exponential_search(&data, q, hint),
+                        oracle(&data, q),
+                        "{data:?} q={q} hint={hint}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_matches_oracle() {
+        for data in datasets() {
+            for q in queries(&data) {
+                assert_eq!(
+                    interpolation_search(&data, q, 0, data.len()),
+                    oracle(&data, q),
+                    "{data:?} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_subrange_respects_bounds() {
+        let data: Vec<u64> = (0..100).map(|i| i * 2).collect();
+        // Search only within [10, 50).
+        assert_eq!(interpolation_search(&data, 40, 10, 50), 20);
+        assert_eq!(interpolation_search(&data, 0, 10, 50), 10);
+        assert_eq!(interpolation_search(&data, 1000, 10, 50), 50);
+    }
+
+    #[test]
+    fn exponential_is_cheap_near_hint() {
+        // Sanity rather than perf: correct when the hint is exact.
+        let data: Vec<u64> = (0..10_000u64).collect();
+        for q in [0u64, 5000, 9999] {
+            assert_eq!(exponential_search(&data, q, q as usize), q as usize);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Delta-buffered inserts for learned indexes (Appendix D.1).
+//!
+//! "There always exists a much simpler alternative to handling inserts
+//! by building a delta-index [60]. All inserts are kept in buffer and
+//! from time to time merged with a potential retraining of the model.
+//! This approach is already widely used, for example in Bigtable."
+//!
+//! [`DeltaIndex`] wraps an [`Rmi`] with a sorted insert buffer. Lookups
+//! consult both sides; when the buffer reaches `merge_threshold` the
+//! base data and buffer are merged and the RMI retrained. Appends that
+//! follow the learned pattern (the paper's D.1 observation about
+//! timestamp appends being O(1)) stay cheap because merging is linear
+//! and retraining a linear-top RMI is a single pass.
+
+use crate::rmi::{Rmi, RmiConfig};
+use li_btree::RangeIndex;
+
+/// An updatable learned index: RMI base + sorted delta buffer.
+#[derive(Debug)]
+pub struct DeltaIndex {
+    base: Rmi,
+    config: RmiConfig,
+    delta: Vec<u64>,
+    merge_threshold: usize,
+    merges: usize,
+}
+
+impl DeltaIndex {
+    /// Build over initial `data` (sorted, unique); buffer up to
+    /// `merge_threshold` inserts between retrains.
+    pub fn new(data: Vec<u64>, config: RmiConfig, merge_threshold: usize) -> Self {
+        assert!(merge_threshold > 0);
+        Self {
+            base: Rmi::build(data, &config),
+            config,
+            delta: Vec::new(),
+            merge_threshold,
+            merges: 0,
+        }
+    }
+
+    /// Insert a key. Duplicates (of base or buffered keys) are ignored,
+    /// keeping the unique-sorted-key invariant. Triggers a merge +
+    /// retrain when the buffer is full.
+    pub fn insert(&mut self, key: u64) {
+        if self.contains(key) {
+            return;
+        }
+        let pos = self.delta.partition_point(|&k| k < key);
+        self.delta.insert(pos, key);
+        if self.delta.len() >= self.merge_threshold {
+            self.merge();
+        }
+    }
+
+    /// Whether `key` exists (base or buffer).
+    pub fn contains(&self, key: u64) -> bool {
+        self.base.lookup(key).is_some() || self.delta.binary_search(&key).is_ok()
+    }
+
+    /// Number of keys `< key` across base and buffer — the global
+    /// lower-bound rank in the merged view.
+    pub fn rank(&self, key: u64) -> usize {
+        self.base.lower_bound(key) + self.delta.partition_point(|&k| k < key)
+    }
+
+    /// Total keys (base + buffer).
+    pub fn len(&self) -> usize {
+        self.base.data().len() + self.delta.len()
+    }
+
+    /// Whether the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys currently waiting in the delta buffer.
+    pub fn pending(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// How many merge+retrain cycles have run.
+    pub fn merges(&self) -> usize {
+        self.merges
+    }
+
+    /// Force a merge + retrain now.
+    pub fn merge(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let base_data = self.base.data();
+        let mut merged = Vec::with_capacity(base_data.len() + self.delta.len());
+        // Two-pointer linear merge of two sorted unique sequences.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < base_data.len() && j < self.delta.len() {
+            if base_data[i] <= self.delta[j] {
+                merged.push(base_data[i]);
+                i += 1;
+            } else {
+                merged.push(self.delta[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&base_data[i..]);
+        merged.extend_from_slice(&self.delta[j..]);
+        self.delta.clear();
+        self.base = Rmi::build(merged, &self.config);
+        self.merges += 1;
+    }
+
+    /// Range scan over the merged view: all keys in `[lo, hi)`, sorted.
+    pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let base = self.base.range(lo, hi);
+        let d_lo = self.delta.partition_point(|&k| k < lo);
+        let d_hi = self.delta.partition_point(|&k| k < hi);
+        let mut out = Vec::with_capacity(base.len() + d_hi - d_lo);
+        let base_keys = &self.base.data()[base];
+        let delta_keys = &self.delta[d_lo..d_hi];
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < base_keys.len() && j < delta_keys.len() {
+            if base_keys[i] <= delta_keys[j] {
+                out.push(base_keys[i]);
+                i += 1;
+            } else {
+                out.push(delta_keys[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&base_keys[i..]);
+        out.extend_from_slice(&delta_keys[j..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmi::TopModel;
+
+    fn cfg() -> RmiConfig {
+        RmiConfig::two_stage(TopModel::Linear, 64)
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let data: Vec<u64> = (0..1000u64).map(|i| i * 10).collect();
+        let mut idx = DeltaIndex::new(data, cfg(), 100);
+        assert!(idx.contains(10));
+        assert!(!idx.contains(11));
+        idx.insert(11);
+        assert!(idx.contains(11));
+        assert_eq!(idx.pending(), 1);
+        assert_eq!(idx.len(), 1001);
+    }
+
+    #[test]
+    fn merge_triggers_at_threshold_and_preserves_keys() {
+        let data: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
+        let mut idx = DeltaIndex::new(data, cfg(), 10);
+        for k in 0..25u64 {
+            idx.insert(k * 3 + 1);
+        }
+        assert!(idx.merges() >= 2, "merges {}", idx.merges());
+        assert!(idx.pending() < 10);
+        for k in 0..25u64 {
+            assert!(idx.contains(k * 3 + 1), "lost {}", k * 3 + 1);
+        }
+        for k in 0..500u64 {
+            assert!(idx.contains(k * 3));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut idx = DeltaIndex::new(vec![1, 5, 9], cfg(), 100);
+        idx.insert(5);
+        idx.insert(7);
+        idx.insert(7);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn rank_counts_across_base_and_delta() {
+        let mut idx = DeltaIndex::new(vec![10, 20, 30], cfg(), 100);
+        idx.insert(15);
+        idx.insert(5);
+        // keys < 21: 5, 10, 15, 20.
+        assert_eq!(idx.rank(21), 4);
+        assert_eq!(idx.rank(0), 0);
+        assert_eq!(idx.rank(100), 5);
+    }
+
+    #[test]
+    fn range_scan_merges_both_sides_sorted() {
+        let mut idx = DeltaIndex::new(vec![10, 20, 30, 40], cfg(), 100);
+        idx.insert(25);
+        idx.insert(35);
+        assert_eq!(idx.range_keys(15, 36), vec![20, 25, 30, 35]);
+        assert_eq!(idx.range_keys(0, 100), vec![10, 20, 25, 30, 35, 40]);
+        assert_eq!(idx.range_keys(36, 36), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn append_workload_stays_consistent() {
+        // The D.1 "appends with increasing timestamps" scenario.
+        let data: Vec<u64> = (0..1000u64).collect();
+        let mut idx = DeltaIndex::new(data, cfg(), 64);
+        for k in 1000..1500u64 {
+            idx.insert(k);
+        }
+        assert_eq!(idx.len(), 1500);
+        for k in (0..1500u64).step_by(37) {
+            assert!(idx.contains(k));
+            assert_eq!(idx.rank(k), k as usize);
+        }
+    }
+
+    #[test]
+    fn forced_merge_is_idempotent() {
+        let mut idx = DeltaIndex::new(vec![1, 2, 3], cfg(), 100);
+        idx.merge();
+        assert_eq!(idx.merges(), 0); // empty buffer: no-op
+        idx.insert(10);
+        idx.merge();
+        assert_eq!(idx.merges(), 1);
+        assert_eq!(idx.pending(), 0);
+        assert!(idx.contains(10));
+    }
+}

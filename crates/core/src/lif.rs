@@ -1,0 +1,251 @@
+//! The Learning Index Framework (LIF) — index synthesis (§3.1).
+//!
+//! "The LIF can be regarded as an index synthesis system; given an index
+//! specification, LIF generates different index configurations, optimizes
+//! them, and tests them automatically." The paper tunes "the various
+//! parameters of the model (i.e., number of stages, hidden layers per
+//! model, etc.) with a simple grid-search" (§3.3).
+//!
+//! [`Lif::synthesize`] does exactly that: it builds every candidate in
+//! the grid (learned configurations *and* B-Tree page sizes, so the
+//! synthesizer can honestly pick a B-Tree when the data demands it),
+//! measures real lookup latency over a sampled workload, and returns a
+//! ranked report. Selection picks the fastest candidate whose index size
+//! fits the optional byte budget.
+
+use crate::rmi::{Rmi, RmiConfig, TopModel};
+use crate::search::SearchStrategy;
+use li_btree::{BTreeIndex, RangeIndex};
+use li_models::rng::SplitMix64;
+use li_models::FeatureMap;
+use std::time::Instant;
+
+/// What to synthesize an index for.
+#[derive(Debug, Clone)]
+pub struct LifSpec {
+    /// Candidate second-stage sizes for learned configs.
+    pub leaf_counts: Vec<usize>,
+    /// Candidate stage-0 models.
+    pub top_models: Vec<TopModel>,
+    /// Candidate search strategies.
+    pub searches: Vec<SearchStrategy>,
+    /// Candidate B-Tree page sizes (baseline candidates).
+    pub btree_pages: Vec<usize>,
+    /// Optional index-size ceiling in bytes.
+    pub size_budget: Option<usize>,
+    /// Number of sampled queries used for timing.
+    pub probe_queries: usize,
+    /// RNG seed for query sampling.
+    pub seed: u64,
+}
+
+impl Default for LifSpec {
+    fn default() -> Self {
+        Self {
+            leaf_counts: vec![256, 1024, 4096],
+            top_models: vec![
+                TopModel::Linear,
+                TopModel::Multivariate(FeatureMap::FULL),
+                TopModel::Mlp { hidden: 1, width: 16 },
+            ],
+            searches: vec![SearchStrategy::ModelBiasedBinary],
+            btree_pages: vec![64, 128, 256],
+            size_budget: None,
+            probe_queries: 10_000,
+            seed: 0x11F,
+        }
+    }
+}
+
+/// One evaluated candidate configuration.
+pub struct LifCandidate {
+    /// The built index (usable directly).
+    pub index: Box<dyn RangeIndex>,
+    /// Candidate description.
+    pub name: String,
+    /// Measured mean lookup latency (nanoseconds).
+    pub lookup_ns: f64,
+    /// Index size (bytes, excluding data).
+    pub size_bytes: usize,
+    /// Build (training) time in milliseconds.
+    pub build_ms: f64,
+}
+
+/// The synthesis report: every candidate, ranked by measured latency.
+pub struct LifReport {
+    /// All candidates, fastest first.
+    pub candidates: Vec<LifCandidate>,
+    /// Index into `candidates` of the selected one (fastest within the
+    /// size budget; falls back to smallest if none fit).
+    pub best: usize,
+}
+
+impl std::fmt::Debug for LifCandidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LifCandidate")
+            .field("name", &self.name)
+            .field("lookup_ns", &self.lookup_ns)
+            .field("size_bytes", &self.size_bytes)
+            .field("build_ms", &self.build_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LifReport {
+    /// The selected candidate.
+    pub fn best(&self) -> &LifCandidate {
+        &self.candidates[self.best]
+    }
+}
+
+/// The index synthesis entry point.
+pub struct Lif;
+
+impl Lif {
+    /// Grid-search all configurations in `spec` over `data`.
+    pub fn synthesize(data: &[u64], spec: &LifSpec) -> LifReport {
+        assert!(!data.is_empty(), "cannot synthesize an index over no data");
+        let queries = sample_queries(data, spec.probe_queries.max(1), spec.seed);
+
+        let mut candidates: Vec<LifCandidate> = Vec::new();
+        for &page in &spec.btree_pages {
+            let t0 = Instant::now();
+            let idx = BTreeIndex::new(data.to_vec(), page);
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            candidates.push(evaluate(Box::new(idx), build_ms, &queries));
+        }
+        for top in &spec.top_models {
+            for &leaves in &spec.leaf_counts {
+                for &search in &spec.searches {
+                    let cfg = RmiConfig::two_stage(top.clone(), leaves).with_search(search);
+                    let t0 = Instant::now();
+                    let idx = Rmi::build(data.to_vec(), &cfg);
+                    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    candidates.push(evaluate(Box::new(idx), build_ms, &queries));
+                }
+            }
+        }
+
+        candidates.sort_by(|a, b| a.lookup_ns.total_cmp(&b.lookup_ns));
+        let best = match spec.size_budget {
+            None => 0,
+            Some(budget) => candidates
+                .iter()
+                .position(|c| c.size_bytes <= budget)
+                .unwrap_or_else(|| {
+                    // Nothing fits: take the smallest index.
+                    candidates
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, c)| c.size_bytes)
+                        .map(|(i, _)| i)
+                        .expect("non-empty candidates")
+                }),
+        };
+        LifReport { candidates, best }
+    }
+}
+
+fn sample_queries(data: &[u64], n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| data[rng.below(data.len())]).collect()
+}
+
+fn evaluate(index: Box<dyn RangeIndex>, build_ms: f64, queries: &[u64]) -> LifCandidate {
+    // Warm up, then time the whole batch.
+    let mut acc = 0usize;
+    for &q in queries.iter().take(64) {
+        acc = acc.wrapping_add(index.lower_bound(q));
+    }
+    let t0 = Instant::now();
+    for &q in queries {
+        acc = acc.wrapping_add(index.lower_bound(q));
+    }
+    let lookup_ns = t0.elapsed().as_nanos() as f64 / queries.len() as f64;
+    std::hint::black_box(acc);
+    LifCandidate {
+        name: index.name(),
+        lookup_ns,
+        size_bytes: index.size_bytes(),
+        build_ms,
+        index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> LifSpec {
+        LifSpec {
+            leaf_counts: vec![64],
+            top_models: vec![TopModel::Linear],
+            searches: vec![SearchStrategy::ModelBiasedBinary],
+            btree_pages: vec![128],
+            size_budget: None,
+            probe_queries: 500,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn produces_all_grid_candidates() {
+        let data: Vec<u64> = (0..5000u64).map(|i| i * 3).collect();
+        let spec = LifSpec {
+            leaf_counts: vec![32, 64],
+            top_models: vec![TopModel::Linear, TopModel::Multivariate(FeatureMap::FULL)],
+            searches: vec![SearchStrategy::ModelBiasedBinary, SearchStrategy::Exponential],
+            btree_pages: vec![64, 128],
+            ..small_spec()
+        };
+        let report = Lif::synthesize(&data, &spec);
+        // 2 btrees + 2 tops × 2 leaf counts × 2 searches = 10.
+        assert_eq!(report.candidates.len(), 10);
+        // Ranked ascending by latency.
+        assert!(report
+            .candidates
+            .windows(2)
+            .all(|w| w[0].lookup_ns <= w[1].lookup_ns));
+    }
+
+    #[test]
+    fn best_candidate_answers_queries_correctly() {
+        let data: Vec<u64> = (0..3000u64).map(|i| i * 7 + 1).collect();
+        let report = Lif::synthesize(&data, &small_spec());
+        let best = report.best();
+        for &k in data.iter().step_by(97) {
+            assert_eq!(best.index.lookup(k), Some((k as usize - 1) / 7));
+        }
+    }
+
+    #[test]
+    fn size_budget_forces_smaller_index() {
+        let data: Vec<u64> = (0..20_000u64).map(|i| i * 2).collect();
+        let spec = LifSpec {
+            // A learned config way under budget and a B-Tree way over.
+            leaf_counts: vec![16],
+            btree_pages: vec![2],
+            size_budget: Some(4096),
+            ..small_spec()
+        };
+        let report = Lif::synthesize(&data, &spec);
+        assert!(report.best().size_bytes <= 4096, "{}", report.best().size_bytes);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_to_smallest() {
+        let data: Vec<u64> = (0..5000u64).collect();
+        let spec = LifSpec {
+            size_budget: Some(1),
+            ..small_spec()
+        };
+        let report = Lif::synthesize(&data, &spec);
+        let min = report
+            .candidates
+            .iter()
+            .map(|c| c.size_bytes)
+            .min()
+            .unwrap();
+        assert_eq!(report.best().size_bytes, min);
+    }
+}

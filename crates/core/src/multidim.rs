@@ -1,0 +1,241 @@
+//! Multi-dimensional learned indexes (§7 "Future Work").
+//!
+//! "Arguably the most exciting research direction for the idea of
+//! learned indexes is to extend them to multi-dimensional indexes …
+//! Ideally, this model would be able to estimate the position of all
+//! records filtered by any combination of attributes."
+//!
+//! This module implements the natural first step the follow-up
+//! literature took: linearize 2-D points onto a **Z-order (Morton)
+//! curve** and learn the CDF of the Morton codes with an RMI. Point
+//! lookups are exact; rectangle range queries decompose the query box
+//! into Morton intervals (BIGMIN-style splitting) and run one learned
+//! range scan per interval, filtering the residual false positives.
+
+use crate::rmi::{Rmi, RmiConfig};
+use li_btree::RangeIndex;
+
+/// Interleave the bits of `x` and `y` (32 bits each) into a Morton code.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Recover `(x, y)` from a Morton code.
+#[inline]
+pub fn morton_decode(z: u64) -> (u32, u32) {
+    (compact(z), compact(z >> 1))
+}
+
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+#[inline]
+fn compact(z: u64) -> u32 {
+    let mut x = z & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// A learned 2-D point index over the Z-order curve.
+#[derive(Debug)]
+pub struct ZOrderRmi {
+    rmi: Rmi,
+    /// Points in Morton order (parallel to the RMI's key array).
+    points: Vec<(u32, u32)>,
+}
+
+impl ZOrderRmi {
+    /// Build from unique 2-D points.
+    pub fn build(mut points: Vec<(u32, u32)>, config: &RmiConfig) -> Self {
+        points.sort_unstable_by_key(|&(x, y)| morton_encode(x, y));
+        points.dedup();
+        let codes: Vec<u64> = points.iter().map(|&(x, y)| morton_encode(x, y)).collect();
+        let rmi = Rmi::build(codes, config);
+        Self { rmi, points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exact point lookup.
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        self.rmi.lookup(morton_encode(x, y)).is_some()
+    }
+
+    /// All points inside the rectangle `[x0, x1] × [y0, y1]`, in Morton
+    /// order. Decomposes the box into up to `max_splits` Morton
+    /// intervals; each interval becomes one learned range scan whose
+    /// hits are filtered against the box (false positives arise where
+    /// the curve leaves the box inside an interval).
+    pub fn range_query(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> Vec<(u32, u32)> {
+        assert!(x0 <= x1 && y0 <= y1, "degenerate rectangle");
+        let mut out = Vec::new();
+        let mut stack = vec![(morton_encode(x0, y0), morton_encode(x1, y1))];
+        let mut splits = 0usize;
+        const MAX_SPLITS: usize = 64;
+
+        while let Some((z_lo, z_hi)) = stack.pop() {
+            // How many points fall in this Morton interval?
+            let lo_pos = self.rmi.lower_bound(z_lo);
+            let hi_pos = self.rmi.upper_bound(z_hi);
+            if lo_pos >= hi_pos {
+                continue;
+            }
+            // Small interval or split budget exhausted: scan + filter.
+            if hi_pos - lo_pos <= 64 || splits >= MAX_SPLITS {
+                for &(px, py) in &self.points[lo_pos..hi_pos] {
+                    if (x0..=x1).contains(&px) && (y0..=y1).contains(&py) {
+                        out.push((px, py));
+                    }
+                }
+                continue;
+            }
+            // Otherwise split the interval at the midpoint of the Morton
+            // range, clamping each half back into the query box
+            // (LITMAX/BIGMIN approximation: recompute tight corner codes
+            // for the two sub-boxes induced by the dominant split bit).
+            splits += 1;
+            let mid = z_lo + (z_hi - z_lo) / 2;
+            let (mx, my) = morton_decode(mid);
+            let cx = mx.clamp(x0, x1);
+            let cy = my.clamp(y0, y1);
+            // Two overlapping halves of the box, each with a tighter
+            // Morton envelope.
+            stack.push((morton_encode(x0, y0), morton_encode(cx, cy)));
+            stack.push((morton_encode(cx, cy), morton_encode(x1, y1)));
+        }
+
+        out.sort_unstable_by_key(|&(x, y)| morton_encode(x, y));
+        out.dedup();
+        out
+    }
+
+    /// Index size in bytes (model only, excluding points).
+    pub fn size_bytes(&self) -> usize {
+        self.rmi.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmi::TopModel;
+
+    fn grid_points(w: u32, h: u32) -> Vec<(u32, u32)> {
+        (0..w).flat_map(|x| (0..h).map(move |y| (x * 3, y * 5))).collect()
+    }
+
+    #[test]
+    fn morton_roundtrip() {
+        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (123_456, 654_321), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+            assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn morton_preserves_locality_ordering() {
+        // The defining property used by range decomposition: codes of a
+        // box's corners bound the codes of all points inside it.
+        let (x0, y0, x1, y1) = (10u32, 20u32, 50u32, 60u32);
+        let lo = morton_encode(x0, y0);
+        let hi = morton_encode(x1, y1);
+        for x in (x0..=x1).step_by(7) {
+            for y in (y0..=y1).step_by(9) {
+                let z = morton_encode(x, y);
+                assert!(z >= lo && z <= hi, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_finds_all_points() {
+        let pts = grid_points(40, 40);
+        let idx = ZOrderRmi::build(pts.clone(), &RmiConfig::two_stage(TopModel::Linear, 64));
+        assert_eq!(idx.len(), pts.len());
+        for &(x, y) in pts.iter().step_by(17) {
+            assert!(idx.contains(x, y));
+            assert!(!idx.contains(x + 1, y)); // off-grid
+        }
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = grid_points(50, 50);
+        let idx = ZOrderRmi::build(pts.clone(), &RmiConfig::two_stage(TopModel::Linear, 128));
+        for &(x0, y0, x1, y1) in &[
+            (0u32, 0u32, 30u32, 30u32),
+            (10, 10, 11, 200),
+            (147, 245, 147, 245),
+            (0, 0, 1000, 1000),
+            (33, 0, 90, 12),
+        ] {
+            let mut expect: Vec<(u32, u32)> = pts
+                .iter()
+                .copied()
+                .filter(|&(x, y)| (x0..=x1).contains(&x) && (y0..=y1).contains(&y))
+                .collect();
+            expect.sort_unstable_by_key(|&(x, y)| morton_encode(x, y));
+            let got = idx.range_query(x0, y0, x1, y1);
+            assert_eq!(got, expect, "box ({x0},{y0})-({x1},{y1})");
+        }
+    }
+
+    #[test]
+    fn range_query_on_clustered_points() {
+        let mut rng = li_models::rng::SplitMix64::new(12);
+        let pts: Vec<(u32, u32)> = (0..5000)
+            .map(|_| {
+                let cx = if rng.next_f64() < 0.5 { 1000.0 } else { 50_000.0 };
+                (
+                    (cx + rng.normal() * 300.0).abs() as u32,
+                    (cx + rng.normal() * 300.0).abs() as u32,
+                )
+            })
+            .collect();
+        let idx = ZOrderRmi::build(pts.clone(), &RmiConfig::two_stage(TopModel::Linear, 256));
+        let mut sorted_pts = pts;
+        sorted_pts.sort_unstable_by_key(|&(x, y)| morton_encode(x, y));
+        sorted_pts.dedup();
+        let (x0, y0, x1, y1) = (800, 800, 1300, 1300);
+        let mut expect: Vec<(u32, u32)> = sorted_pts
+            .iter()
+            .copied()
+            .filter(|&(x, y)| (x0..=x1).contains(&x) && (y0..=y1).contains(&y))
+            .collect();
+        expect.sort_unstable_by_key(|&(x, y)| morton_encode(x, y));
+        assert_eq!(idx.range_query(x0, y0, x1, y1), expect);
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let idx = ZOrderRmi::build(vec![], &RmiConfig::default());
+        assert!(idx.is_empty());
+        assert!(!idx.contains(1, 1));
+        assert_eq!(idx.range_query(0, 0, 10, 10), vec![]);
+
+        let idx = ZOrderRmi::build(vec![(5, 5)], &RmiConfig::default());
+        assert!(idx.contains(5, 5));
+        assert_eq!(idx.range_query(0, 0, 10, 10), vec![(5, 5)]);
+        assert_eq!(idx.range_query(6, 6, 10, 10), vec![]);
+    }
+}

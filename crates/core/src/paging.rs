@@ -1,0 +1,224 @@
+//! Paged / disk-resident data support (Appendix D.2).
+//!
+//! The core RMI assumes "one continuous block"; for data "partitioned …
+//! into larger pages that are stored in separate regions on disk" the
+//! position-is-CDF identity breaks. Appendix D.2's first remedy is what
+//! we implement here: *"Another option is to have an additional
+//! translation table in the form of <first_key, disk-position>. With the
+//! translation table the rest of the index structure remains the same …
+//! it is possible to use the predicted position with the min- and
+//! max-error to reduce the number of bytes which have to be read from a
+//! large page."*
+//!
+//! [`PagedStore`] models a file of fixed-size pages holding the sorted
+//! keys; [`PagedRmi`] = RMI over the logical key sequence + translation
+//! table mapping logical page → storage location, counting page reads so
+//! tests and benches can verify the I/O reduction the paper predicts.
+
+use crate::rmi::{Rmi, RmiConfig};
+use li_btree::RangeIndex;
+use std::cell::Cell;
+
+/// A simulated page store: fixed-size pages in arbitrary storage order.
+#[derive(Debug)]
+pub struct PagedStore {
+    /// Keys per page.
+    page_size: usize,
+    /// Pages in *storage* order (not logical order).
+    pages: Vec<Vec<u64>>,
+    /// Read counter (interior-mutable so lookups stay `&self`).
+    reads: Cell<usize>,
+}
+
+impl PagedStore {
+    /// Split sorted keys into pages and scatter them across storage in a
+    /// deterministic shuffled order (disk pages are rarely laid out
+    /// logically).
+    pub fn new(keys: &[u64], page_size: usize, seed: u64) -> Self {
+        assert!(page_size >= 2);
+        let mut pages: Vec<Vec<u64>> = keys.chunks(page_size).map(|c| c.to_vec()).collect();
+        let mut rng = li_models::rng::SplitMix64::new(seed);
+        rng.shuffle(&mut pages);
+        Self {
+            page_size,
+            pages,
+            reads: Cell::new(0),
+        }
+    }
+
+    /// Read a page by storage position (counts as one I/O).
+    pub fn read_page(&self, pos: usize) -> &[u64] {
+        self.reads.set(self.reads.get() + 1);
+        &self.pages[pos]
+    }
+
+    /// Total page reads so far.
+    pub fn reads(&self) -> usize {
+        self.reads.get()
+    }
+
+    /// Reset the read counter.
+    pub fn reset_reads(&self) {
+        self.reads.set(0);
+    }
+
+    /// Keys per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn find_logical_order(&self) -> Vec<(u64, usize)> {
+        // <first_key, disk-position> pairs, sorted by first key — the
+        // translation table of Appendix D.2.
+        let mut table: Vec<(u64, usize)> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(pos, p)| (p[0], pos))
+            .collect();
+        table.sort_unstable_by_key(|&(k, _)| k);
+        table
+    }
+}
+
+/// RMI + translation table over a paged store.
+#[derive(Debug)]
+pub struct PagedRmi<'a> {
+    store: &'a PagedStore,
+    rmi: Rmi,
+    /// `<first_key, disk-position>`, sorted by first key; index in this
+    /// table == logical page number.
+    translation: Vec<(u64, usize)>,
+}
+
+impl<'a> PagedRmi<'a> {
+    /// Build over a store: reconstructs the logical key order, trains the
+    /// RMI on it, and keeps the translation table.
+    pub fn build(store: &'a PagedStore, config: &RmiConfig) -> Self {
+        let translation = store.find_logical_order();
+        let mut logical_keys = Vec::with_capacity(store.page_count() * store.page_size());
+        for &(_, pos) in &translation {
+            // Building reads every page once (a full scan, like any
+            // index build); not counted against lookup I/O.
+            logical_keys.extend_from_slice(&store.pages[pos]);
+        }
+        let rmi = Rmi::build(logical_keys, config);
+        Self {
+            store,
+            rmi,
+            translation,
+        }
+    }
+
+    /// Look up a key: predict the logical position, translate the
+    /// containing page(s) to storage positions, read only those pages.
+    /// Returns `Some((storage_page, offset_in_page))`.
+    pub fn lookup(&self, key: u64) -> Option<(usize, usize)> {
+        let n = self.rmi.data().len();
+        if n == 0 {
+            return None;
+        }
+        let page_size = self.store.page_size();
+        // The error envelope bounds which logical pages can hold the key.
+        let p = self.rmi.predict(key);
+        let first_page = p.lo.min(n - 1) / page_size;
+        let last_page = (p.hi.saturating_sub(1)).min(n - 1) / page_size;
+        // Tighten with the translation table itself (its first_keys are
+        // exact separators — D.2's "reduce the number of bytes read").
+        let tbl = &self.translation;
+        let tbl_page = tbl.partition_point(|&(fk, _)| fk <= key).saturating_sub(1);
+        let lo_page = first_page.max(tbl_page.min(last_page));
+        for logical in lo_page..=last_page.min(tbl.len().saturating_sub(1)) {
+            let (_, storage_pos) = tbl[logical];
+            let page = self.store.read_page(storage_pos);
+            if let Ok(off) = page.binary_search(&key) {
+                return Some((storage_pos, off));
+            }
+            // Pages are sorted: if this page's last key exceeds the key,
+            // no later page can contain it.
+            if page.last().is_some_and(|&l| l > key) {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The translation table size in bytes (12 bytes per entry: u64 key
+    /// + u32 position).
+    pub fn translation_bytes(&self) -> usize {
+        self.translation.len() * 12
+    }
+
+    /// The underlying RMI's stats.
+    pub fn rmi(&self) -> &Rmi {
+        &self.rmi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmi::TopModel;
+
+    fn store_and_index(n: u64, page: usize) -> (PagedStore, Vec<u64>) {
+        let keys: Vec<u64> = (0..n).map(|i| i * 7 + 3).collect();
+        (PagedStore::new(&keys, page, 99), keys)
+    }
+
+    #[test]
+    fn finds_every_stored_key_in_scattered_pages() {
+        let (store, keys) = store_and_index(5000, 64);
+        let idx = PagedRmi::build(&store, &RmiConfig::two_stage(TopModel::Linear, 128));
+        for &k in keys.iter().step_by(37) {
+            let (page, off) = idx.lookup(k).unwrap_or_else(|| panic!("missing {k}"));
+            assert_eq!(store.pages[page][off], k);
+        }
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let (store, _) = store_and_index(2000, 32);
+        let idx = PagedRmi::build(&store, &RmiConfig::two_stage(TopModel::Linear, 64));
+        for i in 0..200u64 {
+            assert_eq!(idx.lookup(i * 7 + 4), None, "key {}", i * 7 + 4);
+        }
+        assert_eq!(idx.lookup(0), None);
+        assert_eq!(idx.lookup(u64::MAX), None);
+    }
+
+    #[test]
+    fn accurate_model_reads_about_one_page_per_lookup() {
+        // The D.2 payoff: with a near-exact model, a lookup touches ~1
+        // page instead of log(n) index pages + 1.
+        let (store, keys) = store_and_index(20_000, 128);
+        let idx = PagedRmi::build(&store, &RmiConfig::two_stage(TopModel::Linear, 512));
+        store.reset_reads();
+        let probes = 500;
+        for &k in keys.iter().step_by(keys.len() / probes) {
+            idx.lookup(k);
+        }
+        let avg_reads = store.reads() as f64 / probes as f64;
+        assert!(avg_reads < 1.6, "avg page reads {avg_reads}");
+    }
+
+    #[test]
+    fn translation_table_size_is_per_page() {
+        let (store, _) = store_and_index(10_000, 100);
+        let idx = PagedRmi::build(&store, &RmiConfig::two_stage(TopModel::Linear, 64));
+        assert_eq!(idx.translation_bytes(), store.page_count() * 12);
+    }
+
+    #[test]
+    fn works_with_partial_last_page() {
+        let (store, keys) = store_and_index(1003, 64); // 1003 % 64 != 0
+        let idx = PagedRmi::build(&store, &RmiConfig::two_stage(TopModel::Linear, 32));
+        let last = *keys.last().expect("non-empty");
+        assert!(idx.lookup(last).is_some());
+    }
+}

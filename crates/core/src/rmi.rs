@@ -1,0 +1,724 @@
+//! The Recursive Model Index (§3.2) with hybrid training (Algorithm 1).
+//!
+//! An RMI is "a hierarchy of models, where at each stage the model takes
+//! the key as an input and based on it picks another model, until the
+//! final stage predicts the position". Stage 0 is one model (linear,
+//! multivariate, or a small ReLU net); inner stages and leaves are simple
+//! linear models — §3.7.1 found "for the second stage, simple, linear
+//! models, had the best performance".
+//!
+//! Training is stage-wise, exactly Algorithm 1 of the paper:
+//!
+//! 1. train the stage-0 model on all `(key, position)` pairs;
+//! 2. route every key through the *trained* prefix of stages —
+//!    `model = ⌊M · f(x) / N⌋` — collecting per-model training subsets;
+//! 3. train each next-stage model on its subset;
+//! 4. at the last stage, record each model's min-, max- and standard
+//!    error over its keys, and (hybrid mode) replace any model whose
+//!    absolute error exceeds `threshold` with a B-Tree over its range.
+//!
+//! Lookups run the model cascade (no search between stages — "the output
+//! of Model 1.1 is directly used to pick the model in the next stage"),
+//! then do a §3.4 last-mile search inside `[pos + min_err, pos +
+//! max_err]`, with automatic window widening so non-monotonic models are
+//! still exact for every query.
+
+use crate::search::{search_with_widening, SearchStrategy};
+use li_btree::{BTreeIndex, Prediction, RangeIndex};
+use li_models::{
+    clamp_position, FeatureMap, LinearModel, Mlp, MlpConfig, Model, MultivariateLinear,
+};
+
+/// Stage-0 model family (§3.3's model zoo).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopModel {
+    /// Simple linear regression (a 0-hidden-layer NN).
+    Linear,
+    /// Multivariate linear regression over engineered features
+    /// (key, log key, key², √key) — the Figure-5 configuration.
+    Multivariate(FeatureMap),
+    /// Multivariate linear regression with automatic feature selection.
+    MultivariateAuto,
+    /// Fully-connected ReLU net with `hidden` hidden layers of `width`
+    /// neurons (§3.3: 0–2 layers, width ≤ 32).
+    Mlp {
+        /// Hidden layer count (1 or 2; use `Linear` for 0).
+        hidden: usize,
+        /// Neurons per hidden layer.
+        width: usize,
+    },
+}
+
+impl TopModel {
+    fn fit(&self, keys: &[f64]) -> TrainedTop {
+        match *self {
+            TopModel::Linear => TrainedTop::Linear(LinearModel::fit_keys(keys)),
+            TopModel::Multivariate(fm) => {
+                TrainedTop::Multivariate(Box::new(MultivariateLinear::fit_keys(fm, keys)))
+            }
+            TopModel::MultivariateAuto => {
+                let ys: Vec<f64> = (0..keys.len()).map(|i| i as f64).collect();
+                TrainedTop::Multivariate(Box::new(MultivariateLinear::fit_select(keys, &ys)))
+            }
+            TopModel::Mlp { hidden, width } => {
+                let cfg = MlpConfig::new(hidden, width);
+                TrainedTop::Mlp(Box::new(Mlp::fit_keys(&cfg, keys)))
+            }
+        }
+    }
+
+    /// Short display name, e.g. `"mlp(2x16)"`.
+    pub fn name(&self) -> String {
+        match self {
+            TopModel::Linear => "linear".into(),
+            TopModel::Multivariate(_) => "multivariate".into(),
+            TopModel::MultivariateAuto => "multivariate-auto".into(),
+            TopModel::Mlp { hidden, width } => format!("mlp({hidden}x{width})"),
+        }
+    }
+}
+
+/// A trained stage-0 model.
+#[derive(Debug, Clone)]
+enum TrainedTop {
+    Linear(LinearModel),
+    Multivariate(Box<MultivariateLinear>),
+    Mlp(Box<Mlp>),
+}
+
+impl TrainedTop {
+    #[inline]
+    fn predict(&self, x: f64) -> f64 {
+        match self {
+            TrainedTop::Linear(m) => m.predict(x),
+            TrainedTop::Multivariate(m) => m.predict(x),
+            TrainedTop::Mlp(m) => m.predict(x),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Deployment accounting: f32 weights, as LIF code-generation
+        // would emit (§3.1). Stored training form is f64.
+        (match self {
+            TrainedTop::Linear(m) => m.size_bytes(),
+            TrainedTop::Multivariate(m) => m.size_bytes(),
+            TrainedTop::Mlp(m) => m.size_bytes(),
+        }) / 2
+    }
+
+    fn op_count(&self) -> usize {
+        match self {
+            TrainedTop::Linear(m) => m.op_count(),
+            TrainedTop::Multivariate(m) => m.op_count(),
+            TrainedTop::Mlp(m) => m.op_count(),
+        }
+    }
+}
+
+/// Configuration of an [`Rmi`].
+#[derive(Debug, Clone)]
+pub struct RmiConfig {
+    /// Stage-0 model.
+    pub top: TopModel,
+    /// Models per stage after stage 0. The last entry is the leaf count
+    /// (the paper's "second stage size": 10k–200k); earlier entries are
+    /// optional intermediate linear stages.
+    pub stages: Vec<usize>,
+    /// Last-mile search strategy (§3.4).
+    pub search: SearchStrategy,
+    /// Hybrid threshold (Algorithm 1 line 13): replace a leaf with a
+    /// B-Tree when its max absolute error exceeds this. `None` disables
+    /// hybrid mode.
+    pub hybrid_threshold: Option<u32>,
+    /// Page size for hybrid B-Tree leaves.
+    pub hybrid_page_size: usize,
+}
+
+impl Default for RmiConfig {
+    fn default() -> Self {
+        Self {
+            top: TopModel::Linear,
+            stages: vec![1024],
+            search: SearchStrategy::ModelBiasedBinary,
+            hybrid_threshold: None,
+            hybrid_page_size: 128,
+        }
+    }
+}
+
+impl RmiConfig {
+    /// Two-stage RMI with `leaves` linear leaf models — the paper's
+    /// work-horse configuration.
+    pub fn two_stage(top: TopModel, leaves: usize) -> Self {
+        Self {
+            top,
+            stages: vec![leaves],
+            ..Self::default()
+        }
+    }
+
+    /// Set the search strategy.
+    pub fn with_search(mut self, s: SearchStrategy) -> Self {
+        self.search = s;
+        self
+    }
+
+    /// Enable hybrid B-Tree fallback at the given error threshold.
+    pub fn with_hybrid(mut self, threshold: u32) -> Self {
+        self.hybrid_threshold = Some(threshold);
+        self
+    }
+}
+
+/// A last-stage model (Algorithm 1's `index[M][j]`).
+#[derive(Debug, Clone)]
+pub enum LeafKind {
+    /// Simple linear regression over the leaf's keys.
+    Linear(LinearModel),
+    /// Hybrid fallback: a B-Tree over the leaf's key range, used when
+    /// the linear model's error exceeded the threshold.
+    BTree {
+        /// Global position of the first key covered by this leaf.
+        offset: usize,
+        /// B-Tree over `data[offset .. offset + len]`.
+        tree: Box<BTreeIndex>,
+    },
+}
+
+/// A trained leaf with its error envelope.
+#[derive(Debug, Clone)]
+pub struct Leaf {
+    /// The model (or B-Tree fallback).
+    pub kind: LeafKind,
+    /// Worst under-prediction: `min(position − prediction)` over the
+    /// leaf's keys.
+    pub min_err: i64,
+    /// Worst over-prediction: `max(position − prediction)`.
+    pub max_err: i64,
+    /// Standard deviation of the prediction error (drives the σ of
+    /// biased quaternary search).
+    pub std_err: f64,
+    /// Number of keys routed to this leaf at training time.
+    pub n_keys: usize,
+}
+
+impl Leaf {
+    fn empty() -> Self {
+        Self {
+            kind: LeafKind::Linear(LinearModel::constant(0.0)),
+            min_err: 0,
+            max_err: 0,
+            std_err: 0.0,
+            n_keys: 0,
+        }
+    }
+}
+
+/// Summary statistics of a trained RMI.
+#[derive(Debug, Clone)]
+pub struct RmiStats {
+    /// Leaf-model count (the "2nd stage size").
+    pub leaves: usize,
+    /// Leaves replaced by B-Trees (hybrid mode).
+    pub btree_leaves: usize,
+    /// Mean absolute prediction error over all keys.
+    pub mean_abs_err: f64,
+    /// Largest absolute prediction error over all keys.
+    pub max_abs_err: u64,
+    /// Index size in bytes (deployment accounting; excludes data).
+    pub size_bytes: usize,
+    /// Arithmetic ops for one stage-0 + leaf prediction.
+    pub op_count: usize,
+}
+
+/// Deployment bytes accounted per linear leaf: two f32 parameters, the
+/// error pair packed as two i16s, and an f32 σ — the compact form a LIF
+/// code generator emits. (10k leaves ≈ 0.16MB, matching Figure 4's
+/// "2nd stage models: 10k → 0.15MB" row.)
+const LEAF_DEPLOY_BYTES: usize = 4 + 4 + 2 + 2 + 4;
+
+/// The Recursive Model Index over a sorted `u64` array.
+#[derive(Debug, Clone)]
+pub struct Rmi {
+    data: Vec<u64>,
+    top: TrainedTop,
+    /// Intermediate linear stages (usually empty; the paper's default is
+    /// two stages total).
+    mids: Vec<Vec<LinearModel>>,
+    leaves: Vec<Leaf>,
+    search: SearchStrategy,
+    stats_cache: RmiStats,
+}
+
+impl Rmi {
+    /// Train an RMI over `data` (sorted ascending, unique) — Algorithm 1.
+    pub fn build(data: Vec<u64>, config: &RmiConfig) -> Self {
+        assert!(!config.stages.is_empty(), "need at least one stage after stage 0");
+        assert!(config.stages.iter().all(|&m| m > 0));
+        debug_assert!(data.windows(2).all(|w| w[0] < w[1]), "data must be sorted unique");
+
+        let n = data.len();
+        let keys_f64: Vec<f64> = data.iter().map(|&k| k as f64).collect();
+
+        // Stage 0 (Algorithm 1 line 6, i = 1): train on everything.
+        let top = config.top.fit(&keys_f64);
+
+        // Inner stages: route with the trained prefix, then fit linear
+        // models per member (lines 4-10).
+        let mut mids: Vec<Vec<LinearModel>> = Vec::new();
+        let inner_stage_count = config.stages.len() - 1;
+        for s in 0..inner_stage_count {
+            let m = config.stages[s];
+            let mut buckets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); m];
+            for (i, &x) in keys_f64.iter().enumerate() {
+                let pred = predict_through(&top, &mids, x, n);
+                buckets[route(pred, m, n)].push((x, i as f64));
+            }
+            let stage: Vec<LinearModel> = buckets
+                .into_iter()
+                .map(|b| LinearModel::fit(b.into_iter()))
+                .collect();
+            mids.push(stage);
+        }
+
+        // Leaf stage: fit, then compute error envelopes (lines 11-12).
+        let leaf_count = *config.stages.last().expect("non-empty stages");
+        let mut buckets: Vec<Vec<(f64, usize)>> = vec![Vec::new(); leaf_count];
+        for (i, &x) in keys_f64.iter().enumerate() {
+            let pred = predict_through(&top, &mids, x, n);
+            buckets[route(pred, leaf_count, n)].push((x, i));
+        }
+
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for bucket in &buckets {
+            if bucket.is_empty() {
+                leaves.push(Leaf::empty());
+                continue;
+            }
+            let model = LinearModel::fit(bucket.iter().map(|&(x, y)| (x, y as f64)));
+            let mut min_err = i64::MAX;
+            let mut max_err = i64::MIN;
+            let mut sum_sq = 0.0f64;
+            for &(x, y) in bucket {
+                let p = clamp_position(model.predict(x), n) as i64;
+                let e = y as i64 - p;
+                min_err = min_err.min(e);
+                max_err = max_err.max(e);
+                sum_sq += (e as f64) * (e as f64);
+            }
+            let std_err = (sum_sq / bucket.len() as f64).sqrt();
+
+            // Hybrid replacement (lines 13-14).
+            let abs_err = min_err.unsigned_abs().max(max_err.unsigned_abs());
+            let kind = match config.hybrid_threshold {
+                Some(t) if abs_err > t as u64 => {
+                    let first = bucket.iter().map(|&(_, y)| y).min().expect("non-empty");
+                    let last = bucket.iter().map(|&(_, y)| y).max().expect("non-empty");
+                    let tree = BTreeIndex::new(
+                        data[first..=last].to_vec(),
+                        config.hybrid_page_size,
+                    );
+                    LeafKind::BTree {
+                        offset: first,
+                        tree: Box::new(tree),
+                    }
+                }
+                _ => LeafKind::Linear(model),
+            };
+            leaves.push(Leaf {
+                kind,
+                min_err,
+                max_err,
+                std_err,
+                n_keys: bucket.len(),
+            });
+        }
+
+        // Empty leaves predict the boundary position of the nearest
+        // preceding non-empty leaf, so predictions stay roughly monotone
+        // across leaves and mis-routed queries widen minimally.
+        let mut boundary = 0usize;
+        for (leaf, bucket) in leaves.iter_mut().zip(&buckets) {
+            if bucket.is_empty() {
+                leaf.kind = LeafKind::Linear(LinearModel::constant(boundary as f64));
+            } else {
+                boundary = bucket.iter().map(|&(_, y)| y).max().expect("non-empty") + 1;
+            }
+        }
+
+        let mut rmi = Self {
+            data,
+            top,
+            mids,
+            leaves,
+            search: config.search,
+            stats_cache: RmiStats {
+                leaves: leaf_count,
+                btree_leaves: 0,
+                mean_abs_err: 0.0,
+                max_abs_err: 0,
+                size_bytes: 0,
+                op_count: 0,
+            },
+        };
+        rmi.stats_cache = rmi.compute_stats();
+        rmi
+    }
+
+    /// Route a key through the cascade to its leaf index.
+    #[inline]
+    fn leaf_index(&self, x: f64) -> usize {
+        let pred = predict_through(&self.top, &self.mids, x, self.data.len());
+        route(pred, self.leaves.len(), self.data.len())
+    }
+
+    /// The leaf a key routes to (for inspection/tests).
+    pub fn leaf_for(&self, key: u64) -> &Leaf {
+        &self.leaves[self.leaf_index(key as f64)]
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> &RmiStats {
+        &self.stats_cache
+    }
+
+    /// The configured search strategy.
+    pub fn search_strategy(&self) -> SearchStrategy {
+        self.search
+    }
+
+    /// Change the search strategy (no retraining required — §3.4's
+    /// strategies all consume the same stored error envelope).
+    pub fn set_search_strategy(&mut self, s: SearchStrategy) {
+        self.search = s;
+    }
+
+    fn compute_stats(&self) -> RmiStats {
+        let n = self.data.len();
+        let mut sum_abs = 0.0f64;
+        let mut max_abs = 0u64;
+        let mut btree_leaves = 0usize;
+        for leaf in &self.leaves {
+            if matches!(leaf.kind, LeafKind::BTree { .. }) {
+                btree_leaves += 1;
+            }
+            let worst = leaf.min_err.unsigned_abs().max(leaf.max_err.unsigned_abs());
+            max_abs = max_abs.max(worst);
+            sum_abs += leaf.std_err * leaf.n_keys as f64;
+        }
+        let size_bytes = self.top.size_bytes()
+            + self
+                .mids
+                .iter()
+                .map(|s| s.len() * (4 + 4))
+                .sum::<usize>()
+            + self
+                .leaves
+                .iter()
+                .map(|l| match &l.kind {
+                    LeafKind::Linear(_) => LEAF_DEPLOY_BYTES,
+                    LeafKind::BTree { tree, .. } => LEAF_DEPLOY_BYTES + tree.size_bytes(),
+                })
+                .sum::<usize>();
+        RmiStats {
+            leaves: self.leaves.len(),
+            btree_leaves,
+            mean_abs_err: if n == 0 { 0.0 } else { sum_abs / n as f64 },
+            max_abs_err: max_abs,
+            size_bytes,
+            op_count: self.top.op_count() + 2 + self.mids.len() * 4,
+        }
+    }
+}
+
+/// Run the trained model cascade down to (but excluding) the leaf stage.
+#[inline]
+fn predict_through(top: &TrainedTop, mids: &[Vec<LinearModel>], x: f64, n: usize) -> f64 {
+    let mut pred = top.predict(x);
+    for stage in mids {
+        let idx = route(pred, stage.len(), n);
+        pred = stage[idx].predict(x);
+    }
+    pred
+}
+
+/// Algorithm 1 line 9: `⌊M · f(x) / N⌋`, clamped into `[0, M)`.
+#[inline]
+fn route(pred: f64, m: usize, n: usize) -> usize {
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let scaled = pred * (m as f64) / (n as f64);
+    clamp_position(scaled, m)
+}
+
+impl RangeIndex for Rmi {
+    fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    #[inline]
+    fn predict(&self, key: u64) -> Prediction {
+        let n = self.data.len();
+        if n == 0 {
+            return Prediction { pos: 0, lo: 0, hi: 0 };
+        }
+        let x = key as f64;
+        let leaf = &self.leaves[self.leaf_index(x)];
+        match &leaf.kind {
+            LeafKind::Linear(m) => {
+                let pos = clamp_position(m.predict(x), n);
+                let lo = pos.saturating_add_signed(leaf.min_err as isize);
+                let hi = pos.saturating_add_signed(leaf.max_err as isize) + 1;
+                Prediction {
+                    pos,
+                    lo: lo.min(n),
+                    hi: hi.min(n),
+                }
+            }
+            LeafKind::BTree { offset, tree } => {
+                let pos = (offset + tree.lower_bound(key)).min(n);
+                Prediction { pos, lo: pos, hi: pos }
+            }
+        }
+    }
+
+    #[inline]
+    fn lower_bound(&self, key: u64) -> usize {
+        let n = self.data.len();
+        if n == 0 {
+            return 0;
+        }
+        let x = key as f64;
+        let leaf = &self.leaves[self.leaf_index(x)];
+        match &leaf.kind {
+            LeafKind::Linear(m) => {
+                let pos = clamp_position(m.predict(x), n);
+                let lo = pos.saturating_add_signed(leaf.min_err as isize).min(n);
+                let hi = (pos.saturating_add_signed(leaf.max_err as isize) + 1).min(n);
+                let sigma = (leaf.std_err.ceil() as usize).max(1);
+                search_with_widening(&self.data, key, self.search, pos, sigma, lo, hi)
+            }
+            LeafKind::BTree { offset, tree } => {
+                // The leaf B-Tree answers exactly for keys inside its
+                // range; boundary results are certified globally by the
+                // widening search (handles keys mis-routed to this leaf).
+                let local = offset + tree.lower_bound(key);
+                let pos = local.min(n);
+                search_with_widening(&self.data, key, self.search, pos, 1, pos, pos)
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.stats_cache.size_bytes
+    }
+
+    fn name(&self) -> String {
+        let hybrid = if self.stats_cache.btree_leaves > 0 {
+            format!(",hybrid={}", self.stats_cache.btree_leaves)
+        } else {
+            String::new()
+        };
+        format!(
+            "rmi({},leaves={}{hybrid},{})",
+            match &self.top {
+                TrainedTop::Linear(_) => "linear".to_string(),
+                TrainedTop::Multivariate(_) => "multivariate".to_string(),
+                TrainedTop::Mlp(m) => format!("mlp({}h)", m.hidden_layers()),
+            },
+            self.leaves.len(),
+            self.search.name(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(data: &[u64], key: u64) -> usize {
+        data.partition_point(|&k| k < key)
+    }
+
+    fn check_exact(data: Vec<u64>, cfg: &RmiConfig) {
+        let rmi = Rmi::build(data.clone(), cfg);
+        let mut queries: Vec<u64> = vec![0, 1, u64::MAX];
+        for &k in data.iter().step_by(3) {
+            queries.extend_from_slice(&[k.saturating_sub(1), k, k.saturating_add(1)]);
+        }
+        for q in queries {
+            assert_eq!(rmi.lower_bound(q), oracle(&data, q), "{} q={q}", rmi.name());
+        }
+    }
+
+    fn linear_data(n: u64) -> Vec<u64> {
+        (0..n).map(|i| 1_000_000 + i).collect()
+    }
+
+    fn quadratic_data(n: u64) -> Vec<u64> {
+        (0..n).map(|i| i * i + 7).collect()
+    }
+
+    #[test]
+    fn exact_on_linear_data_all_strategies() {
+        for s in SearchStrategy::ALL {
+            check_exact(
+                linear_data(2000),
+                &RmiConfig::two_stage(TopModel::Linear, 64).with_search(s),
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_quadratic_data() {
+        check_exact(
+            quadratic_data(3000),
+            &RmiConfig::two_stage(TopModel::Linear, 128),
+        );
+    }
+
+    #[test]
+    fn exact_with_multivariate_top() {
+        check_exact(
+            quadratic_data(2000),
+            &RmiConfig::two_stage(TopModel::Multivariate(FeatureMap::FULL), 64),
+        );
+    }
+
+    #[test]
+    fn exact_with_mlp_top() {
+        check_exact(
+            quadratic_data(1500),
+            &RmiConfig::two_stage(TopModel::Mlp { hidden: 1, width: 8 }, 32),
+        );
+    }
+
+    #[test]
+    fn exact_with_three_stages() {
+        let cfg = RmiConfig {
+            top: TopModel::Linear,
+            stages: vec![16, 256],
+            ..Default::default()
+        };
+        check_exact(quadratic_data(2500), &cfg);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        check_exact(vec![], &RmiConfig::default());
+        check_exact(vec![5], &RmiConfig::default());
+        check_exact(vec![5, 9], &RmiConfig::two_stage(TopModel::Linear, 4));
+    }
+
+    #[test]
+    fn linear_data_has_near_zero_error() {
+        // §2's promise: a linear pattern is learned perfectly.
+        let rmi = Rmi::build(linear_data(10_000), &RmiConfig::two_stage(TopModel::Linear, 16));
+        assert!(rmi.stats().max_abs_err <= 1, "max err {}", rmi.stats().max_abs_err);
+    }
+
+    #[test]
+    fn more_leaves_shrink_error() {
+        let data = quadratic_data(20_000);
+        let small = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, 16));
+        let large = Rmi::build(data, &RmiConfig::two_stage(TopModel::Linear, 1024));
+        assert!(
+            large.stats().mean_abs_err < small.stats().mean_abs_err / 2.0,
+            "large {} small {}",
+            large.stats().mean_abs_err,
+            small.stats().mean_abs_err
+        );
+    }
+
+    #[test]
+    fn hybrid_replaces_bad_leaves_with_btrees() {
+        // A step-heavy distribution defeats per-leaf linear models at a
+        // coarse leaf count, triggering hybrid replacement.
+        let mut data: Vec<u64> = Vec::new();
+        let mut v = 0u64;
+        for i in 0..5000u64 {
+            v += if (i / 100) % 2 == 0 { 1 } else { 10_000 };
+            data.push(v);
+        }
+        let cfg = RmiConfig::two_stage(TopModel::Linear, 8).with_hybrid(10);
+        let rmi = Rmi::build(data.clone(), &cfg);
+        assert!(rmi.stats().btree_leaves > 0, "expected hybrid leaves");
+        // Still exact everywhere.
+        for &k in data.iter().step_by(7) {
+            assert_eq!(rmi.lower_bound(k), oracle(&data, k));
+        }
+        for q in (0..60_000u64).step_by(101) {
+            assert_eq!(rmi.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn hybrid_threshold_zero_degenerates_to_all_btrees() {
+        // §3.3: "in the case of an extremely difficult to learn data
+        // distribution, all models would be automatically replaced by
+        // B-Trees, making it virtually an entire B-Tree."
+        let data = quadratic_data(2000);
+        let cfg = RmiConfig::two_stage(TopModel::Linear, 4).with_hybrid(0);
+        let rmi = Rmi::build(data.clone(), &cfg);
+        let nonempty = rmi.leaves.iter().filter(|l| l.n_keys > 0).count();
+        assert_eq!(rmi.stats().btree_leaves, nonempty);
+        check_exact(data, &cfg);
+    }
+
+    #[test]
+    fn error_envelope_contains_all_stored_keys() {
+        let data = quadratic_data(5000);
+        let rmi = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, 64));
+        for (i, &k) in data.iter().enumerate() {
+            let p = rmi.predict(k);
+            assert!(
+                (p.lo..p.hi.max(p.lo + 1)).contains(&i),
+                "key {k} at {i} outside window {}..{}",
+                p.lo,
+                p.hi
+            );
+        }
+    }
+
+    #[test]
+    fn size_accounting_matches_paper_scale() {
+        // Figure 4: 10k second-stage models ≈ 0.15MB.
+        let data = linear_data(50_000);
+        let rmi = Rmi::build(data, &RmiConfig::two_stage(TopModel::Linear, 10_000));
+        let mb = rmi.size_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((0.1..0.25).contains(&mb), "size {mb} MB");
+    }
+
+    #[test]
+    fn stats_and_name_are_consistent() {
+        let rmi = Rmi::build(
+            linear_data(1000),
+            &RmiConfig::two_stage(TopModel::Linear, 32),
+        );
+        assert_eq!(rmi.stats().leaves, 32);
+        assert!(rmi.name().contains("leaves=32"));
+        assert_eq!(rmi.search_strategy(), SearchStrategy::ModelBiasedBinary);
+    }
+
+    #[test]
+    fn set_search_strategy_keeps_results_identical() {
+        let data = quadratic_data(3000);
+        let mut rmi = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, 64));
+        let base: Vec<usize> = data.iter().map(|&k| rmi.lower_bound(k)).collect();
+        for s in SearchStrategy::ALL {
+            rmi.set_search_strategy(s);
+            for (&k, &expect) in data.iter().zip(&base) {
+                assert_eq!(rmi.lower_bound(k), expect, "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_for_reports_routing() {
+        let data = linear_data(1000);
+        let rmi = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, 8));
+        let leaf = rmi.leaf_for(data[0]);
+        assert!(leaf.n_keys > 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Learned indexes over string keys (§3.5).
+//!
+//! Tokenization follows the paper exactly: *"we consider an n-length
+//! string to be a feature vector x ∈ ℝⁿ where xᵢ is the ASCII decimal
+//! value … we will set a maximum input length N. Because the data is
+//! sorted lexicographically, we will truncate the keys to length N before
+//! tokenization. For strings with length n < N, we set xᵢ = 0 for
+//! i > n."*
+//!
+//! The index is a two-stage RMI whose models take the vector as input:
+//! the top model is either a multivariate linear regression (`w·x + b`)
+//! or a 1–2-hidden-layer [`VecMlp`]; the leaves are vector-linear models
+//! (§3.7.2 uses "10,000 models on the 2nd stage"). Hybrid mode replaces
+//! high-error leaves with plain binary search over their key range —
+//! the B-Tree-page equivalent for strings (t = 128 / 64 in Figure 6).
+
+use crate::search::SearchStrategy;
+use li_models::vecmlp::VecMlp;
+use li_models::{clamp_position, mlp::MlpConfig, MultivariateLinear};
+
+/// Tokenize a string to a fixed-length `N` feature vector of ASCII/byte
+/// values, zero-padded (§3.5).
+pub fn tokenize(s: &str, n: usize) -> Vec<f64> {
+    let bytes = s.as_bytes();
+    (0..n)
+        .map(|i| bytes.get(i).map_or(0.0, |&b| b as f64))
+        .collect()
+}
+
+/// Stage-0 model for string keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringTopModel {
+    /// Multivariate linear regression over the token vector.
+    Linear,
+    /// ReLU net with `hidden` layers of `width` neurons over the vector.
+    Mlp {
+        /// Hidden layer count (1 or 2).
+        hidden: usize,
+        /// Neurons per hidden layer.
+        width: usize,
+    },
+}
+
+/// Configuration for [`StringRmi`].
+#[derive(Debug, Clone)]
+pub struct StringRmiConfig {
+    /// Maximum tokenized length `N`.
+    pub max_len: usize,
+    /// Stage-0 model.
+    pub top: StringTopModel,
+    /// Leaf-model count (paper: 10k).
+    pub leaves: usize,
+    /// Last-mile search strategy.
+    pub search: SearchStrategy,
+    /// Hybrid threshold: leaves with worse max-abs-error fall back to
+    /// binary search over their range (`None` disables).
+    pub hybrid_threshold: Option<u32>,
+}
+
+impl Default for StringRmiConfig {
+    fn default() -> Self {
+        Self {
+            max_len: 16,
+            top: StringTopModel::Linear,
+            leaves: 1024,
+            search: SearchStrategy::ModelBiasedBinary,
+            hybrid_threshold: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum StringTop {
+    Linear(MultivariateLinear),
+    Mlp(Box<VecMlp>),
+}
+
+impl StringTop {
+    fn predict(&self, v: &[f64]) -> f64 {
+        match self {
+            StringTop::Linear(m) => m.predict_vector(v),
+            StringTop::Mlp(m) => m.predict_vector(v),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            StringTop::Linear(m) => li_models::Model::size_bytes(m) / 2,
+            StringTop::Mlp(m) => m.size_bytes() / 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum StringLeaf {
+    /// Vector-linear model + error envelope.
+    Linear {
+        model: MultivariateLinear,
+        min_err: i64,
+        max_err: i64,
+        std_err: f64,
+    },
+    /// Hybrid fallback: binary search over `[lo, hi)` (a B-Tree page).
+    Search { lo: usize, hi: usize },
+}
+
+/// A learned range index over lexicographically sorted strings.
+#[derive(Debug, Clone)]
+pub struct StringRmi {
+    data: Vec<String>,
+    vectors: Vec<Vec<f64>>,
+    top: StringTop,
+    leaves: Vec<StringLeaf>,
+    max_len: usize,
+    search: SearchStrategy,
+    hybrid_count: usize,
+}
+
+impl StringRmi {
+    /// Train over `data` (sorted lexicographically, unique).
+    pub fn build(data: Vec<String>, config: &StringRmiConfig) -> Self {
+        debug_assert!(data.windows(2).all(|w| w[0] < w[1]), "data must be sorted unique");
+        let n = data.len();
+        let vectors: Vec<Vec<f64>> = data.iter().map(|s| tokenize(s, config.max_len)).collect();
+        let ys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+
+        let top = match config.top {
+            StringTopModel::Linear => {
+                StringTop::Linear(MultivariateLinear::fit_vectors(&vectors, &ys))
+            }
+            StringTopModel::Mlp { hidden, width } => {
+                let cfg = MlpConfig::new(hidden, width);
+                StringTop::Mlp(Box::new(VecMlp::fit(&cfg, &vectors, &ys)))
+            }
+        };
+
+        // Route into leaf buckets (Algorithm 1).
+        let m = config.leaves.max(1);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (i, v) in vectors.iter().enumerate() {
+            let pred = top.predict(v);
+            buckets[route(pred, m, n)].push(i);
+        }
+
+        let mut leaves = Vec::with_capacity(m);
+        let mut hybrid_count = 0usize;
+        let mut boundary = 0usize;
+        for bucket in &buckets {
+            if bucket.is_empty() {
+                leaves.push(StringLeaf::Linear {
+                    model: MultivariateLinear::fit_vectors(&[], &[]),
+                    min_err: boundary as i64,
+                    max_err: boundary as i64,
+                    std_err: 0.0,
+                });
+                continue;
+            }
+            let vecs: Vec<Vec<f64>> = bucket.iter().map(|&i| vectors[i].clone()).collect();
+            let ys: Vec<f64> = bucket.iter().map(|&i| i as f64).collect();
+            let model = MultivariateLinear::fit_vectors(&vecs, &ys);
+            let mut min_err = i64::MAX;
+            let mut max_err = i64::MIN;
+            let mut sum_sq = 0.0;
+            for (v, &y) in vecs.iter().zip(&ys) {
+                let p = clamp_position(model.predict_vector(v), n) as i64;
+                let e = y as i64 - p;
+                min_err = min_err.min(e);
+                max_err = max_err.max(e);
+                sum_sq += (e as f64) * (e as f64);
+            }
+            let abs = min_err.unsigned_abs().max(max_err.unsigned_abs());
+            let leaf = match config.hybrid_threshold {
+                Some(t) if abs > t as u64 => {
+                    hybrid_count += 1;
+                    let lo = *bucket.first().expect("non-empty");
+                    let hi = *bucket.last().expect("non-empty") + 1;
+                    StringLeaf::Search { lo, hi }
+                }
+                _ => StringLeaf::Linear {
+                    model,
+                    min_err,
+                    max_err,
+                    std_err: (sum_sq / bucket.len() as f64).sqrt(),
+                },
+            };
+            boundary = bucket.last().expect("non-empty") + 1;
+            leaves.push(leaf);
+        }
+
+        Self {
+            data,
+            vectors,
+            top,
+            leaves,
+            max_len: config.max_len,
+            search: config.search,
+            hybrid_count,
+        }
+    }
+
+    /// The sorted string keys.
+    pub fn data(&self) -> &[String] {
+        &self.data
+    }
+
+    /// Number of leaves replaced by binary-search pages (hybrid mode).
+    pub fn hybrid_leaves(&self) -> usize {
+        self.hybrid_count
+    }
+
+    /// Index size in bytes (deployment accounting; excludes the strings).
+    pub fn size_bytes(&self) -> usize {
+        // Vector-linear leaf: max_len f32 weights + bias + err envelope.
+        let leaf_bytes = self.max_len * 4 + 4 + 8;
+        self.top.size_bytes() + self.leaves.len() * leaf_bytes
+    }
+
+    /// Position estimate plus error window for a query (the "model
+    /// execution" phase, timed separately in Figure 6).
+    pub fn predict(&self, key: &str) -> (usize, usize, usize) {
+        let (pos, lo, hi, _) = self.predict_full(key);
+        (pos, lo, hi)
+    }
+
+    /// Prediction plus the leaf's error σ (drives quaternary search).
+    fn predict_full(&self, key: &str) -> (usize, usize, usize, usize) {
+        let n = self.data.len();
+        if n == 0 {
+            return (0, 0, 0, 1);
+        }
+        let v = tokenize(key, self.max_len);
+        let pred = self.top.predict(&v);
+        let leaf = &self.leaves[route(pred, self.leaves.len(), n)];
+        match leaf {
+            StringLeaf::Linear {
+                model,
+                min_err,
+                max_err,
+                std_err,
+            } => {
+                let pos = clamp_position(model.predict_vector(&v), n);
+                let lo = pos.saturating_add_signed(*min_err as isize).min(n);
+                let hi = (pos.saturating_add_signed(*max_err as isize) + 1).min(n);
+                (pos, lo, hi, (std_err.ceil() as usize).max(1))
+            }
+            StringLeaf::Search { lo, hi } => (*lo, *lo, *hi, 1),
+        }
+    }
+
+    /// Position of the first key `>= key`.
+    pub fn lower_bound(&self, key: &str) -> usize {
+        let n = self.data.len();
+        if n == 0 {
+            return 0;
+        }
+        let (pos, lo, hi, sigma) = self.predict_full(key);
+        // Same boundary-certified widening as the integer RMI, but with
+        // string comparisons.
+        let mut lo = lo.min(n);
+        let mut hi = hi.min(n);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        // §3.4 biased probes: narrow the window around the prediction
+        // before the exact search.
+        match self.search {
+            SearchStrategy::BiasedQuaternary => {
+                // Three probes at pos−σ, pos, pos+σ (conceptually
+                // prefetched together).
+                if lo < hi {
+                    let p1 = pos.saturating_sub(sigma).clamp(lo, hi - 1);
+                    let p2 = pos.clamp(lo, hi - 1);
+                    let p3 = (pos + sigma).clamp(lo, hi - 1);
+                    if self.data[p1].as_str() >= key {
+                        hi = p1;
+                    } else if self.data[p2].as_str() >= key {
+                        lo = p1 + 1;
+                        hi = p2;
+                    } else if self.data[p3].as_str() >= key {
+                        lo = p2 + 1;
+                        hi = p3;
+                    } else {
+                        lo = p3 + 1;
+                    }
+                }
+            }
+            _ => {
+                // Model-biased first probe: split at the prediction.
+                if lo < hi {
+                    let mid = pos.clamp(lo, hi - 1);
+                    if self.data[mid].as_str() < key {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+        }
+        loop {
+            let r = lo + self.data[lo..hi].partition_point(|s| s.as_str() < key);
+            let left_ok = r > lo || lo == 0 || self.data[lo - 1].as_str() < key;
+            let right_ok = r < hi || hi == n || self.data[hi].as_str() >= key;
+            if left_ok && right_ok {
+                return r;
+            }
+            let width = (hi - lo).max(8);
+            lo = if left_ok { lo } else { lo.saturating_sub(width) };
+            hi = if right_ok { hi } else { (hi + width).min(n) };
+        }
+    }
+
+    /// Position of `key` if present.
+    pub fn lookup(&self, key: &str) -> Option<usize> {
+        let r = self.lower_bound(key);
+        (r < self.data.len() && self.data[r] == key).then_some(r)
+    }
+
+    /// Mean absolute prediction error over stored keys (diagnostics).
+    pub fn mean_abs_err(&self) -> f64 {
+        let n = self.data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (i, v) in self.vectors.iter().enumerate() {
+            let pred = self.top.predict(v);
+            let leaf = &self.leaves[route(pred, self.leaves.len(), n)];
+            let p = match leaf {
+                StringLeaf::Linear { model, .. } => clamp_position(model.predict_vector(v), n),
+                StringLeaf::Search { lo, .. } => *lo,
+            };
+            sum += (p as f64 - i as f64).abs();
+        }
+        sum / n as f64
+    }
+}
+
+#[inline]
+fn route(pred: f64, m: usize, n: usize) -> usize {
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    clamp_position(pred * (m as f64) / (n as f64), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Vec<String> {
+        let mut v: Vec<String> = (0..n).map(|i| format!("doc-{:08}", i * 7)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn oracle(data: &[String], key: &str) -> usize {
+        data.partition_point(|s| s.as_str() < key)
+    }
+
+    #[test]
+    fn tokenize_pads_and_truncates() {
+        assert_eq!(tokenize("ab", 4), vec![97.0, 98.0, 0.0, 0.0]);
+        assert_eq!(tokenize("abcdef", 3), vec![97.0, 98.0, 99.0]);
+        assert_eq!(tokenize("", 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn exact_on_structured_doc_ids() {
+        let data = dataset(3000);
+        let rmi = StringRmi::build(data.clone(), &StringRmiConfig::default());
+        for s in data.iter().step_by(7) {
+            assert_eq!(rmi.lookup(s), Some(oracle(&data, s)));
+        }
+        // Missing keys.
+        for i in 0..200usize {
+            let q = format!("doc-{:08}", i * 7 + 3);
+            assert_eq!(rmi.lower_bound(&q), oracle(&data, &q), "q={q}");
+        }
+        // Out-of-range probes.
+        assert_eq!(rmi.lower_bound(""), 0);
+        assert_eq!(rmi.lower_bound("zzzz"), data.len());
+    }
+
+    #[test]
+    fn exact_with_mlp_top() {
+        let data = dataset(1200);
+        let cfg = StringRmiConfig {
+            top: StringTopModel::Mlp { hidden: 1, width: 8 },
+            leaves: 64,
+            ..Default::default()
+        };
+        let rmi = StringRmi::build(data.clone(), &cfg);
+        for s in data.iter().step_by(11) {
+            assert_eq!(rmi.lookup(s), Some(oracle(&data, s)));
+        }
+    }
+
+    #[test]
+    fn hybrid_mode_kicks_in_and_stays_exact() {
+        // Random-ish strings give the linear leaves large errors at a
+        // tiny leaf count.
+        let mut data: Vec<String> = (0..2000u64)
+            .map(|i| format!("{:016x}", i.wrapping_mul(0x9E3779B97F4A7C15)))
+            .collect();
+        data.sort_unstable();
+        data.dedup();
+        let cfg = StringRmiConfig {
+            leaves: 8,
+            hybrid_threshold: Some(4),
+            ..Default::default()
+        };
+        let rmi = StringRmi::build(data.clone(), &cfg);
+        assert!(rmi.hybrid_leaves() > 0);
+        for s in data.iter().step_by(13) {
+            assert_eq!(rmi.lookup(s), Some(oracle(&data, s)));
+        }
+    }
+
+    #[test]
+    fn quaternary_search_matches_binary_for_strings() {
+        let data = li_data::strings::doc_ids(3000, 5);
+        let mk = |search| {
+            StringRmi::build(
+                data.clone(),
+                &StringRmiConfig {
+                    leaves: 128,
+                    search,
+                    ..Default::default()
+                },
+            )
+        };
+        let qs = mk(SearchStrategy::BiasedQuaternary);
+        let bs = mk(SearchStrategy::ModelBiasedBinary);
+        for s in data.iter().step_by(7) {
+            assert_eq!(qs.lower_bound(s), bs.lower_bound(s));
+        }
+        let mut gen = li_data::strings::UrlGenerator::new(2);
+        for _ in 0..100 {
+            let q = gen.benign_url();
+            assert_eq!(qs.lower_bound(&q), bs.lower_bound(&q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let rmi = StringRmi::build(vec![], &StringRmiConfig::default());
+        assert_eq!(rmi.lower_bound("x"), 0);
+        let rmi = StringRmi::build(vec!["m".into()], &StringRmiConfig::default());
+        assert_eq!(rmi.lower_bound("a"), 0);
+        assert_eq!(rmi.lower_bound("m"), 0);
+        assert_eq!(rmi.lower_bound("z"), 1);
+    }
+
+    #[test]
+    fn size_scales_with_leaves() {
+        let data = dataset(2000);
+        let small = StringRmi::build(
+            data.clone(),
+            &StringRmiConfig {
+                leaves: 64,
+                ..Default::default()
+            },
+        );
+        let large = StringRmi::build(
+            data,
+            &StringRmiConfig {
+                leaves: 1024,
+                ..Default::default()
+            },
+        );
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn more_leaves_reduce_error() {
+        // Skewed shard prefixes + base-32 payloads: tokenization is not
+        // globally linear, so leaf refinement must cut error (unlike the
+        // perfectly-linear zero-padded decimal IDs used elsewhere).
+        let data = li_data::strings::doc_ids(5000, 1);
+        let coarse = StringRmi::build(
+            data.clone(),
+            &StringRmiConfig {
+                leaves: 4,
+                ..Default::default()
+            },
+        );
+        let fine = StringRmi::build(
+            data,
+            &StringRmiConfig {
+                leaves: 512,
+                ..Default::default()
+            },
+        );
+        assert!(
+            fine.mean_abs_err() < coarse.mean_abs_err() * 0.5,
+            "fine {} coarse {}",
+            fine.mean_abs_err(),
+            coarse.mean_abs_err()
+        );
+    }
+
+    #[test]
+    fn exact_on_real_doc_id_generator() {
+        let data = li_data::strings::doc_ids(3000, 2);
+        let cfg = StringRmiConfig {
+            leaves: 256,
+            ..Default::default()
+        };
+        let rmi = StringRmi::build(data.clone(), &cfg);
+        for s in data.iter().step_by(17) {
+            assert_eq!(rmi.lookup(s), Some(oracle(&data, s)));
+        }
+        // Probes that are not stored keys.
+        let mut gen = li_data::strings::UrlGenerator::new(1);
+        for _ in 0..100 {
+            let q = gen.benign_url();
+            assert_eq!(rmi.lower_bound(&q), oracle(&data, &q), "q={q}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Sorted, deduplicated key sets and query-workload sampling.
+
+use li_models::rng::SplitMix64;
+
+/// A sorted array of unique `u64` keys — the "in-memory dense array
+/// sorted by key" that §2 of the paper assumes — plus workload helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySet {
+    keys: Vec<u64>,
+}
+
+impl KeySet {
+    /// Build from arbitrary keys: sorts and deduplicates.
+    pub fn from_unsorted(mut keys: Vec<u64>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        Self { keys }
+    }
+
+    /// Build from keys already sorted strictly ascending.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the invariant is violated.
+    pub fn from_sorted(keys: Vec<u64>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        Self { keys }
+    }
+
+    /// The sorted unique keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Keys converted to `f64` (model training input). Conversion is
+    /// lossy above 2⁵³; all generators in this crate stay below that.
+    pub fn keys_f64(&self) -> Vec<f64> {
+        self.keys.iter().map(|&k| k as f64).collect()
+    }
+
+    /// Position of the first key `>= q` (the `lower_bound` oracle that
+    /// every range index in the workspace must agree with).
+    pub fn lower_bound(&self, q: u64) -> usize {
+        self.keys.partition_point(|&k| k < q)
+    }
+
+    /// Position of the first key `> q`.
+    pub fn upper_bound(&self, q: u64) -> usize {
+        self.keys.partition_point(|&k| k <= q)
+    }
+
+    /// Sample `n` existing keys uniformly (with replacement) — the
+    /// paper's lookup workload ("look-up time for a randomly selected
+    /// key", §2.3).
+    pub fn sample_existing(&self, n: usize, seed: u64) -> Vec<u64> {
+        assert!(!self.keys.is_empty());
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| self.keys[rng.below(self.keys.len())]).collect()
+    }
+
+    /// Sample `n` keys *not* in the set, drawn uniformly from the key
+    /// domain (used for non-existing-key lookups and Bloom negatives).
+    pub fn sample_missing(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        let lo = self.keys.first().copied().unwrap_or(0);
+        let hi = self.keys.last().copied().unwrap_or(u64::MAX);
+        let span = hi.saturating_sub(lo).max(1);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let q = lo.wrapping_add(rng.next_u64() % span);
+            if self.keys.binary_search(&q).is_err() {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Take an evenly strided subsample of `m` keys (used to train on
+    /// huge sets without a full pass).
+    pub fn stride_sample(&self, m: usize) -> Vec<u64> {
+        if m == 0 || self.keys.is_empty() {
+            return Vec::new();
+        }
+        let stride = (self.keys.len() / m).max(1);
+        self.keys.iter().step_by(stride).copied().collect()
+    }
+}
+
+/// Generate `n` unique sorted keys uniform over `[0, max)`.
+pub fn uniform_keys(n: usize, max: u64, seed: u64) -> KeySet {
+    let mut rng = SplitMix64::new(seed);
+    let mut keys = Vec::with_capacity(n + n / 8);
+    while keys.len() < n {
+        let need = n - keys.len();
+        for _ in 0..need + need / 8 + 8 {
+            keys.push(rng.next_u64() % max);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(n);
+    KeySet::from_sorted(keys)
+}
+
+/// Generate `n` sequential keys `start, start+step, …` (the paper's §2
+/// "keys 1 to 100M" best case).
+pub fn sequential_keys(n: usize, start: u64, step: u64) -> KeySet {
+    assert!(step > 0);
+    KeySet::from_sorted((0..n as u64).map(|i| start + i * step).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let ks = KeySet::from_unsorted(vec![5, 1, 5, 3, 1]);
+        assert_eq!(ks.keys(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn bounds_match_std_partition_point() {
+        let ks = KeySet::from_sorted(vec![10, 20, 30]);
+        assert_eq!(ks.lower_bound(5), 0);
+        assert_eq!(ks.lower_bound(10), 0);
+        assert_eq!(ks.lower_bound(11), 1);
+        assert_eq!(ks.lower_bound(35), 3);
+        assert_eq!(ks.upper_bound(10), 1);
+        assert_eq!(ks.upper_bound(9), 0);
+        assert_eq!(ks.upper_bound(30), 3);
+    }
+
+    #[test]
+    fn sample_existing_only_returns_members() {
+        let ks = uniform_keys(500, 1 << 32, 3);
+        for q in ks.sample_existing(200, 9) {
+            assert!(ks.keys().binary_search(&q).is_ok());
+        }
+    }
+
+    #[test]
+    fn sample_missing_never_returns_members() {
+        let ks = uniform_keys(500, 1 << 20, 3);
+        for q in ks.sample_missing(200, 9) {
+            assert!(ks.keys().binary_search(&q).is_err());
+        }
+    }
+
+    #[test]
+    fn uniform_keys_are_unique_and_bounded() {
+        let ks = uniform_keys(10_000, 1 << 24, 1);
+        assert_eq!(ks.len(), 10_000);
+        assert!(ks.keys().windows(2).all(|w| w[0] < w[1]));
+        assert!(*ks.keys().last().unwrap() < (1 << 24));
+    }
+
+    #[test]
+    fn sequential_keys_are_affine() {
+        let ks = sequential_keys(100, 1_000_000, 7);
+        assert_eq!(ks.keys()[0], 1_000_000);
+        assert_eq!(ks.keys()[99], 1_000_000 + 99 * 7);
+    }
+
+    #[test]
+    fn stride_sample_is_sorted_subset() {
+        let ks = sequential_keys(1000, 0, 1);
+        let s = ks.stride_sample(100);
+        assert!(s.len() >= 100);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

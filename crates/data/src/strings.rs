@@ -1,0 +1,280 @@
+//! String datasets: document IDs (§3.7.2) and URLs (§5.2).
+//!
+//! * [`doc_ids`] stands in for "10M non-continuous document-ids of a
+//!   large web index used as part of a real product at Google": we emit
+//!   structured base-32 IDs with a skewed shard prefix, so the sorted
+//!   order has learnable coarse structure but noisy fine structure —
+//!   the regime where the paper finds string models expensive relative
+//!   to their accuracy.
+//! * [`UrlGenerator`] stands in for the Google-transparency-report
+//!   phishing blacklist plus its negative set ("a mixture of random
+//!   (valid) URLs and whitelisted URLs that could be mistaken for
+//!   phishing pages"). Phishing URLs carry distinctive signals (IP
+//!   hosts, deceptive subdomain stuffing, typosquatted brands, urgency
+//!   tokens) that a character model can learn, which is precisely what
+//!   the learned Bloom filter exploits.
+
+use li_models::rng::SplitMix64;
+
+const BASE32: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Generate `n` unique document-id strings, sorted lexicographically.
+///
+/// Shape: `d<shard>-<payload>` where the 2-char shard prefix is Zipf-ish
+/// skewed (some shards hold far more documents) and the payload is 12
+/// base-32 chars.
+pub fn doc_ids(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out: Vec<String> = Vec::with_capacity(n + n / 8);
+    while out.len() < n {
+        let missing = n - out.len();
+        for _ in 0..missing + missing / 8 + 8 {
+            // Zipf-skewed shard in [0, 32): shard k with weight ~ 1/(k+1).
+            let shard = {
+                let u = rng.next_f64();
+                // Inverse of the harmonic CDF, done by linear scan (32 buckets).
+                let h32: f64 = (1..=32).map(|k| 1.0 / k as f64).sum();
+                let mut acc = 0.0;
+                let mut chosen = 31;
+                for k in 0..32 {
+                    acc += 1.0 / (k + 1) as f64 / h32;
+                    if u < acc {
+                        chosen = k;
+                        break;
+                    }
+                }
+                chosen
+            };
+            let mut s = String::with_capacity(16);
+            s.push('d');
+            s.push(BASE32[shard] as char);
+            s.push('-');
+            for _ in 0..12 {
+                s.push(BASE32[(rng.next_u64() % 32) as usize] as char);
+            }
+            out.push(s);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+    out.truncate(n);
+    out
+}
+
+/// Generates phishing-style (key) and benign (non-key) URLs.
+#[derive(Debug, Clone)]
+pub struct UrlGenerator {
+    rng: SplitMix64,
+}
+
+const BRANDS: &[&str] = &[
+    "paypal", "amazon", "google", "apple", "microsoft", "netflix", "chase", "wellsfargo",
+    "dropbox", "facebook", "instagram", "linkedin",
+];
+const BENIGN_WORDS: &[&str] = &[
+    "news", "blog", "shop", "garden", "recipe", "travel", "music", "photo", "forum", "wiki",
+    "sport", "health", "cloud", "home", "book", "movie", "game", "art", "code", "data",
+];
+const URGENCY: &[&str] = &[
+    "verify", "secure", "account", "login", "update", "confirm", "alert", "suspend", "billing",
+    "signin",
+];
+const TLDS_BENIGN: &[&str] = &["com", "org", "net", "edu", "io", "gov"];
+const TLDS_SHADY: &[&str] = &["tk", "ml", "ga", "xyz", "top", "click", "info"];
+
+impl UrlGenerator {
+    /// New generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    fn pick<'a>(&mut self, list: &'a [&'a str]) -> &'a str {
+        list[self.rng.below(list.len())]
+    }
+
+    fn rand_token(&mut self, len: usize) -> String {
+        (0..len)
+            .map(|_| BASE32[(self.rng.next_u64() % 32) as usize] as char)
+            .collect()
+    }
+
+    /// One phishing-style URL (a *key* of the blacklist).
+    pub fn phishing_url(&mut self) -> String {
+        match self.rng.below(4) {
+            // Raw-IP host with urgency path.
+            0 => format!(
+                "http://{}.{}.{}.{}/{}/{}{}",
+                self.rng.below(256),
+                self.rng.below(256),
+                self.rng.below(256),
+                self.rng.below(256),
+                self.pick(URGENCY),
+                self.pick(BRANDS),
+                self.rand_token(4),
+            ),
+            // Brand-stuffed subdomain on a shady TLD.
+            1 => format!(
+                "http://{}.{}-{}.{}{}.{}/{}",
+                self.pick(BRANDS),
+                self.pick(URGENCY),
+                self.pick(URGENCY),
+                self.rand_token(6),
+                self.rng.below(100),
+                self.pick(TLDS_SHADY),
+                self.rand_token(8),
+            ),
+            // Typosquat: brand with a duplicated/swapped letter.
+            2 => {
+                let brand = self.pick(BRANDS);
+                let mut b: Vec<u8> = brand.bytes().collect();
+                let i = self.rng.below(b.len());
+                b.insert(i, b[i]);
+                format!(
+                    "https://{}.{}/{}-{}",
+                    String::from_utf8(b).expect("ascii"),
+                    self.pick(TLDS_SHADY),
+                    self.pick(URGENCY),
+                    self.rand_token(6),
+                )
+            }
+            // Long deceptive query-string redirect.
+            _ => format!(
+                "http://{}{}.{}/redir?u={}{}&tok={}",
+                self.pick(URGENCY),
+                self.rng.below(1000),
+                self.pick(TLDS_SHADY),
+                self.pick(BRANDS),
+                self.pick(TLDS_BENIGN),
+                self.rand_token(16),
+            ),
+        }
+    }
+
+    /// One random valid URL (a *non-key*).
+    pub fn benign_url(&mut self) -> String {
+        format!(
+            "https://{}{}{}.{}/{}/{}",
+            self.pick(BENIGN_WORDS),
+            self.pick(BENIGN_WORDS),
+            self.rng.below(100),
+            self.pick(TLDS_BENIGN),
+            self.pick(BENIGN_WORDS),
+            self.rand_token(5),
+        )
+    }
+
+    /// A whitelisted URL "that could be mistaken for phishing": benign
+    /// but mentioning a brand or an urgency word (the paper's hard
+    /// negatives).
+    pub fn whitelisted_lookalike(&mut self) -> String {
+        format!(
+            "https://{}.{}/{}/{}-{}",
+            self.pick(BRANDS),
+            self.pick(TLDS_BENIGN),
+            self.pick(URGENCY),
+            self.pick(BENIGN_WORDS),
+            self.rand_token(4),
+        )
+    }
+
+    /// Generate the full experimental split of §5.2: `n_keys` unique
+    /// phishing URLs and `n_neg` negatives (a `mix` fraction of random
+    /// valid URLs, the rest whitelisted lookalikes), deduplicated and
+    /// disjoint from the keys.
+    pub fn dataset(&mut self, n_keys: usize, n_neg: usize, mix: f64) -> (Vec<String>, Vec<String>) {
+        let mut keys = Vec::with_capacity(n_keys);
+        let mut seen = std::collections::BTreeSet::new();
+        while keys.len() < n_keys {
+            let u = self.phishing_url();
+            if seen.insert(u.clone()) {
+                keys.push(u);
+            }
+        }
+        let mut negatives = Vec::with_capacity(n_neg);
+        while negatives.len() < n_neg {
+            let u = if self.rng.next_f64() < mix {
+                self.benign_url()
+            } else {
+                self.whitelisted_lookalike()
+            };
+            if !seen.contains(&u) && seen.insert(u.clone()) {
+                negatives.push(u);
+            }
+        }
+        (keys, negatives)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_ids_are_unique_sorted_fixed_shape() {
+        let ids = doc_ids(5000, 1);
+        assert_eq!(ids.len(), 5000);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.iter().all(|s| s.len() == 15 && s.starts_with('d')));
+    }
+
+    #[test]
+    fn doc_id_shards_are_skewed() {
+        let ids = doc_ids(20_000, 2);
+        let mut counts = [0usize; 32];
+        for id in &ids {
+            let shard = BASE32.iter().position(|&b| b == id.as_bytes()[1]).unwrap();
+            counts[shard] += 1;
+        }
+        // Hottest shard should dominate the coldest by a wide margin.
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max > &(min * 4), "max {max} min {min}");
+    }
+
+    #[test]
+    fn url_dataset_is_disjoint_and_sized() {
+        let mut g = UrlGenerator::new(3);
+        let (keys, negs) = g.dataset(2000, 3000, 0.5);
+        assert_eq!(keys.len(), 2000);
+        assert_eq!(negs.len(), 3000);
+        let key_set: std::collections::BTreeSet<_> = keys.iter().collect();
+        assert!(negs.iter().all(|n| !key_set.contains(n)));
+    }
+
+    #[test]
+    fn classes_are_learnable() {
+        // The whole point of the generator: a cheap classifier must be
+        // able to separate keys from non-keys far better than chance.
+        use li_models::{Classifier, NgramLogReg};
+        let mut g = UrlGenerator::new(9);
+        let (keys, negs) = g.dataset(600, 600, 0.5);
+        let train_p: Vec<&[u8]> = keys[..400].iter().map(|s| s.as_bytes()).collect();
+        let train_n: Vec<&[u8]> = negs[..400].iter().map(|s| s.as_bytes()).collect();
+        let m = NgramLogReg::train(13, 6, 0.1, &train_p, &train_n, 4);
+        let mut correct = 0usize;
+        for s in &keys[400..] {
+            if m.score(s.as_bytes()) > 0.5 {
+                correct += 1;
+            }
+        }
+        for s in &negs[400..] {
+            if m.score(s.as_bytes()) < 0.5 {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / 400.0;
+        assert!(acc > 0.85, "holdout accuracy {acc}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = UrlGenerator::new(5);
+        let mut b = UrlGenerator::new(5);
+        for _ in 0..50 {
+            assert_eq!(a.phishing_url(), b.phishing_url());
+            assert_eq!(a.benign_url(), b.benign_url());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Separate-chaining hash map with in-array records (Appendix B).
+//!
+//! "We evaluated the potential of learned hash functions using a
+//! separate chaining Hash-map; records are stored directly within an
+//! array and only in the case of a conflict is the record attached to
+//! the linked-list. That is without a conflict there is at most one
+//! cache miss." Slots hold the full record (the paper's 20-byte
+//! key/payload/meta record plus a 32-bit next-pointer = a "24Byte
+//! slot"); overflow records live in a side arena addressed by index, so
+//! there are no pointers to chase across allocations.
+//!
+//! The map is generic over the hash function ([`crate::KeyHasher`]) —
+//! learned vs murmur is a one-argument change — and over the payload.
+
+use crate::KeyHasher;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    occupied: bool,
+    next: u32, // index into overflow arena
+}
+
+impl<V> Slot<V> {
+    /// The paper's slot size accounting: 20-byte record + 4-byte next.
+    const LOGICAL_BYTES: usize = 24;
+}
+
+/// Separate-chaining hash map: records in the slot array, conflicts in
+/// an overflow arena.
+#[derive(Debug)]
+pub struct ChainedHashMap<V, H> {
+    slots: Vec<Slot<V>>,
+    overflow: Vec<Slot<V>>,
+    hasher: H,
+    len: usize,
+}
+
+/// Occupancy statistics (drives Figure 11's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainedStats {
+    /// Total records stored.
+    pub len: usize,
+    /// Primary slots.
+    pub slots: usize,
+    /// Primary slots left empty.
+    pub empty_slots: usize,
+    /// Records that overflowed into the chain arena.
+    pub overflow: usize,
+    /// Logical bytes of wasted primary-slot space (the paper's "empty
+    /// slots GB" column): `empty_slots × 24`.
+    pub empty_bytes: usize,
+    /// Total logical bytes: primary array + overflow arena.
+    pub total_bytes: usize,
+}
+
+impl<V: Clone + Default, H: KeyHasher> ChainedHashMap<V, H> {
+    /// Create with `slots` primary slots (the paper sweeps 75%–125% of
+    /// the record count) and a hash function.
+    pub fn new(slots: usize, hasher: H) -> Self {
+        assert!(slots > 0);
+        Self {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    key: 0,
+                    value: V::default(),
+                    occupied: false,
+                    next: NIL,
+                })
+                .collect(),
+            overflow: Vec::new(),
+            hasher,
+            len: 0,
+        }
+    }
+
+    /// Insert or update; returns the previous value when updating.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let s = self.hasher.slot(key, self.slots.len());
+        if !self.slots[s].occupied {
+            self.slots[s].key = key;
+            self.slots[s].value = value;
+            self.slots[s].occupied = true;
+            self.len += 1;
+            return None;
+        }
+        if self.slots[s].key == key {
+            return Some(std::mem::replace(&mut self.slots[s].value, value));
+        }
+        // Walk the chain.
+        let mut cur = self.slots[s].next;
+        let mut last_in_primary = true;
+        let mut last_idx = s;
+        while cur != NIL {
+            if self.overflow[cur as usize].key == key {
+                return Some(std::mem::replace(
+                    &mut self.overflow[cur as usize].value,
+                    value,
+                ));
+            }
+            last_in_primary = false;
+            last_idx = cur as usize;
+            cur = self.overflow[cur as usize].next;
+        }
+        // Append to the overflow arena and link.
+        let idx = self.overflow.len() as u32;
+        self.overflow.push(Slot {
+            key,
+            value,
+            occupied: true,
+            next: NIL,
+        });
+        if last_in_primary {
+            self.slots[last_idx].next = idx;
+        } else {
+            self.overflow[last_idx].next = idx;
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let s = self.hasher.slot(key, self.slots.len());
+        let slot = &self.slots[s];
+        if !slot.occupied {
+            return None;
+        }
+        if slot.key == key {
+            return Some(&slot.value);
+        }
+        let mut cur = slot.next;
+        while cur != NIL {
+            let o = &self.overflow[cur as usize];
+            if o.key == key {
+                return Some(&o.value);
+            }
+            cur = o.next;
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Chain length a lookup of `key` would traverse (1 = direct hit
+    /// slot; conflicts add cache misses).
+    pub fn probe_length(&self, key: u64) -> usize {
+        let s = self.hasher.slot(key, self.slots.len());
+        let slot = &self.slots[s];
+        if !slot.occupied {
+            return 1;
+        }
+        if slot.key == key {
+            return 1;
+        }
+        let mut n = 1;
+        let mut cur = slot.next;
+        while cur != NIL {
+            n += 1;
+            let o = &self.overflow[cur as usize];
+            if o.key == key {
+                return n;
+            }
+            cur = o.next;
+        }
+        n
+    }
+
+    /// Occupancy statistics (Figure 11).
+    pub fn stats(&self) -> ChainedStats {
+        let empty = self.slots.iter().filter(|s| !s.occupied).count();
+        ChainedStats {
+            len: self.len,
+            slots: self.slots.len(),
+            empty_slots: empty,
+            overflow: self.overflow.len(),
+            empty_bytes: empty * Slot::<V>::LOGICAL_BYTES,
+            total_bytes: (self.slots.len() + self.overflow.len()) * Slot::<V>::LOGICAL_BYTES,
+        }
+    }
+
+    /// The hash function's own memory (learned models aren't free).
+    pub fn hasher_bytes(&self) -> usize {
+        self.hasher.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::murmur::MurmurHasher;
+
+    fn map(slots: usize) -> ChainedHashMap<u64, MurmurHasher> {
+        ChainedHashMap::new(slots, MurmurHasher::new(42))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = map(64);
+        for k in 0..200u64 {
+            assert_eq!(m.insert(k, k * 10), None);
+        }
+        assert_eq!(m.len(), 200);
+        for k in 0..200u64 {
+            assert_eq!(m.get(k), Some(&(k * 10)));
+        }
+        assert_eq!(m.get(1000), None);
+    }
+
+    #[test]
+    fn update_returns_old_value() {
+        let mut m = map(16);
+        m.insert(7, 1);
+        assert_eq!(m.insert(7, 2), Some(1));
+        assert_eq!(m.get(7), Some(&2));
+        assert_eq!(m.len(), 1);
+        // Update of a chained (overflow) record too.
+        for k in 0..100u64 {
+            m.insert(k, k);
+        }
+        let before = m.len();
+        for k in 0..100u64 {
+            assert_eq!(m.insert(k, k + 1), Some(if k == 7 { 7 } else { k }));
+        }
+        assert_eq!(m.len(), before);
+    }
+
+    #[test]
+    fn heavy_overflow_still_correct() {
+        // 1000 records into 10 slots: ~100-long chains.
+        let mut m = map(10);
+        for k in 0..1000u64 {
+            m.insert(k, k ^ 0xFF);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k), Some(&(k ^ 0xFF)));
+        }
+        let s = m.stats();
+        assert_eq!(s.len, 1000);
+        assert!(s.overflow >= 990);
+    }
+
+    #[test]
+    fn behaves_like_std_hashmap() {
+        use std::collections::HashMap;
+        let mut ours = map(128);
+        let mut std_map = HashMap::new();
+        let mut state = 12345u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = state % 500;
+            let val = state >> 32;
+            assert_eq!(ours.insert(key, val), std_map.insert(key, val), "key {key}");
+        }
+        for key in 0..500u64 {
+            assert_eq!(ours.get(key), std_map.get(&key), "key {key}");
+        }
+        assert_eq!(ours.len(), std_map.len());
+    }
+
+    #[test]
+    fn stats_account_empty_and_overflow() {
+        let mut m = map(100);
+        for k in 0..50u64 {
+            m.insert(k, k);
+        }
+        let s = m.stats();
+        assert_eq!(s.len, 50);
+        assert_eq!(s.slots, 100);
+        assert_eq!(s.empty_slots + (50 - s.overflow), 100);
+        assert_eq!(s.empty_bytes, s.empty_slots * 24);
+        assert_eq!(s.total_bytes, (100 + s.overflow) * 24);
+    }
+
+    #[test]
+    fn probe_length_is_one_without_conflicts() {
+        let mut m = map(1024);
+        m.insert(5, 5);
+        assert_eq!(m.probe_length(5), 1);
+    }
+}

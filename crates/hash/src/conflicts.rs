@@ -1,0 +1,133 @@
+//! Conflict-rate measurement (Figure 8).
+//!
+//! §4.2 compares "the number of conflicts for a table with the same
+//! number of slots as records": a key *conflicts* when it hashes to a
+//! slot another key already claimed. A uniform random hash at load
+//! factor 1 loses `1 − (1 − e⁻¹) ≈ 36.8%` of keys to conflicts (the
+//! paper quotes ≈33–35% empirically); a learned hash that matches the
+//! CDF drives this toward zero.
+
+use crate::KeyHasher;
+
+/// Conflict statistics for one hash function over one key set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConflictStats {
+    /// Number of keys hashed.
+    pub keys: usize,
+    /// Table slots.
+    pub slots: usize,
+    /// Keys that landed on an already-claimed slot.
+    pub conflicts: usize,
+    /// Distinct slots claimed.
+    pub occupied: usize,
+}
+
+impl ConflictStats {
+    /// Fraction of keys that conflicted — the Figure-8 "% Conflicts".
+    pub fn conflict_rate(&self) -> f64 {
+        if self.keys == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.keys as f64
+        }
+    }
+
+    /// Fraction of slots left empty.
+    pub fn empty_rate(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            (self.slots - self.occupied) as f64 / self.slots as f64
+        }
+    }
+
+    /// Reduction of conflicts versus a baseline (Figure 8's last
+    /// column): `1 − ours/baseline`.
+    pub fn reduction_vs(&self, baseline: &ConflictStats) -> f64 {
+        if baseline.conflicts == 0 {
+            0.0
+        } else {
+            1.0 - self.conflicts as f64 / baseline.conflicts as f64
+        }
+    }
+}
+
+/// Hash every key into `slots` slots and count conflicts.
+pub fn conflict_stats(keys: &[u64], hasher: &dyn KeyHasher, slots: usize) -> ConflictStats {
+    assert!(slots > 0);
+    let mut claimed = vec![false; slots];
+    let mut conflicts = 0usize;
+    let mut occupied = 0usize;
+    for &k in keys {
+        let s = hasher.slot(k, slots);
+        if claimed[s] {
+            conflicts += 1;
+        } else {
+            claimed[s] = true;
+            occupied += 1;
+        }
+    }
+    ConflictStats {
+        keys: keys.len(),
+        slots,
+        conflicts,
+        occupied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::murmur::MurmurHasher;
+
+    #[test]
+    fn stats_add_up() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let s = conflict_stats(&keys, &MurmurHasher::new(1), 10_000);
+        assert_eq!(s.conflicts + s.occupied, s.keys);
+        assert!(s.conflict_rate() > 0.0);
+        assert!(s.empty_rate() > 0.0);
+    }
+
+    #[test]
+    fn random_hash_at_load_one_loses_about_a_third() {
+        let keys: Vec<u64> = (0..200_000).collect();
+        let s = conflict_stats(&keys, &MurmurHasher::new(2), keys.len());
+        // 1/e ≈ 0.368.
+        assert!((0.35..0.39).contains(&s.conflict_rate()), "{}", s.conflict_rate());
+    }
+
+    #[test]
+    fn reduction_is_one_minus_ratio() {
+        let base = ConflictStats {
+            keys: 100,
+            slots: 100,
+            conflicts: 40,
+            occupied: 60,
+        };
+        let ours = ConflictStats {
+            conflicts: 10,
+            occupied: 90,
+            ..base
+        };
+        assert!((ours.reduction_vs(&base) - 0.75).abs() < 1e-12);
+        assert_eq!(ours.reduction_vs(&ConflictStats { conflicts: 0, ..base }), 0.0);
+    }
+
+    #[test]
+    fn perfect_hash_has_zero_conflicts() {
+        struct Identity;
+        impl KeyHasher for Identity {
+            fn slot(&self, key: u64, m: usize) -> usize {
+                key as usize % m
+            }
+            fn name(&self) -> &'static str {
+                "identity"
+            }
+        }
+        let keys: Vec<u64> = (0..1000).collect();
+        let s = conflict_stats(&keys, &Identity, 1000);
+        assert_eq!(s.conflicts, 0);
+        assert_eq!(s.empty_rate(), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! In-place chained hash map with learned hash functions (Appendix C).
+//!
+//! "One significant downside of separate chaining is that it requires
+//! additional memory for the linked list. As an alternative, we
+//! implemented a chained Hash-map, which uses a two pass algorithm: in
+//! the first pass, the learned hash function is used to put items into
+//! slots. If a slot is already taken, the item is skipped. Afterwards we
+//! use a separate chaining approach for every skipped item except that
+//! we use the remaining free slots with offsets as pointers for them.
+//! As a result, the utilization can be 100% (recall, we do not consider
+//! inserts) and the quality of the learned hash function can only make
+//! an impact on the performance not the size: the fewer conflicts, the
+//! fewer cache misses."
+//!
+//! [`InPlaceChained`] is read-only after its two-pass build: exactly as
+//! many slots as records, every slot used, chains threaded through the
+//! otherwise-free slots.
+
+use crate::KeyHasher;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    /// Next slot in this home-bucket's chain (offset into `slots`).
+    next: u32,
+    /// Whether this slot is the *home* of its chain (a direct hash
+    /// target) — probes for keys whose home slot holds a foreign record
+    /// must not walk that record's chain.
+    is_home: bool,
+    occupied: bool,
+}
+
+/// Read-only chained hash map at 100% utilization.
+#[derive(Debug)]
+pub struct InPlaceChained<V, H> {
+    slots: Vec<Slot<V>>,
+    hasher: H,
+    skipped: usize,
+}
+
+impl<V: Clone + Default, H: KeyHasher> InPlaceChained<V, H> {
+    /// Two-pass build over unique keys and their values.
+    pub fn build(records: &[(u64, V)], hasher: H) -> Self {
+        let n = records.len();
+        let mut slots: Vec<Slot<V>> = (0..n)
+            .map(|_| Slot {
+                key: 0,
+                value: V::default(),
+                next: NIL,
+                is_home: false,
+                occupied: false,
+            })
+            .collect();
+
+        // Pass 1: claim home slots.
+        let mut skipped_idx: Vec<usize> = Vec::new();
+        for (i, (key, value)) in records.iter().enumerate() {
+            let s = hasher.slot(*key, n);
+            if slots[s].occupied {
+                skipped_idx.push(i);
+            } else {
+                slots[s] = Slot {
+                    key: *key,
+                    value: value.clone(),
+                    next: NIL,
+                    is_home: true,
+                    occupied: true,
+                };
+            }
+        }
+        let skipped = skipped_idx.len();
+
+        // Pass 2: place skipped records into remaining free slots and
+        // chain them from their home slot (append at chain head for O(1)
+        // linking: home -> new -> old chain).
+        let mut free_cursor = 0usize;
+        for i in skipped_idx {
+            let (key, value) = &records[i];
+            while free_cursor < n && slots[free_cursor].occupied {
+                free_cursor += 1;
+            }
+            debug_assert!(free_cursor < n, "slots == records guarantees space");
+            let home = hasher.slot(*key, n);
+            let prev_next = slots[home].next;
+            slots[free_cursor] = Slot {
+                key: *key,
+                value: value.clone(),
+                next: prev_next,
+                is_home: false,
+                occupied: true,
+            };
+            slots[home].next = free_cursor as u32;
+        }
+
+        Self {
+            slots,
+            hasher,
+            skipped,
+        }
+    }
+
+    /// Look up a key: probe the home slot, then walk its chain.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let s = self.hasher.slot(key, self.slots.len());
+        let home = &self.slots[s];
+        if !home.occupied || !home.is_home {
+            // Nothing hashed here: the record in this slot (if any) is a
+            // chained foreigner and its chain belongs to another home.
+            return None;
+        }
+        if home.key == key {
+            return Some(&home.value);
+        }
+        let mut cur = home.next;
+        while cur != NIL {
+            let e = &self.slots[cur as usize];
+            if e.key == key {
+                return Some(&e.value);
+            }
+            cur = e.next;
+        }
+        None
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Records displaced in pass 1 — each adds ≥1 probe to its lookups.
+    /// "The quality of the learned hash function can only make an impact
+    /// on the performance not the size."
+    pub fn conflicts(&self) -> usize {
+        self.skipped
+    }
+
+    /// Utilization is 100% by construction.
+    pub fn utilization(&self) -> f64 {
+        if self.slots.is_empty() {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Probes a lookup of `key` performs (1 = direct hit).
+    pub fn probe_length(&self, key: u64) -> usize {
+        if self.slots.is_empty() {
+            return 0;
+        }
+        let s = self.hasher.slot(key, self.slots.len());
+        let home = &self.slots[s];
+        if !home.occupied || !home.is_home || home.key == key {
+            return 1;
+        }
+        let mut n = 1usize;
+        let mut cur = home.next;
+        while cur != NIL {
+            n += 1;
+            let e = &self.slots[cur as usize];
+            if e.key == key {
+                return n;
+            }
+            cur = e.next;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learned::CdfHasher;
+    use crate::murmur::MurmurHasher;
+
+    fn records(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|k| (k * 7 + 1, k)).collect()
+    }
+
+    #[test]
+    fn build_and_get_all() {
+        let recs = records(2000);
+        let m = InPlaceChained::build(&recs, MurmurHasher::new(3));
+        assert_eq!(m.len(), 2000);
+        assert_eq!(m.utilization(), 1.0);
+        for (k, v) in &recs {
+            assert_eq!(m.get(*k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let recs = records(500);
+        let m = InPlaceChained::build(&recs, MurmurHasher::new(3));
+        for k in 0..500u64 {
+            // keys are 7k+1, so 7k+2 is always missing.
+            assert_eq!(m.get(k * 7 + 2), None);
+        }
+    }
+
+    #[test]
+    fn learned_hash_reduces_probe_length() {
+        // Appendix C's point: same size, fewer conflicts → shorter probes.
+        let keys = li_data::maps::maps_longitudes(20_000, 9);
+        let recs: Vec<(u64, u64)> = keys.keys().iter().map(|&k| (k, k ^ 1)).collect();
+        let learned = InPlaceChained::build(&recs, CdfHasher::train(keys.keys(), 256));
+        let random = InPlaceChained::build(&recs, MurmurHasher::new(5));
+        let avg = |m: &dyn Fn(u64) -> usize| {
+            recs.iter().map(|&(k, _)| m(k)).sum::<usize>() as f64 / recs.len() as f64
+        };
+        let avg_learned = avg(&|k| learned.probe_length(k));
+        let avg_random = avg(&|k| random.probe_length(k));
+        assert!(
+            avg_learned < avg_random,
+            "learned {avg_learned} vs random {avg_random}"
+        );
+        // Both still answer everything.
+        for (k, v) in recs.iter().step_by(97) {
+            assert_eq!(learned.get(*k), Some(v));
+            assert_eq!(random.get(*k), Some(v));
+        }
+    }
+
+    #[test]
+    fn empty_build() {
+        let m: InPlaceChained<u64, MurmurHasher> =
+            InPlaceChained::build(&[], MurmurHasher::new(1));
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn conflicts_counts_pass1_skips() {
+        // Identity-ish hash on dense keys: zero conflicts.
+        struct Id;
+        impl KeyHasher for Id {
+            fn slot(&self, key: u64, m: usize) -> usize {
+                key as usize % m
+            }
+            fn name(&self) -> &'static str {
+                "id"
+            }
+        }
+        let recs: Vec<(u64, u64)> = (0..100u64).map(|k| (k, k)).collect();
+        let m = InPlaceChained::build(&recs, Id);
+        assert_eq!(m.conflicts(), 0);
+        for (k, v) in &recs {
+            assert_eq!(m.get(*k), Some(v));
+            assert_eq!(m.probe_length(*k), 1);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The Hash-Model Index (§4.1): a learned CDF as a hash function.
+//!
+//! "Surprisingly, learning the CDF of the key distribution is one
+//! potential way to learn a better hash function … we can scale the CDF
+//! by the targeted size M of the Hash-map and use h(K) = F(K) · M, with
+//! key K as our hash-function. If the model F perfectly learned the
+//! empirical CDF of the keys, no conflicts would exist."
+//!
+//! §4.2 fixes the model: "we used the 2-stage RMI models … with 100k
+//! models on the 2nd stage and without any hidden layers" — i.e. a
+//! linear top model over linear leaves. [`CdfHasher`] wraps exactly that
+//! RMI; its `slot` maps the predicted position `p ∈ [0, N)` to
+//! `⌊p·M/N⌋`.
+
+use crate::KeyHasher;
+use li_core::{RangeIndex, Rmi, RmiConfig, TopModel};
+
+/// A learned hash function backed by a 2-stage RMI over the key CDF.
+#[derive(Debug)]
+pub struct CdfHasher {
+    rmi: Rmi,
+    n: usize,
+}
+
+impl CdfHasher {
+    /// Train over the key set the hash table will hold (sorted unique
+    /// keys). `leaves` is the second-stage size; the paper uses 100k at
+    /// 200M keys — scale proportionally (about `n/2000`).
+    pub fn train(keys: &[u64], leaves: usize) -> Self {
+        let cfg = RmiConfig::two_stage(TopModel::Linear, leaves.max(1));
+        let rmi = Rmi::build(keys.to_vec(), &cfg);
+        Self {
+            rmi,
+            n: keys.len(),
+        }
+    }
+
+    /// The paper's §4.2 default second-stage sizing: one leaf per ~2000
+    /// keys (100k leaves at 200M keys), clamped to at least 64.
+    pub fn train_default(keys: &[u64]) -> Self {
+        Self::train(keys, (keys.len() / 2000).max(64))
+    }
+
+    /// Access to the underlying model's stats.
+    pub fn rmi(&self) -> &Rmi {
+        &self.rmi
+    }
+}
+
+impl KeyHasher for CdfHasher {
+    #[inline]
+    fn slot(&self, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        if self.n == 0 {
+            return 0;
+        }
+        // Model prediction = position estimate in [0, n); rescale to M
+        // slots. predict() is the pure model cascade (no search).
+        let pos = self.rmi.predict(key).pos;
+        let slot = (pos as u128 * m as u128 / self.n as u128) as usize;
+        slot.min(m - 1)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.rmi.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "learned-cdf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_data::keyset::sequential_keys;
+
+    #[test]
+    fn perfect_cdf_means_zero_conflicts() {
+        // §4's motivating example: dense sequential keys hash perfectly.
+        let keys = sequential_keys(10_000, 1_000_000, 1);
+        let h = CdfHasher::train(keys.keys(), 64);
+        let m = keys.len();
+        let mut seen = vec![false; m];
+        let mut conflicts = 0usize;
+        for &k in keys.keys() {
+            let s = h.slot(k, m);
+            if seen[s] {
+                conflicts += 1;
+            } else {
+                seen[s] = true;
+            }
+        }
+        assert_eq!(conflicts, 0, "linear keys must be conflict-free");
+    }
+
+    #[test]
+    fn slots_are_always_in_range() {
+        let keys = li_data::lognormal::lognormal_keys(5000, 3);
+        let h = CdfHasher::train_default(keys.keys());
+        for &k in keys.keys() {
+            assert!(h.slot(k, 100) < 100);
+        }
+        // Also for keys far outside the trained domain.
+        for k in [0u64, u64::MAX, u64::MAX / 2] {
+            assert!(h.slot(k, 100) < 100);
+        }
+    }
+
+    #[test]
+    fn beats_random_hashing_on_learnable_distributions() {
+        // Figure 8's claim, in miniature: the learned hash function must
+        // produce fewer conflicts than murmur on a smooth distribution.
+        use crate::murmur::MurmurHasher;
+        let keys = li_data::maps::maps_longitudes(40_000, 5);
+        let learned = CdfHasher::train(keys.keys(), keys.len() / 100);
+        let random = MurmurHasher::new(7);
+        let m = keys.len();
+        let count_conflicts = |h: &dyn KeyHasher| {
+            let mut seen = vec![false; m];
+            let mut c = 0usize;
+            for &k in keys.keys() {
+                let s = h.slot(k, m);
+                if seen[s] {
+                    c += 1;
+                } else {
+                    seen[s] = true;
+                }
+            }
+            c
+        };
+        let lc = count_conflicts(&learned);
+        let rc = count_conflicts(&random);
+        assert!(
+            (lc as f64) < (rc as f64) * 0.8,
+            "learned {lc} vs random {rc}"
+        );
+    }
+
+    #[test]
+    fn size_reflects_leaf_count() {
+        let keys = sequential_keys(10_000, 0, 3);
+        let small = CdfHasher::train(keys.keys(), 64);
+        let large = CdfHasher::train(keys.keys(), 4096);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+}

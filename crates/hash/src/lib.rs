@@ -1,0 +1,78 @@
+//! # li-hash — learned point indexes (§4 of the paper)
+//!
+//! "Conceptually Hash-maps use a hash-function to deterministically map
+//! keys to positions inside an array … machine learned models might
+//! provide an alternative to reduce the number of conflicts" (§4). This
+//! crate implements both sides of that comparison:
+//!
+//! * [`MurmurHasher`] — the baseline: "a simple MurmurHash3-like
+//!   hash-function" (the 64-bit finalizer, plus full MurmurHash3 x64
+//!   for byte strings).
+//! * [`CdfHasher`] — the hash-model index of §4.1: "we can scale the CDF
+//!   by the targeted size M of the Hash-map and use h(K) = F(K) · M",
+//!   with F realized by a 2-stage RMI (the paper's §4.2 config: 100k
+//!   linear leaf models, no hidden layers).
+//! * [`ChainedHashMap`] — the Appendix-B separate-chaining architecture:
+//!   "records are stored directly within an array and only in the case
+//!   of a conflict is the record attached to the linked-list", i.e. at
+//!   most one cache miss without conflicts.
+//! * [`CuckooHashMap`] — the Appendix-C baseline: bucketized two-choice
+//!   cuckoo hashing (4-slot buckets, random-walk eviction), in both a
+//!   lean and a "commercial-grade" (corner-case-checked, slower)
+//!   configuration.
+//! * [`InPlaceChained`] — Appendix C's "in-place chained Hash-map with
+//!   learned hash functions": a two-pass build that reaches 100%
+//!   utilization with no extra linked-list memory.
+//! * [`conflicts`] — the Figure-8 conflict metric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chained;
+pub mod conflicts;
+pub mod cuckoo;
+pub mod inplace;
+pub mod learned;
+pub mod murmur;
+
+pub use chained::{ChainedHashMap, ChainedStats};
+pub use conflicts::{conflict_stats, ConflictStats};
+pub use cuckoo::CuckooHashMap;
+pub use inplace::InPlaceChained;
+pub use learned::CdfHasher;
+pub use murmur::{murmur3_x64, MurmurHasher};
+
+/// A hash function mapping a `u64` key into `[0, m)` slots.
+///
+/// Implementations are either pseudo-random ([`MurmurHasher`]) or
+/// CDF-learned ([`CdfHasher`]); everything downstream (chained map,
+/// conflict metrics) is generic over this trait — "the hash-function is
+/// orthogonal to the actual Hash-map architecture" (§4.1).
+pub trait KeyHasher: Send + Sync {
+    /// Slot for `key` in a table of `m` slots. Must be `< m` for `m > 0`.
+    fn slot(&self, key: u64, m: usize) -> usize;
+
+    /// In-memory size of the hasher state (0 for seeded murmur; model
+    /// size for learned hashers).
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_work() {
+        let hashers: Vec<Box<dyn KeyHasher>> = vec![Box::new(MurmurHasher::new(1))];
+        for h in &hashers {
+            for key in [0u64, 1, u64::MAX] {
+                assert!(h.slot(key, 97) < 97);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! MurmurHash3 — the paper's randomized-hash baseline.
+//!
+//! §4.2 uses "a simple MurmurHash3-like hash-function" as the control
+//! against learned hash functions. For 8-byte integer keys the relevant
+//! piece is the 64-bit finalizer (`fmix64`), which is itself a complete,
+//! well-mixed hash for one word; for byte strings we implement the
+//! MurmurHash3 x64/128 core loop and return its low 64 bits.
+
+use crate::KeyHasher;
+
+/// The MurmurHash3 64-bit finalizer: full avalanche on one word.
+#[inline(always)]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^= k >> 33;
+    k
+}
+
+/// MurmurHash3 x64/128 over bytes, low 64 bits, with a seed.
+pub fn murmur3_x64(data: &[u8], seed: u64) -> u64 {
+    const C1: u64 = 0x87C3_7B91_1142_53D5;
+    const C2: u64 = 0x4CF5_AD43_2745_937F;
+    let mut h1 = seed;
+    let mut h2 = seed;
+
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        let mut k1 = u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes"));
+        let mut k2 = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 = (h1 ^ k1).rotate_left(27).wrapping_add(h2).wrapping_mul(5).wrapping_add(0x52DC_E729);
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 = (h2 ^ k2).rotate_left(31).wrapping_add(h1).wrapping_mul(5).wrapping_add(0x3849_5AB5);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut k1 = 0u64;
+        let mut k2 = 0u64;
+        for (i, &b) in tail.iter().enumerate() {
+            if i < 8 {
+                k1 |= (b as u64) << (8 * i);
+            } else {
+                k2 |= (b as u64) << (8 * (i - 8));
+            }
+        }
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+    }
+
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1.wrapping_add(h2)
+}
+
+/// Seeded murmur-style hasher for `u64` keys.
+#[derive(Debug, Clone, Copy)]
+pub struct MurmurHasher {
+    seed: u64,
+}
+
+impl MurmurHasher {
+    /// Hasher with an explicit seed (distinct seeds → independent
+    /// functions, as needed by Bloom filters and cuckoo hashing).
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Raw 64-bit hash of a key.
+    #[inline(always)]
+    pub fn hash_u64(&self, key: u64) -> u64 {
+        fmix64(key ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl KeyHasher for MurmurHasher {
+    #[inline]
+    fn slot(&self, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        // Multiply-shift range reduction: unbiased enough and faster than
+        // `%` for non-power-of-2 m.
+        (((self.hash_u64(key) as u128) * (m as u128)) >> 64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "murmur"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmix64_known_properties() {
+        assert_eq!(fmix64(0), 0); // fixed point of the finalizer
+        assert_ne!(fmix64(1), 1);
+        // Avalanche: flipping one input bit flips ~half the output bits.
+        let a = fmix64(0x1234_5678_9ABC_DEF0);
+        let b = fmix64(0x1234_5678_9ABC_DEF1);
+        let flipped = (a ^ b).count_ones();
+        assert!((20..=44).contains(&flipped), "{flipped} bits flipped");
+    }
+
+    #[test]
+    fn murmur3_is_deterministic_and_seed_sensitive() {
+        let h1 = murmur3_x64(b"hello world", 0);
+        let h2 = murmur3_x64(b"hello world", 0);
+        let h3 = murmur3_x64(b"hello world", 1);
+        let h4 = murmur3_x64(b"hello worle", 0);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_ne!(h1, h4);
+    }
+
+    #[test]
+    fn murmur3_handles_all_tail_lengths() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for len in 0..=40 {
+            seen.insert(murmur3_x64(&data[..len], 7));
+        }
+        assert_eq!(seen.len(), 41, "each length must hash distinctly");
+    }
+
+    #[test]
+    fn slots_are_in_range_and_spread() {
+        let h = MurmurHasher::new(3);
+        let m = 1000;
+        let mut hits = vec![0u32; m];
+        for key in 0..100_000u64 {
+            let s = h.slot(key, m);
+            assert!(s < m);
+            hits[s] += 1;
+        }
+        // Uniformity: every slot within 3x of the mean (100).
+        assert!(hits.iter().all(|&c| (30..=300).contains(&c)));
+    }
+
+    #[test]
+    fn expected_conflict_rate_matches_birthday_math() {
+        // §4: "for a hash-function which uniformly randomizes the keys
+        // … in expectation around 33%" (1/e ≈ 36.8% of keys collide when
+        // slots == keys; occupied ≈ 63.2%).
+        let h = MurmurHasher::new(9);
+        let n = 100_000usize;
+        let mut occupied = vec![false; n];
+        let mut conflicts = 0usize;
+        for key in 0..n as u64 {
+            let s = h.slot(fmix64(key), n); // decorrelate input
+            if occupied[s] {
+                conflicts += 1;
+            } else {
+                occupied[s] = true;
+            }
+        }
+        let rate = conflicts as f64 / n as f64;
+        assert!((0.34..0.40).contains(&rate), "conflict rate {rate}");
+    }
+}

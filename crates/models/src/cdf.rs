@@ -1,0 +1,192 @@
+//! Empirical CDF utilities and the paper's theoretical error analysis.
+//!
+//! §2.2's key observation: "a model that predicts the position given a
+//! key inside a sorted array effectively approximates the cumulative
+//! distribution function", `p = F(key) · N`. Appendix A then derives the
+//! scaling law for a constant-size model:
+//!
+//! ```text
+//! E[(F(x) − F̂_N(x))²] = F(x)(1 − F(x)) / N
+//! ```
+//!
+//! so the standard deviation of the *position* error `N·(F − F̂_N)` is
+//! `√(N · F(1−F))` — O(√N) — while a constant-size B-Tree's residual
+//! region grows linearly in N. These functions power the `appendix-a`
+//! experiment and give learned indexes their theoretical footing (the
+//! DKW inequality bounds the worst case, not just the variance).
+
+/// The empirical cumulative distribution function of a sorted key set.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    keys: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Build from keys (sorted internally; NaNs are rejected).
+    pub fn new(mut keys: Vec<f64>) -> Self {
+        assert!(keys.iter().all(|k| !k.is_nan()), "NaN keys are not orderable");
+        keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Self { keys }
+    }
+
+    /// Build from a slice already sorted ascending (checked in debug).
+    pub fn from_sorted(keys: Vec<f64>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        Self { keys }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// `F̂(x)` = fraction of samples ≤ x.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        self.rank(x) as f64 / self.keys.len() as f64
+    }
+
+    /// Number of samples ≤ x (the position a CDF model predicts, §2.2).
+    pub fn rank(&self, x: f64) -> usize {
+        self.keys.partition_point(|&k| k <= x)
+    }
+
+    /// Largest absolute deviation `sup |F̂(x) − F(x)|` against a reference
+    /// CDF, evaluated at the sample points (where the sup is attained for
+    /// monotone F).
+    pub fn ks_distance(&self, f: impl Fn(f64) -> f64) -> f64 {
+        let n = self.keys.len() as f64;
+        let mut worst = 0.0f64;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let fx = f(k);
+            // Both the left and right limits of the empirical step.
+            worst = worst.max((fx - i as f64 / n).abs());
+            worst = worst.max((fx - (i + 1) as f64 / n).abs());
+        }
+        worst
+    }
+}
+
+/// Dvoretzky–Kiefer–Wolfowitz bound: with probability ≥ 1 − δ,
+/// `sup |F̂_N − F| ≤ ε` where `ε = sqrt(ln(2/δ) / (2N))`.
+pub fn dkw_epsilon(n: usize, delta: f64) -> f64 {
+    assert!(n > 0, "DKW needs at least one sample");
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0);
+    ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Appendix A, Eq. (3): expected squared CDF error at a point with true
+/// CDF value `f`, for `n` i.i.d. samples.
+pub fn expected_sq_cdf_error(f: f64, n: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&f));
+    f * (1.0 - f) / n as f64
+}
+
+/// Standard deviation of the *position* error `n·(F − F̂_n)` at CDF value
+/// `f`: `sqrt(n · f(1−f))`. This is the paper's O(√N) scaling result.
+pub fn position_error_std(f: f64, n: usize) -> f64 {
+    (n as f64 * f * (1.0 - f)).sqrt()
+}
+
+/// Average position-error standard deviation over the whole key space:
+/// `√n · ∫₀¹ √(f(1−f)) df = √n · π/8`.
+pub fn mean_position_error_std(n: usize) -> f64 {
+    (n as f64).sqrt() * std::f64::consts::PI / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn eval_matches_rank() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(100.0), 1.0);
+        assert_eq!(cdf.rank(2.5), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let cdf = EmpiricalCdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(cdf.rank(1.5), 1);
+    }
+
+    #[test]
+    fn empty_cdf_is_zero() {
+        let cdf = EmpiricalCdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn dkw_shrinks_with_n() {
+        assert!(dkw_epsilon(10_000, 0.05) < dkw_epsilon(100, 0.05));
+        // Known value: n = 1000, δ = 0.05 → ε ≈ 0.0430.
+        assert!((dkw_epsilon(1000, 0.05) - 0.04295).abs() < 1e-4);
+    }
+
+    #[test]
+    fn uniform_sample_respects_dkw() {
+        // With δ = 0.001 a violation is a once-in-a-thousand event; with
+        // a fixed seed this is deterministic.
+        let mut rng = SplitMix64::new(99);
+        let n = 20_000;
+        let keys: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let cdf = EmpiricalCdf::new(keys);
+        let ks = cdf.ks_distance(|x| x.clamp(0.0, 1.0));
+        assert!(ks <= dkw_epsilon(n, 0.001), "ks {ks}");
+    }
+
+    #[test]
+    fn position_error_scales_as_sqrt_n() {
+        // Appendix A: quadrupling N should double the position error.
+        let e1 = position_error_std(0.5, 1_000_000);
+        let e4 = position_error_std(0.5, 4_000_000);
+        assert!((e4 / e1 - 2.0).abs() < 1e-9);
+        // At the median of 100M keys the std is 5000: a constant-size
+        // model's "natural" last-mile error budget.
+        assert!((position_error_std(0.5, 100_000_000) - 5000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mean_position_error_matches_monte_carlo() {
+        // Empirically: draw uniform samples, fit the *true* CDF, and
+        // check the average |position error| is within a small factor of
+        // the analytic √n·π/8 (mean abs error vs std differ by a
+        // constant ≈ √(2/π), so allow slack).
+        let n = 10_000;
+        let mut rng = SplitMix64::new(5);
+        let mut keys: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        keys.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut sum_abs = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let predicted = k * n as f64; // true-CDF model
+            sum_abs += (predicted - i as f64).abs();
+        }
+        let mean_abs = sum_abs / n as f64;
+        let analytic = mean_position_error_std(n);
+        let ratio = mean_abs / analytic;
+        assert!((0.5..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn expected_sq_error_is_symmetric_and_peaks_at_half() {
+        assert_eq!(expected_sq_cdf_error(0.0, 100), 0.0);
+        assert_eq!(expected_sq_cdf_error(1.0, 100), 0.0);
+        assert!(expected_sq_cdf_error(0.5, 100) > expected_sq_cdf_error(0.3, 100));
+        assert!(
+            (expected_sq_cdf_error(0.3, 100) - expected_sq_cdf_error(0.7, 100)).abs() < 1e-15
+        );
+    }
+}

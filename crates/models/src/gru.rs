@@ -1,0 +1,525 @@
+//! Character-level GRU classifier for existence indexes.
+//!
+//! §5.2 of the paper trains "a character-level RNN (GRU, in particular)"
+//! to predict whether a URL belongs to the blacklisted key set, e.g.
+//! "a 16-dimensional GRU with a 32-dimensional embedding for each
+//! character". This module is that model, implemented from scratch:
+//!
+//! * byte-level embedding table (vocabulary = 128 ASCII slots; bytes
+//!   ≥ 128 share the last slot),
+//! * a single GRU layer unrolled over the (truncated) input,
+//! * a sigmoid read-out from the final hidden state,
+//! * training by truncated-input BPTT with Adam on binary cross-entropy.
+//!
+//! The trained network is used by `li-bloom`'s learned Bloom filter as
+//! the probabilistic classifier `f(x) ∈ [0, 1]` of §5.1.1.
+
+use crate::linalg::Matrix;
+use crate::rng::SplitMix64;
+use crate::Classifier;
+
+const VOCAB: usize = 128;
+
+/// Hyper-parameters for [`GruClassifier::train`].
+#[derive(Debug, Clone)]
+pub struct GruConfig {
+    /// Hidden-state width `W` (the paper sweeps 16/32/128).
+    pub width: usize,
+    /// Character embedding dimension `E` (paper: 32).
+    pub embed: usize,
+    /// Inputs are truncated to this many bytes (§3.5's fixed `N`).
+    pub max_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GruConfig {
+    fn default() -> Self {
+        Self {
+            width: 16,
+            embed: 32,
+            max_len: 32,
+            epochs: 10,
+            learning_rate: 0.01,
+            batch_size: 32,
+            seed: 0xB100,
+        }
+    }
+}
+
+/// Parameters of one gate: `W·x + U·h + b`.
+#[derive(Debug, Clone)]
+struct Gate {
+    w: Matrix, // width × embed
+    u: Matrix, // width × width
+    b: Vec<f64>,
+}
+
+impl Gate {
+    fn new(width: usize, embed: usize, rng: &mut SplitMix64) -> Self {
+        let sw = (1.0 / embed as f64).sqrt();
+        let su = (1.0 / width as f64).sqrt();
+        Self {
+            w: Matrix::from_fn(width, embed, |_, _| rng.normal() * sw),
+            u: Matrix::from_fn(width, width, |_, _| rng.normal() * su),
+            b: vec![0.0; width],
+        }
+    }
+
+    /// `out = W·x + U·h + b` (no activation).
+    fn pre_activation(&self, x: &[f64], h: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.b);
+        self.w.matvec_add_into(x, out);
+        self.u.matvec_add_into(h, out);
+    }
+
+    fn zero_like(&self) -> GateGrad {
+        GateGrad {
+            w: Matrix::zeros(self.w.rows(), self.w.cols()),
+            u: Matrix::zeros(self.u.rows(), self.u.cols()),
+            b: vec![0.0; self.b.len()],
+        }
+    }
+}
+
+struct GateGrad {
+    w: Matrix,
+    u: Matrix,
+    b: Vec<f64>,
+}
+
+/// A trained character-level GRU with sigmoid output.
+#[derive(Debug, Clone)]
+pub struct GruClassifier {
+    embed: Matrix, // VOCAB × E
+    update: Gate,  // z
+    reset: Gate,   // r
+    cand: Gate,    // h̃
+    out_w: Vec<f64>,
+    out_b: f64,
+    max_len: usize,
+    width: usize,
+}
+
+#[inline(always)]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-timestep forward state retained for BPTT.
+struct StepState {
+    ch: usize,
+    z: Vec<f64>,
+    r: Vec<f64>,
+    c: Vec<f64>,
+    h_prev: Vec<f64>,
+}
+
+impl GruClassifier {
+    /// Train on positive (key) and negative (non-key) byte strings.
+    pub fn train(cfg: &GruConfig, positives: &[&[u8]], negatives: &[&[u8]]) -> Self {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut model = Self {
+            embed: Matrix::from_fn(VOCAB, cfg.embed, |_, _| rng.normal() * 0.1),
+            update: Gate::new(cfg.width, cfg.embed, &mut rng),
+            reset: Gate::new(cfg.width, cfg.embed, &mut rng),
+            cand: Gate::new(cfg.width, cfg.embed, &mut rng),
+            out_w: (0..cfg.width).map(|_| rng.normal() * 0.1).collect(),
+            out_b: 0.0,
+            max_len: cfg.max_len,
+            width: cfg.width,
+        };
+
+        let mut examples: Vec<(&[u8], f64)> = positives
+            .iter()
+            .map(|&s| (s, 1.0))
+            .chain(negatives.iter().map(|&s| (s, 0.0)))
+            .collect();
+
+        let mut opt = Optimizer::new(&model);
+        let mut t = 0usize;
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut examples);
+            for chunk in examples.chunks(cfg.batch_size) {
+                let mut grads = Grads::zeros(&model);
+                for &(s, y) in chunk {
+                    model.backprop_one(s, y, &mut grads);
+                }
+                t += 1;
+                let scale = 1.0 / chunk.len() as f64;
+                grads.scale(scale);
+                opt.apply(&mut model, &grads, cfg.learning_rate, t);
+            }
+        }
+        model
+    }
+
+    /// Run the GRU over (truncated) input; returns final hidden state and
+    /// the per-step state needed for backprop (when `trace` is true).
+    fn run(&self, input: &[u8], trace: bool) -> (Vec<f64>, Vec<StepState>) {
+        let mut h = vec![0.0; self.width];
+        let mut steps = Vec::new();
+        let mut z = Vec::new();
+        let mut r = Vec::new();
+        let mut a_c = Vec::new();
+        let mut rh = vec![0.0; self.width];
+        for &byte in input.iter().take(self.max_len) {
+            let ch = (byte as usize).min(VOCAB - 1);
+            let x = self.embed.row(ch);
+
+            self.update.pre_activation(x, &h, &mut z);
+            z.iter_mut().for_each(|v| *v = sigmoid(*v));
+            self.reset.pre_activation(x, &h, &mut r);
+            r.iter_mut().for_each(|v| *v = sigmoid(*v));
+            for i in 0..self.width {
+                rh[i] = r[i] * h[i];
+            }
+            self.cand.pre_activation(x, &rh, &mut a_c);
+            a_c.iter_mut().for_each(|v| *v = v.tanh());
+
+            let h_prev = if trace { h.clone() } else { Vec::new() };
+            for i in 0..self.width {
+                h[i] = (1.0 - z[i]) * h[i] + z[i] * a_c[i];
+            }
+            if trace {
+                steps.push(StepState {
+                    ch,
+                    z: z.clone(),
+                    r: r.clone(),
+                    c: a_c.clone(),
+                    h_prev,
+                });
+            }
+        }
+        (h, steps)
+    }
+
+    /// Accumulate gradients for one `(input, label)` example.
+    fn backprop_one(&self, input: &[u8], y: f64, g: &mut Grads) {
+        let (h_final, steps) = self.run(input, true);
+        let logit: f64 = self
+            .out_w
+            .iter()
+            .zip(&h_final)
+            .map(|(w, h)| w * h)
+            .sum::<f64>()
+            + self.out_b;
+        let p = sigmoid(logit);
+        let dlogit = p - y; // d(BCE)/d(logit)
+
+        for i in 0..self.width {
+            g.out_w[i] += dlogit * h_final[i];
+        }
+        g.out_b += dlogit;
+
+        let mut dh: Vec<f64> = self.out_w.iter().map(|w| w * dlogit).collect();
+
+        let w = self.width;
+        for step in steps.iter().rev() {
+            let x = self.embed.row(step.ch);
+            // h = (1-z) h_prev + z c
+            let mut da_z = vec![0.0; w];
+            let mut da_c = vec![0.0; w];
+            let mut dh_prev = vec![0.0; w];
+            for i in 0..w {
+                let dz = dh[i] * (step.c[i] - step.h_prev[i]);
+                da_z[i] = dz * step.z[i] * (1.0 - step.z[i]);
+                let dc = dh[i] * step.z[i];
+                da_c[i] = dc * (1.0 - step.c[i] * step.c[i]);
+                dh_prev[i] = dh[i] * (1.0 - step.z[i]);
+            }
+
+            // Candidate gate: a_c = Wc x + Uc (r∘h_prev) + bc
+            let rh: Vec<f64> = (0..w).map(|i| step.r[i] * step.h_prev[i]).collect();
+            g.cand.w.rank1_add(1.0, &da_c, x);
+            g.cand.u.rank1_add(1.0, &da_c, &rh);
+            for i in 0..w {
+                g.cand.b[i] += da_c[i];
+            }
+            let mut d_rh = vec![0.0; w];
+            self.cand.u.t_matvec_add_into(&da_c, &mut d_rh);
+            let mut da_r = vec![0.0; w];
+            for i in 0..w {
+                da_r[i] = d_rh[i] * step.h_prev[i] * step.r[i] * (1.0 - step.r[i]);
+                dh_prev[i] += d_rh[i] * step.r[i];
+            }
+
+            // Update & reset gates.
+            g.update.w.rank1_add(1.0, &da_z, x);
+            g.update.u.rank1_add(1.0, &da_z, &step.h_prev);
+            g.reset.w.rank1_add(1.0, &da_r, x);
+            g.reset.u.rank1_add(1.0, &da_r, &step.h_prev);
+            for i in 0..w {
+                g.update.b[i] += da_z[i];
+                g.reset.b[i] += da_r[i];
+            }
+            self.update.u.t_matvec_add_into(&da_z, &mut dh_prev);
+            self.reset.u.t_matvec_add_into(&da_r, &mut dh_prev);
+
+            // Embedding gradient: dx = Wzᵀ da_z + Wrᵀ da_r + Wcᵀ da_c.
+            let mut dx = vec![0.0; self.embed.cols()];
+            self.update.w.t_matvec_add_into(&da_z, &mut dx);
+            self.reset.w.t_matvec_add_into(&da_r, &mut dx);
+            self.cand.w.t_matvec_add_into(&da_c, &mut dx);
+            let erow = g.embed.row_mut(step.ch);
+            for (e, d) in erow.iter_mut().zip(&dx) {
+                *e += d;
+            }
+
+            dh = dh_prev;
+        }
+    }
+
+    /// Deployment size assuming 32-bit floats, which is how the paper
+    /// accounts model memory (e.g. "W=16, E=32 … 0.0259MB"). Our structs
+    /// store `f64` for training; a production LIF code-generator would
+    /// emit `f32` (or quantized) weights.
+    pub fn size_bytes_f32(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    fn param_count(&self) -> usize {
+        let gate = |g: &Gate| g.w.as_slice().len() + g.u.as_slice().len() + g.b.len();
+        self.embed.as_slice().len()
+            + gate(&self.update)
+            + gate(&self.reset)
+            + gate(&self.cand)
+            + self.out_w.len()
+            + 1
+    }
+}
+
+impl Classifier for GruClassifier {
+    fn score(&self, input: &[u8]) -> f64 {
+        let (h, _) = self.run(input, false);
+        let logit: f64 =
+            self.out_w.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.out_b;
+        sigmoid(logit)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Flat gradient accumulator matching the model layout.
+struct Grads {
+    embed: Matrix,
+    update: GateGrad,
+    reset: GateGrad,
+    cand: GateGrad,
+    out_w: Vec<f64>,
+    out_b: f64,
+}
+
+impl Grads {
+    fn zeros(m: &GruClassifier) -> Self {
+        Self {
+            embed: Matrix::zeros(m.embed.rows(), m.embed.cols()),
+            update: m.update.zero_like(),
+            reset: m.reset.zero_like(),
+            cand: m.cand.zero_like(),
+            out_w: vec![0.0; m.out_w.len()],
+            out_b: 0.0,
+        }
+    }
+
+    fn scale(&mut self, s: f64) {
+        for v in self.embed.as_mut_slice() {
+            *v *= s;
+        }
+        for g in [&mut self.update, &mut self.reset, &mut self.cand] {
+            for v in g.w.as_mut_slice() {
+                *v *= s;
+            }
+            for v in g.u.as_mut_slice() {
+                *v *= s;
+            }
+            for v in &mut g.b {
+                *v *= s;
+            }
+        }
+        for v in &mut self.out_w {
+            *v *= s;
+        }
+        self.out_b *= s;
+    }
+}
+
+/// Adam over every tensor in the model. Tensors are updated in a fixed
+/// order so training is deterministic.
+struct Optimizer {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Optimizer {
+    fn new(model: &GruClassifier) -> Self {
+        let n = model.param_count();
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    fn apply(&mut self, model: &mut GruClassifier, g: &Grads, lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        let mut i = 0usize;
+        let mut upd = |p: &mut f64, grad: f64, m: &mut [f64], v: &mut [f64]| {
+            m[i] = B1 * m[i] + (1.0 - B1) * grad;
+            v[i] = B2 * v[i] + (1.0 - B2) * grad * grad;
+            *p -= lr * (m[i] / bc1) / ((v[i] / bc2).sqrt() + EPS);
+            i += 1;
+        };
+        let (m, v) = (&mut self.m, &mut self.v);
+        for (p, &grad) in model
+            .embed
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.embed.as_slice())
+        {
+            upd(p, grad, m, v);
+        }
+        for (gate, gg) in [
+            (&mut model.update, &g.update),
+            (&mut model.reset, &g.reset),
+            (&mut model.cand, &g.cand),
+        ] {
+            for (p, &grad) in gate.w.as_mut_slice().iter_mut().zip(gg.w.as_slice()) {
+                upd(p, grad, m, v);
+            }
+            for (p, &grad) in gate.u.as_mut_slice().iter_mut().zip(gg.u.as_slice()) {
+                upd(p, grad, m, v);
+            }
+            for (p, &grad) in gate.b.iter_mut().zip(&gg.b) {
+                upd(p, grad, m, v);
+            }
+        }
+        for (p, &grad) in model.out_w.iter_mut().zip(&g.out_w) {
+            upd(p, grad, m, v);
+        }
+        upd(&mut model.out_b, g.out_b, m, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> GruConfig {
+        GruConfig {
+            width: 8,
+            embed: 8,
+            max_len: 16,
+            epochs: 30,
+            learning_rate: 0.02,
+            batch_size: 16,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn separates_trivially_different_classes() {
+        // Positives start with 'a', negatives with 'z'.
+        let pos: Vec<Vec<u8>> = (0..60).map(|i| format!("aaa{i}").into_bytes()).collect();
+        let neg: Vec<Vec<u8>> = (0..60).map(|i| format!("zzz{i}").into_bytes()).collect();
+        let pos_refs: Vec<&[u8]> = pos.iter().map(|v| v.as_slice()).collect();
+        let neg_refs: Vec<&[u8]> = neg.iter().map(|v| v.as_slice()).collect();
+        let m = GruClassifier::train(&tiny_cfg(), &pos_refs, &neg_refs);
+        let mut correct = 0;
+        for p in &pos_refs {
+            if m.score(p) > 0.5 {
+                correct += 1;
+            }
+        }
+        for n in &neg_refs {
+            if m.score(n) < 0.5 {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / 120.0;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let pos: Vec<&[u8]> = vec![b"abc", b"abd"];
+        let neg: Vec<&[u8]> = vec![b"xyz", b"xyw"];
+        let cfg = GruConfig {
+            epochs: 2,
+            ..tiny_cfg()
+        };
+        let m = GruClassifier::train(&cfg, &pos, &neg);
+        for s in [b"abc".as_slice(), b"hello world this is long", b""] {
+            let p = m.score(s);
+            assert!((0.0..=1.0).contains(&p), "score {p}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let pos: Vec<&[u8]> = vec![b"aa", b"ab"];
+        let neg: Vec<&[u8]> = vec![b"zz", b"zy"];
+        let cfg = GruConfig {
+            epochs: 3,
+            ..tiny_cfg()
+        };
+        let a = GruClassifier::train(&cfg, &pos, &neg);
+        let b = GruClassifier::train(&cfg, &pos, &neg);
+        assert_eq!(a.score(b"aa"), b.score(b"aa"));
+        assert_eq!(a.score(b"qq"), b.score(b"qq"));
+    }
+
+    #[test]
+    fn long_inputs_are_truncated_not_rejected() {
+        let pos: Vec<&[u8]> = vec![b"a"];
+        let neg: Vec<&[u8]> = vec![b"z"];
+        let cfg = GruConfig {
+            epochs: 1,
+            max_len: 4,
+            ..tiny_cfg()
+        };
+        let m = GruClassifier::train(&cfg, &pos, &neg);
+        let long = vec![b'a'; 10_000];
+        let _ = m.score(&long); // must not panic and must be fast
+    }
+
+    #[test]
+    fn high_bytes_share_last_vocab_slot() {
+        let pos: Vec<&[u8]> = vec![b"a"];
+        let neg: Vec<&[u8]> = vec![b"z"];
+        let cfg = GruConfig {
+            epochs: 1,
+            ..tiny_cfg()
+        };
+        let m = GruClassifier::train(&cfg, &pos, &neg);
+        assert_eq!(m.score(&[200u8, 201]), m.score(&[255u8, 130]));
+    }
+
+    #[test]
+    fn f32_size_matches_paper_order_of_magnitude() {
+        // Paper: W=16, E=32 model is 0.0259MB ≈ 26KB in float32.
+        let pos: Vec<&[u8]> = vec![b"a"];
+        let neg: Vec<&[u8]> = vec![b"z"];
+        let cfg = GruConfig {
+            width: 16,
+            embed: 32,
+            epochs: 1,
+            ..tiny_cfg()
+        };
+        let m = GruClassifier::train(&cfg, &pos, &neg);
+        let kb = m.size_bytes_f32() as f64 / 1024.0;
+        assert!((10.0..60.0).contains(&kb), "size {kb} KB");
+    }
+}

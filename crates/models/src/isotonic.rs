@@ -1,0 +1,184 @@
+//! Isotonic (monotone) calibration for CDF models.
+//!
+//! §3.4: "While this technique guarantees to find all existing keys, for
+//! non-existing keys it might return the wrong upper or lower bound if
+//! the RMI model is not monotonic. To overcome this problem, one option
+//! is to force our RMI model to be monotonic, as has been studied in
+//! machine learning [41, 71]."
+//!
+//! This module implements the classic tool for that: **isotonic
+//! regression** via the Pool-Adjacent-Violators Algorithm (PAVA). Given
+//! `(x, y)` pairs sorted by `x`, it finds the monotone non-decreasing
+//! step function minimizing squared error, in O(n). A learned index can
+//! calibrate any model's outputs through [`IsotonicModel`] to obtain a
+//! provably monotone predictor, extending the min/max-error guarantee to
+//! keys that are not in the stored set.
+
+use crate::Model;
+
+/// A monotone non-decreasing piecewise-constant regression function.
+#[derive(Debug, Clone)]
+pub struct IsotonicModel {
+    /// Breakpoints (x positions), ascending.
+    xs: Vec<f64>,
+    /// Fitted level for each breakpoint (non-decreasing).
+    ys: Vec<f64>,
+}
+
+impl IsotonicModel {
+    /// Fit by PAVA over `(x, y)` pairs that are already sorted by `x`.
+    ///
+    /// # Panics
+    /// Debug-asserts the x ordering.
+    pub fn fit_sorted(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        debug_assert!(xs.windows(2).all(|w| w[0] <= w[1]), "x must be sorted");
+        // Pool-adjacent-violators: maintain a stack of blocks with
+        // (mean, weight); merge while the means decrease.
+        let mut mean: Vec<f64> = Vec::with_capacity(ys.len());
+        let mut weight: Vec<f64> = Vec::with_capacity(ys.len());
+        let mut end_idx: Vec<usize> = Vec::with_capacity(ys.len());
+        for (i, &y) in ys.iter().enumerate() {
+            mean.push(y);
+            weight.push(1.0);
+            end_idx.push(i);
+            while mean.len() > 1 && mean[mean.len() - 2] > mean[mean.len() - 1] {
+                let (m2, w2) = (mean.pop().expect("nonempty"), weight.pop().expect("nonempty"));
+                let e2 = end_idx.pop().expect("nonempty");
+                let last = mean.len() - 1;
+                let merged_w = weight[last] + w2;
+                mean[last] = (mean[last] * weight[last] + m2 * w2) / merged_w;
+                weight[last] = merged_w;
+                end_idx[last] = e2;
+            }
+        }
+        // Expand blocks back to per-point levels, then compress to
+        // breakpoints (one entry per block).
+        let mut out_x = Vec::with_capacity(mean.len());
+        let mut out_y = Vec::with_capacity(mean.len());
+        let mut start = 0usize;
+        for (b, &end) in end_idx.iter().enumerate() {
+            out_x.push(xs[start]);
+            out_y.push(mean[b]);
+            start = end + 1;
+        }
+        Self { xs: out_x, ys: out_y }
+    }
+
+    /// Fit a monotone calibration of an arbitrary model over sorted keys
+    /// with positions as targets: the composed predictor
+    /// `x ↦ iso(model(x))`-style correction is realized directly as
+    /// `x ↦ level(x)` since keys are the x axis.
+    pub fn calibrate(model: &dyn Model, keys: &[f64]) -> Self {
+        let preds: Vec<f64> = keys.iter().map(|&k| model.predict(k)).collect();
+        Self::fit_sorted(keys, &preds)
+    }
+
+    /// Number of constant pieces.
+    pub fn pieces(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+impl Model for IsotonicModel {
+    fn predict(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return 0.0;
+        }
+        // Level of the last breakpoint <= x (clamped to the first).
+        let idx = self.xs.partition_point(|&b| b <= x);
+        self.ys[idx.saturating_sub(1)]
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.xs.len() * 2 * std::mem::size_of::<f64>()
+    }
+
+    fn op_count(&self) -> usize {
+        // Binary search over pieces.
+        2 * (usize::BITS - self.xs.len().leading_zeros()) as usize
+    }
+
+    fn is_monotonic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearModel;
+
+    #[test]
+    fn already_monotone_data_is_preserved() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..10).map(|i| (i * 2) as f64).collect();
+        let iso = IsotonicModel::fit_sorted(&xs, &ys);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(iso.predict(x), y);
+        }
+        assert_eq!(iso.pieces(), 10);
+    }
+
+    #[test]
+    fn violations_are_pooled_to_block_means() {
+        // y = [1, 3, 2] → blocks [1], [2.5, 2.5].
+        let iso = IsotonicModel::fit_sorted(&[0.0, 1.0, 2.0], &[1.0, 3.0, 2.0]);
+        assert_eq!(iso.predict(0.0), 1.0);
+        assert_eq!(iso.predict(1.0), 2.5);
+        assert_eq!(iso.predict(2.0), 2.5);
+        assert_eq!(iso.pieces(), 2);
+    }
+
+    #[test]
+    fn decreasing_input_collapses_to_global_mean() {
+        let ys = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let iso = IsotonicModel::fit_sorted(&xs, &ys);
+        assert_eq!(iso.pieces(), 1);
+        assert_eq!(iso.predict(2.0), 3.0);
+    }
+
+    #[test]
+    fn output_is_always_monotone() {
+        // Noisy zig-zag input; check the fitted function never decreases.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..200)
+            .map(|i| i as f64 + if i % 3 == 0 { 15.0 } else { -10.0 })
+            .collect();
+        let iso = IsotonicModel::fit_sorted(&xs, &ys);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..400 {
+            let v = iso.predict(i as f64 / 2.0);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        assert!(iso.is_monotonic());
+    }
+
+    #[test]
+    fn calibrating_a_nonmonotone_model_makes_it_monotone() {
+        // A negative-slope linear model is anti-monotone; its calibration
+        // over sorted keys must come out monotone.
+        let bad = LinearModel::new(-2.0, 100.0);
+        assert!(!bad.is_monotonic());
+        let keys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let iso = IsotonicModel::calibrate(&bad, &keys);
+        assert!(iso.is_monotonic());
+        // The best monotone fit of a decreasing line is its mean.
+        assert_eq!(iso.pieces(), 1);
+    }
+
+    #[test]
+    fn queries_outside_domain_clamp_to_edge_levels() {
+        let iso = IsotonicModel::fit_sorted(&[10.0, 20.0], &[1.0, 2.0]);
+        assert_eq!(iso.predict(0.0), 1.0);
+        assert_eq!(iso.predict(100.0), 2.0);
+    }
+
+    #[test]
+    fn empty_fit_predicts_zero() {
+        let iso = IsotonicModel::fit_sorted(&[], &[]);
+        assert_eq!(iso.predict(5.0), 0.0);
+    }
+}

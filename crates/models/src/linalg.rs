@@ -1,0 +1,314 @@
+//! Minimal dense linear algebra: just enough to solve the normal
+//! equations for multivariate regression and to drive MLP/GRU layers.
+//!
+//! The matrices involved are tiny (the largest is `d × d` for `d ≤ 8`
+//! features, or `32 × 32` weight blocks), so a straightforward row-major
+//! `Vec<f64>` with Gaussian elimination is both simple and fast. No
+//! external linear-algebra crate is needed.
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zeros `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow a row as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (w, x) in row.iter().zip(v) {
+                acc += w * x;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Matrix–vector product accumulated into an existing buffer:
+    /// `out[r] += self.row(r) · v`. Avoids per-call allocation in the
+    /// hot training loops of the MLP and GRU.
+    pub fn matvec_add_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "output dimension mismatch");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (w, x) in row.iter().zip(v) {
+                acc += w * x;
+            }
+            out[r] += acc;
+        }
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · v` accumulated into
+    /// `out` (length `cols`). Used for backpropagation.
+    pub fn t_matvec_add_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
+        assert_eq!(out.len(), self.cols, "output dimension mismatch");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let g = v[r];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * g;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += alpha · u vᵀ`. Used for gradient
+    /// accumulation (`dW += delta · inputᵀ`).
+    pub fn rank1_add(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows);
+        assert_eq!(v.len(), self.cols);
+        for r in 0..self.rows {
+            let s = alpha * u[r];
+            let row = self.row_mut(r);
+            for (w, x) in row.iter_mut().zip(v) {
+                *w += s * x;
+            }
+        }
+    }
+
+    /// Raw parameter slice (for optimizers that treat weights as a flat
+    /// vector).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw parameter slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error returned when a linear system has no (stable) solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("matrix is singular or numerically rank-deficient")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// `a` is consumed (it is overwritten by the elimination). Suitable for
+/// the small, well-conditioned systems produced by the normal equations
+/// with ridge damping; returns [`SingularMatrix`] when a pivot is
+/// (numerically) zero.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMatrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length must match matrix order");
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest |value| in this column to
+        // the diagonal for numerical stability.
+        let mut pivot_row = col;
+        let mut pivot_val = a[(col, col)].abs();
+        for r in col + 1..n {
+            let v = a[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a[(col, c)];
+                a[(col, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+
+        let inv_pivot = 1.0 / a[(col, col)];
+        for r in col + 1..n {
+            let factor = a[(r, col)] * inv_pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a[(r, col)] = 0.0;
+            for c in col + 1..n {
+                let v = a[(col, c)];
+                a[(r, c)] -= factor * v;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc -= a[(r, c)] * x[c];
+        }
+        x[r] = acc / a[(r, r)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let x = solve(Matrix::identity(4), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0, 4.0], 1e-12);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 0.0;
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0; // linearly dependent rows
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        // Build A and x, compute b = A x, then recover x.
+        let mut rng = crate::rng::SplitMix64::new(11);
+        for _ in 0..50 {
+            let n = 1 + rng.below(6);
+            let a = Matrix::from_fn(n, n, |_, _| rng.range_f64(-1.0, 1.0));
+            // Diagonal dominance guarantees solvability.
+            let a = {
+                let mut m = a;
+                for i in 0..n {
+                    m[(i, i)] += n as f64;
+                }
+                m
+            };
+            let x_true: Vec<f64> = (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+            let b = a.matvec(&x_true);
+            let x = solve(a, b).unwrap();
+            assert_close(&x, &x_true, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![1.0, 5.0, 9.0]);
+        let mut out = vec![0.0; 2];
+        m.t_matvec_add_into(&[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![6.0, 9.0]); // column sums
+    }
+
+    #[test]
+    fn rank1_add_matches_outer_product() {
+        let mut m = Matrix::zeros(2, 3);
+        m.rank1_add(2.0, &[1.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(m.row(0), &[8.0, 10.0, 12.0]);
+        assert_eq!(m.row(1), &[24.0, 30.0, 36.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Single-feature linear regression — the work-horse leaf model.
+//!
+//! The paper (§3.6) observes that "a closed form solution exists for
+//! linear multi-variate models … and they can be trained in a single pass
+//! over the sorted data", and §3.7.1 finds that "for the second stage,
+//! simple, linear models had the best performance". This module is that
+//! model: `predict(x) = slope · x + intercept`, fitted by ordinary least
+//! squares with mean-shifted accumulators for numerical stability (keys
+//! can be as large as 2⁶⁴, so naive Σx² overflows the mantissa).
+
+use crate::Model;
+
+/// `y = slope · x + intercept`, fitted by least squares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    slope: f64,
+    intercept: f64,
+}
+
+impl LinearModel {
+    /// A model with explicit coefficients.
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        Self { slope, intercept }
+    }
+
+    /// The identity-ish degenerate model mapping everything to `0`.
+    pub fn constant(value: f64) -> Self {
+        Self {
+            slope: 0.0,
+            intercept: value,
+        }
+    }
+
+    /// Fit by OLS over `(x, y)` pairs produced by the iterator.
+    ///
+    /// One pass, O(1) memory. For zero points the model predicts 0; for
+    /// one point, a constant; for degenerate x-variance (all x equal),
+    /// the mean of y.
+    pub fn fit(pairs: impl Iterator<Item = (f64, f64)>) -> Self {
+        // Welford-style mean-shifted accumulation: numerically stable for
+        // huge key magnitudes.
+        let mut n = 0.0f64;
+        let mut mean_x = 0.0f64;
+        let mut mean_y = 0.0f64;
+        let mut cov_xy = 0.0f64; // Σ (x - mean_x)(y - mean_y)
+        let mut var_x = 0.0f64; // Σ (x - mean_x)²
+        for (x, y) in pairs {
+            n += 1.0;
+            let dx = x - mean_x;
+            mean_x += dx / n;
+            mean_y += (y - mean_y) / n;
+            cov_xy += dx * (y - mean_y);
+            var_x += dx * (x - mean_x);
+        }
+        if n == 0.0 {
+            return Self::constant(0.0);
+        }
+        if var_x <= 0.0 || !var_x.is_finite() {
+            return Self::constant(mean_y);
+        }
+        let slope = cov_xy / var_x;
+        let intercept = mean_y - slope * mean_x;
+        if !slope.is_finite() || !intercept.is_finite() {
+            return Self::constant(mean_y);
+        }
+        Self { slope, intercept }
+    }
+
+    /// Fit over a sorted key slice where `y` is the index: the exact
+    /// "model of the CDF scaled by N" (§2.2) used by RMI stages.
+    pub fn fit_keys(keys: &[f64]) -> Self {
+        Self::fit(keys.iter().enumerate().map(|(i, &k)| (k, i as f64)))
+    }
+
+    /// Slope coefficient.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Intercept coefficient.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Model for LinearModel {
+    #[inline(always)]
+    fn predict(&self, x: f64) -> f64 {
+        // One multiply-add: the paper's headline "simple linear model …
+        // a single multiplication and addition" (§2).
+        self.slope * x + self.intercept
+    }
+
+    fn size_bytes(&self) -> usize {
+        2 * std::mem::size_of::<f64>()
+    }
+
+    fn op_count(&self) -> usize {
+        2
+    }
+
+    fn is_monotonic(&self) -> bool {
+        self.slope >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_affine_data() {
+        // The paper's §2 example: keys 1M..2M stored at positions 0..1M —
+        // a single linear model predicts perfectly.
+        let keys: Vec<f64> = (0..1000).map(|i| 1_000_000.0 + i as f64).collect();
+        let m = LinearModel::fit_keys(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert!((m.predict(k) - i as f64).abs() < 1e-6);
+        }
+        assert!(m.is_monotonic());
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let m = LinearModel::fit(std::iter::empty());
+        assert_eq!(m.predict(123.0), 0.0);
+        let m = LinearModel::fit([(5.0, 7.0)].into_iter());
+        assert_eq!(m.predict(0.0), 7.0);
+        assert_eq!(m.predict(100.0), 7.0);
+    }
+
+    #[test]
+    fn degenerate_x_gives_mean_of_y() {
+        let m = LinearModel::fit([(2.0, 1.0), (2.0, 3.0), (2.0, 5.0)].into_iter());
+        assert!((m.predict(2.0) - 3.0).abs() < 1e-12);
+        assert_eq!(m.slope(), 0.0);
+    }
+
+    #[test]
+    fn huge_key_magnitudes_stay_stable() {
+        // Keys near 2^63 with spacing above the f64 ulp (2048 at 9e18);
+        // naive Σx² accumulation would still lose all precision here.
+        let base = 9.0e18;
+        let keys: Vec<f64> = (0..10_000).map(|i| base + (i * 4096) as f64).collect();
+        let m = LinearModel::fit_keys(&keys);
+        let mut worst = 0.0f64;
+        for (i, &k) in keys.iter().enumerate() {
+            worst = worst.max((m.predict(k) - i as f64).abs());
+        }
+        assert!(worst < 1.0, "worst abs error {worst}");
+    }
+
+    #[test]
+    fn least_squares_beats_endpoint_interpolation_on_noisy_data() {
+        // y = 2x + noise; OLS slope should approach 2.
+        let mut rng = crate::rng::SplitMix64::new(5);
+        let pairs: Vec<(f64, f64)> = (0..5000)
+            .map(|i| (i as f64, 2.0 * i as f64 + rng.normal() * 10.0))
+            .collect();
+        let m = LinearModel::fit(pairs.iter().copied());
+        assert!((m.slope() - 2.0).abs() < 0.01, "slope {}", m.slope());
+    }
+
+    #[test]
+    fn negative_slope_is_not_monotonic() {
+        let m = LinearModel::fit([(0.0, 10.0), (10.0, 0.0)].into_iter());
+        assert!(!m.is_monotonic());
+    }
+
+    #[test]
+    fn model_trait_metadata() {
+        let m = LinearModel::new(1.0, 0.0);
+        assert_eq!(m.size_bytes(), 16);
+        assert_eq!(m.op_count(), 2);
+    }
+}

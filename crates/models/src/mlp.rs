@@ -1,0 +1,545 @@
+//! Small fully-connected neural networks with ReLU activations.
+//!
+//! The paper restricts itself to "simple neural nets with zero to two
+//! fully-connected hidden layers and ReLU activation functions and a
+//! layer width of up to 32 neurons" (§3.3). This module implements
+//! exactly that family:
+//!
+//! * inputs and targets are min-max normalized to `[0, 1]` so one set of
+//!   hyper-parameters works across key magnitudes;
+//! * a **zero-hidden-layer network is linear regression** and is fitted
+//!   in closed form (one pass, per §3.6) rather than by gradient descent;
+//! * one- and two-hidden-layer networks are trained with minibatch Adam
+//!   on mean-squared error. Training samples at most
+//!   [`MlpConfig::max_train_points`] points — the paper notes top models
+//!   "converge often even before a single scan over the entire
+//!   randomized data".
+//!
+//! Inference is straight-line code over flat `f64` arrays (the "LIF
+//! extracted weights" form): no graph interpreter, no allocation.
+
+use crate::linalg::Matrix;
+use crate::linear::LinearModel;
+use crate::rng::SplitMix64;
+use crate::Model;
+
+/// Hyper-parameters for [`Mlp::fit_keys`].
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Number of hidden layers (0, 1 or 2). Zero means closed-form
+    /// linear regression.
+    pub hidden_layers: usize,
+    /// Width of each hidden layer (the paper sweeps 4..=32).
+    pub width: usize,
+    /// Training epochs over the (sampled) training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Upper bound on training points; larger inputs are uniformly
+    /// subsampled (deterministically).
+    pub max_train_points: usize,
+    /// RNG seed for init + shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden_layers: 2,
+            width: 16,
+            epochs: 60,
+            learning_rate: 0.01,
+            batch_size: 64,
+            max_train_points: 10_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl MlpConfig {
+    /// Convenience constructor matching the paper's grid axes.
+    pub fn new(hidden_layers: usize, width: usize) -> Self {
+        Self {
+            hidden_layers,
+            width,
+            ..Self::default()
+        }
+    }
+}
+
+/// One dense layer `out = W·in + b` with optional ReLU.
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    relu: bool,
+}
+
+impl Dense {
+    fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.b);
+        self.w.matvec_add_into(input, out);
+        if self.relu {
+            for v in out.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// A trained feed-forward network mapping a scalar key to a position.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    /// Closed-form path when `hidden_layers == 0`.
+    linear: Option<LinearModel>,
+    x_min: f64,
+    x_scale: f64,
+    y_scale: f64, // de-normalization: predict * y_scale
+    monotonic: bool,
+}
+
+impl Mlp {
+    /// Fit over a sorted key slice where the target of `keys[i]` is `i`.
+    pub fn fit_keys(cfg: &MlpConfig, keys: &[f64]) -> Self {
+        let ys: Vec<f64> = (0..keys.len()).map(|i| i as f64).collect();
+        Self::fit(cfg, keys, &ys)
+    }
+
+    /// Fit over arbitrary `(x, y)` pairs.
+    pub fn fit(cfg: &MlpConfig, xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(cfg.hidden_layers <= 2, "paper caps at two hidden layers");
+        assert!(
+            cfg.hidden_layers == 0 || cfg.width <= 32,
+            "paper caps layer width at 32 (and forward() relies on it)"
+        );
+
+        let (x_min, x_scale) = min_max_scale(xs);
+        let y_max = ys.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+
+        if cfg.hidden_layers == 0 || xs.len() < 4 {
+            // A 0-hidden-layer NN *is* linear regression (§3.3); solve it
+            // exactly instead of iterating.
+            let lin = LinearModel::fit(xs.iter().zip(ys).map(|(&x, &y)| (x, y)));
+            let monotonic = lin.is_monotonic();
+            return Self {
+                layers: Vec::new(),
+                linear: Some(lin),
+                x_min,
+                x_scale,
+                y_scale: 1.0,
+                monotonic,
+            };
+        }
+
+        // Subsample deterministically if needed (stride sampling keeps
+        // the empirical CDF shape).
+        let stride = (xs.len() / cfg.max_train_points).max(1);
+        let train: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(ys)
+            .step_by(stride)
+            .map(|(&x, &y)| ((x - x_min) * x_scale, y / y_max))
+            .collect();
+
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut layers = build_layers(cfg, &mut rng);
+        train_adam(&mut layers, &train, cfg, &mut rng);
+
+        let mut model = Self {
+            layers,
+            linear: None,
+            x_min,
+            x_scale,
+            y_scale: y_max,
+            monotonic: false,
+        };
+        model.monotonic = model.check_monotonic();
+        model
+    }
+
+    /// Forward pass on a normalized input. Allocation-free: activations
+    /// live in stack arrays (layer width is capped at 32, §3.3), which
+    /// is what makes compiled inference tens of nanoseconds — the whole
+    /// point of LIF code generation (§3.1).
+    #[inline]
+    fn forward(&self, xn: f64) -> f64 {
+        const MAX_WIDTH: usize = 32;
+        let mut a = [0.0f64; MAX_WIDTH];
+        let mut b = [0.0f64; MAX_WIDTH];
+        a[0] = xn;
+        let mut a_len = 1usize;
+        for layer in &self.layers {
+            let out_len = layer.b.len();
+            debug_assert!(out_len <= MAX_WIDTH);
+            for (r, out) in b[..out_len].iter_mut().enumerate() {
+                let row = &layer.w.row(r)[..a_len];
+                let input = &a[..a_len];
+                // Four independent accumulators break the FP add
+                // dependency chain; the dot product then runs at
+                // throughput rather than latency.
+                let mut acc = [layer.b[r], 0.0, 0.0, 0.0];
+                let mut c = 0usize;
+                while c + 4 <= a_len {
+                    acc[0] += row[c] * input[c];
+                    acc[1] += row[c + 1] * input[c + 1];
+                    acc[2] += row[c + 2] * input[c + 2];
+                    acc[3] += row[c + 3] * input[c + 3];
+                    c += 4;
+                }
+                while c < a_len {
+                    acc[0] += row[c] * input[c];
+                    c += 1;
+                }
+                let acc = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+                *out = if layer.relu && acc < 0.0 { 0.0 } else { acc };
+            }
+            std::mem::swap(&mut a, &mut b);
+            a_len = out_len;
+        }
+        a[0]
+    }
+
+    /// Sampled monotonicity check over the training domain: evaluates
+    /// the network on a fine grid and verifies non-decreasing output.
+    /// (Sampled, hence a heuristic — exactly why §3.4 pairs learned
+    /// indexes with search-area auto-widening.)
+    fn check_monotonic(&self) -> bool {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=512 {
+            let v = self.forward(i as f64 / 512.0);
+            if v < prev - 1e-9 {
+                return false;
+            }
+            prev = v;
+        }
+        true
+    }
+
+    /// Number of hidden layers.
+    pub fn hidden_layers(&self) -> usize {
+        self.layers.len().saturating_sub(1)
+    }
+}
+
+fn min_max_scale(xs: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if !min.is_finite() || max <= min {
+        (0.0, 1.0)
+    } else {
+        (min, 1.0 / (max - min))
+    }
+}
+
+fn build_layers(cfg: &MlpConfig, rng: &mut SplitMix64) -> Vec<Dense> {
+    let mut dims = vec![1usize];
+    for _ in 0..cfg.hidden_layers {
+        dims.push(cfg.width);
+    }
+    dims.push(1);
+
+    let mut layers = Vec::with_capacity(dims.len() - 1);
+    for i in 0..dims.len() - 1 {
+        let (fan_in, fan_out) = (dims[i], dims[i + 1]);
+        // He initialization for ReLU layers.
+        let std = (2.0 / fan_in as f64).sqrt();
+        let w = Matrix::from_fn(fan_out, fan_in, |_, _| rng.normal() * std);
+        layers.push(Dense {
+            w,
+            b: vec![0.0; fan_out],
+            relu: i + 1 < dims.len() - 1,
+        });
+    }
+    layers
+}
+
+/// Adam state for one tensor, flat over its parameters.
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl AdamState {
+    fn new(len: usize) -> Self {
+        Self {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = B1 * *m + (1.0 - B1) * g;
+            *v = B2 * *v + (1.0 - B2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+fn train_adam(layers: &mut [Dense], train: &[(f64, f64)], cfg: &MlpConfig, rng: &mut SplitMix64) {
+    let n_layers = layers.len();
+    let mut w_states: Vec<AdamState> = layers
+        .iter()
+        .map(|l| AdamState::new(l.w.as_slice().len()))
+        .collect();
+    let mut b_states: Vec<AdamState> = layers.iter().map(|l| AdamState::new(l.b.len())).collect();
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut t = 0usize;
+
+    // Reusable buffers for activations and gradients.
+    let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+    let mut w_grads: Vec<Vec<f64>> = layers
+        .iter()
+        .map(|l| vec![0.0; l.w.as_slice().len()])
+        .collect();
+    let mut b_grads: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+    for _epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(cfg.batch_size) {
+            for g in w_grads.iter_mut().chain(b_grads.iter_mut()) {
+                g.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for &idx in chunk {
+                let (x, y) = train[idx];
+                // Forward, storing post-activation values per layer.
+                acts[0].clear();
+                acts[0].push(x);
+                for (li, layer) in layers.iter().enumerate() {
+                    let (before, after) = acts.split_at_mut(li + 1);
+                    layer.forward_into(&before[li], &mut after[0]);
+                }
+                let pred = acts[n_layers][0];
+
+                // Backward. d(MSE)/d(pred) = 2 (pred − y).
+                let mut delta = vec![2.0 * (pred - y)];
+                for li in (0..n_layers).rev() {
+                    // ReLU derivative gates delta by the *output* of the
+                    // layer (post-activation > 0).
+                    if layers[li].relu {
+                        for (d, &a) in delta.iter_mut().zip(&acts[li + 1]) {
+                            if a <= 0.0 {
+                                *d = 0.0;
+                            }
+                        }
+                    }
+                    // Accumulate gradients: dW = delta ⊗ input, db = delta.
+                    let input = &acts[li];
+                    {
+                        let gw = &mut w_grads[li];
+                        let cols = input.len();
+                        for (r, &d) in delta.iter().enumerate() {
+                            let row = &mut gw[r * cols..(r + 1) * cols];
+                            for (g, &a) in row.iter_mut().zip(input) {
+                                *g += d * a;
+                            }
+                        }
+                        for (g, &d) in b_grads[li].iter_mut().zip(&delta) {
+                            *g += d;
+                        }
+                    }
+                    // Propagate delta to the previous layer.
+                    if li > 0 {
+                        let mut prev = vec![0.0; input.len()];
+                        layers[li].w.t_matvec_add_into(&delta, &mut prev);
+                        delta = prev;
+                    }
+                }
+            }
+
+            // Apply Adam with batch-mean gradients.
+            t += 1;
+            let inv = 1.0 / chunk.len() as f64;
+            for li in 0..n_layers {
+                for g in w_grads[li].iter_mut() {
+                    *g *= inv;
+                }
+                for g in b_grads[li].iter_mut() {
+                    *g *= inv;
+                }
+                w_states[li].step(
+                    layers[li].w.as_mut_slice(),
+                    &w_grads[li],
+                    cfg.learning_rate,
+                    t,
+                );
+                b_states[li].step(&mut layers[li].b, &b_grads[li], cfg.learning_rate, t);
+            }
+        }
+    }
+}
+
+impl Model for Mlp {
+    #[inline]
+    fn predict(&self, x: f64) -> f64 {
+        if let Some(lin) = &self.linear {
+            return lin.predict(x);
+        }
+        let xn = (x - self.x_min) * self.x_scale;
+        self.forward(xn) * self.y_scale
+    }
+
+    fn size_bytes(&self) -> usize {
+        if self.linear.is_some() {
+            return 2 * std::mem::size_of::<f64>();
+        }
+        self.layers
+            .iter()
+            .map(|l| (l.w.as_slice().len() + l.b.len()) * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + 3 * std::mem::size_of::<f64>()
+    }
+
+    fn op_count(&self) -> usize {
+        if self.linear.is_some() {
+            return 2;
+        }
+        self.layers
+            .iter()
+            .map(|l| 2 * l.w.as_slice().len() + l.b.len())
+            .sum()
+    }
+
+    fn is_monotonic(&self) -> bool {
+        self.monotonic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rmse(m: &Mlp, keys: &[f64]) -> f64 {
+        let se: f64 = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (m.predict(k) - i as f64).powi(2))
+            .sum();
+        (se / keys.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn zero_hidden_layers_is_exact_linear_regression() {
+        let keys: Vec<f64> = (0..1000).map(|i| 100.0 + 2.0 * i as f64).collect();
+        let mlp = Mlp::fit_keys(&MlpConfig::new(0, 0), &keys);
+        let lin = LinearModel::fit_keys(&keys);
+        for &k in keys.iter().step_by(97) {
+            assert!((mlp.predict(k) - lin.predict(k)).abs() < 1e-9);
+        }
+        assert_eq!(mlp.op_count(), 2);
+    }
+
+    #[test]
+    fn one_hidden_layer_learns_nonlinear_cdf() {
+        // Quadratic key growth: position ∝ sqrt(key); a line fits poorly.
+        let keys: Vec<f64> = (0..2000).map(|i| (i * i) as f64).collect();
+        let cfg = MlpConfig {
+            hidden_layers: 1,
+            width: 8,
+            epochs: 80,
+            ..Default::default()
+        };
+        let mlp = Mlp::fit_keys(&cfg, &keys);
+        let lin = Mlp::fit_keys(&MlpConfig::new(0, 0), &keys);
+        assert!(
+            rmse(&mlp, &keys) < rmse(&lin, &keys) * 0.6,
+            "mlp {} vs lin {}",
+            rmse(&mlp, &keys),
+            rmse(&lin, &keys)
+        );
+    }
+
+    #[test]
+    fn two_hidden_layers_at_width_16_trains() {
+        let keys: Vec<f64> = (0..1500)
+            .map(|i| (i as f64 / 150.0).exp() * 1000.0)
+            .collect();
+        let cfg = MlpConfig {
+            hidden_layers: 2,
+            width: 16,
+            epochs: 60,
+            ..Default::default()
+        };
+        let mlp = Mlp::fit_keys(&cfg, &keys);
+        // Must be a usable CDF approximation: RMSE well under N/5.
+        assert!(rmse(&mlp, &keys) < 250.0, "rmse {}", rmse(&mlp, &keys));
+        assert_eq!(mlp.hidden_layers(), 2);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let keys: Vec<f64> = (0..500).map(|i| (i * 3) as f64).collect();
+        let cfg = MlpConfig {
+            hidden_layers: 1,
+            width: 4,
+            epochs: 5,
+            ..Default::default()
+        };
+        let a = Mlp::fit_keys(&cfg, &keys);
+        let b = Mlp::fit_keys(&cfg, &keys);
+        for &k in keys.iter().step_by(31) {
+            assert_eq!(a.predict(k), b.predict(k));
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_linear() {
+        let keys = vec![1.0, 2.0, 3.0];
+        let m = Mlp::fit_keys(&MlpConfig::new(2, 16), &keys);
+        assert_eq!(m.hidden_layers(), 0);
+        assert!((m.predict(2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_scales_with_width() {
+        let keys: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let cfg8 = MlpConfig {
+            hidden_layers: 1,
+            width: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let cfg32 = MlpConfig {
+            hidden_layers: 1,
+            width: 32,
+            epochs: 1,
+            ..Default::default()
+        };
+        let m8 = Mlp::fit_keys(&cfg8, &keys);
+        let m32 = Mlp::fit_keys(&cfg32, &keys);
+        assert!(m32.size_bytes() > m8.size_bytes());
+        assert!(m32.op_count() > m8.op_count());
+    }
+
+    #[test]
+    fn monotonic_flag_detects_monotonic_fit() {
+        // On clean monotone data a converged model should usually be
+        // monotone; only assert the flag is consistent with sampling.
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let m = Mlp::fit_keys(&MlpConfig::new(0, 0), &keys);
+        assert!(m.is_monotonic());
+    }
+}

@@ -1,0 +1,485 @@
+//! Multivariate linear regression with automatic feature engineering.
+//!
+//! §3.7.1 ("Learned indexes without overhead"): *"We used simple automatic
+//! feature engineering for the top model by automatically creating and
+//! selecting features in the form of key, log(key), key², etc.
+//! Multivariate linear regression is an interesting alternative to NN as
+//! it is particularly well suited to fit nonlinear patterns with only a
+//! few operations."*
+//!
+//! The model is `y = w · φ(x) + b` where `φ` expands a scalar key into a
+//! small feature vector. Features are computed on the **raw** key
+//! (shifted by the key minimum so `log`/`sqrt` are defined and `x²` does
+//! not cancel catastrophically) and then min-max normalized **per
+//! column**, which keeps the normal equations well conditioned across
+//! 2⁶⁴-scale key magnitudes without distorting feature shape. Fitting
+//! solves the ridge-damped normal equations `(ΦᵀΦ + λI) w = Φᵀy` with
+//! the Gaussian-elimination solver from [`crate::linalg`]. Feature
+//! *selection* keeps the subset that minimizes holdout RMSE, mirroring
+//! the paper's "creating and selecting" phrasing.
+//!
+//! The same struct also serves vector-valued inputs (string keys, §3.5):
+//! use [`MultivariateLinear::fit_vectors`] with raw feature vectors.
+
+use crate::linalg::{solve, Matrix, SingularMatrix};
+use crate::Model;
+
+/// A scalar-key feature expansion: which derived features to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureMap {
+    /// Include the shifted key itself.
+    pub key: bool,
+    /// Include `ln(1 + shifted key)`.
+    pub log: bool,
+    /// Include `(shifted key)²`.
+    pub square: bool,
+    /// Include `√(shifted key)`.
+    pub sqrt: bool,
+}
+
+impl FeatureMap {
+    /// The full feature set used by the Figure-5 learned index.
+    pub const FULL: Self = Self {
+        key: true,
+        log: true,
+        square: true,
+        sqrt: true,
+    };
+
+    /// Only the raw key: degenerates to simple linear regression.
+    pub const LINEAR: Self = Self {
+        key: true,
+        log: false,
+        square: false,
+        sqrt: false,
+    };
+
+    /// Number of features produced.
+    pub fn arity(&self) -> usize {
+        self.key as usize + self.log as usize + self.square as usize + self.sqrt as usize
+    }
+
+    /// Expand a shifted (≥ 0) key into the feature buffer.
+    #[inline]
+    fn expand_into(&self, xs: f64, out: &mut [f64]) {
+        let xs = xs.max(0.0);
+        let mut i = 0;
+        if self.key {
+            out[i] = xs;
+            i += 1;
+        }
+        if self.log {
+            out[i] = xs.ln_1p();
+            i += 1;
+        }
+        if self.square {
+            out[i] = xs * xs;
+            i += 1;
+        }
+        if self.sqrt {
+            out[i] = xs.sqrt();
+            i += 1;
+        }
+        debug_assert_eq!(i, self.arity());
+    }
+
+    /// All 15 non-empty feature subsets, for selection.
+    pub fn all_subsets() -> Vec<FeatureMap> {
+        let mut out = Vec::with_capacity(15);
+        for bits in 1u8..16 {
+            out.push(FeatureMap {
+                key: bits & 1 != 0,
+                log: bits & 2 != 0,
+                square: bits & 4 != 0,
+                sqrt: bits & 8 != 0,
+            });
+        }
+        out
+    }
+}
+
+const MAX_FEATURES: usize = 4;
+
+/// Multivariate linear regression over engineered (or raw) features.
+#[derive(Debug, Clone)]
+pub struct MultivariateLinear {
+    features: FeatureMap,
+    /// One weight per active feature (already folded with the per-column
+    /// normalization scale).
+    weights: Vec<f64>,
+    bias: f64,
+    /// Keys are shifted by this before feature expansion.
+    x_shift: f64,
+    /// Per-feature-column normalization: `(min, 1/(max-min))`.
+    col_norm: Vec<(f64, f64)>,
+    /// True when fitted over raw vectors (string keys): no expansion.
+    vector_mode: bool,
+}
+
+impl MultivariateLinear {
+    /// Fit `y = w·φ(x) + b` over `(key, position)` pairs.
+    ///
+    /// Falls back to fewer features if the system is singular (e.g. a
+    /// constant key column), and to a constant model as a last resort.
+    pub fn fit(features: FeatureMap, xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        let x_shift = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let x_shift = if x_shift.is_finite() { x_shift } else { 0.0 };
+        match Self::try_fit(features, xs, ys, x_shift) {
+            Ok(m) => m,
+            Err(SingularMatrix) => Self::try_fit(FeatureMap::LINEAR, xs, ys, x_shift)
+                .unwrap_or_else(|_| {
+                    let mean = if ys.is_empty() {
+                        0.0
+                    } else {
+                        ys.iter().sum::<f64>() / ys.len() as f64
+                    };
+                    Self {
+                        features: FeatureMap::LINEAR,
+                        weights: vec![0.0],
+                        bias: mean,
+                        x_shift,
+                        col_norm: vec![(0.0, 1.0)],
+                        vector_mode: false,
+                    }
+                }),
+        }
+    }
+
+    /// Fit over a sorted key slice where `y` is the index.
+    pub fn fit_keys(features: FeatureMap, keys: &[f64]) -> Self {
+        let ys: Vec<f64> = (0..keys.len()).map(|i| i as f64).collect();
+        Self::fit(features, keys, &ys)
+    }
+
+    /// Fit with automatic feature **selection**: tries every non-empty
+    /// feature subset and keeps the one with the lowest RMSE on a
+    /// deterministic 1-in-8 holdout.
+    pub fn fit_select(xs: &[f64], ys: &[f64]) -> Self {
+        let mut best: Option<(f64, Self)> = None;
+        for fm in FeatureMap::all_subsets() {
+            let m = Self::fit(fm, xs, ys);
+            let rmse = holdout_rmse(&m, xs, ys);
+            if best.as_ref().map_or(true, |(b, _)| rmse < *b) {
+                best = Some((rmse, m));
+            }
+        }
+        best.expect("at least one subset").1
+    }
+
+    /// Fit over raw feature vectors (e.g. tokenized string keys, §3.5).
+    /// All vectors must share a length `d`; the model computes
+    /// `y = w·x + b` with `d` weights.
+    pub fn fit_vectors(vectors: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert_eq!(vectors.len(), ys.len());
+        let d = vectors.first().map_or(0, Vec::len);
+        let coeffs = ridge_solve_rows(vectors.iter().map(|v| v.as_slice()), ys, d)
+            .unwrap_or_else(|_| vec![0.0; d + 1]);
+        let (w, b) = coeffs.split_at(d);
+        Self {
+            features: FeatureMap::LINEAR,
+            weights: w.to_vec(),
+            bias: b[0],
+            x_shift: 0.0,
+            col_norm: vec![(0.0, 1.0); d],
+            vector_mode: true,
+        }
+    }
+
+    /// Predict from a raw feature vector (vector mode).
+    #[inline]
+    pub fn predict_vector(&self, v: &[f64]) -> f64 {
+        debug_assert!(self.vector_mode);
+        let mut acc = self.bias;
+        for (w, x) in self.weights.iter().zip(v) {
+            acc += w * x;
+        }
+        acc
+    }
+
+    /// The active feature map (scalar mode).
+    pub fn features(&self) -> FeatureMap {
+        self.features
+    }
+
+    fn try_fit(
+        features: FeatureMap,
+        xs: &[f64],
+        ys: &[f64],
+        x_shift: f64,
+    ) -> Result<Self, SingularMatrix> {
+        if xs.is_empty() {
+            return Err(SingularMatrix);
+        }
+        let d = features.arity();
+
+        // Pass 1: per-column min/max of the raw features.
+        let mut buf = [0.0f64; MAX_FEATURES];
+        let mut col_min = [f64::INFINITY; MAX_FEATURES];
+        let mut col_max = [f64::NEG_INFINITY; MAX_FEATURES];
+        for &x in xs {
+            features.expand_into(x - x_shift, &mut buf[..d]);
+            for c in 0..d {
+                col_min[c] = col_min[c].min(buf[c]);
+                col_max[c] = col_max[c].max(buf[c]);
+            }
+        }
+        let col_norm: Vec<(f64, f64)> = (0..d)
+            .map(|c| {
+                if col_max[c] > col_min[c] && col_min[c].is_finite() {
+                    (col_min[c], 1.0 / (col_max[c] - col_min[c]))
+                } else {
+                    (0.0, 0.0) // dead column: contributes nothing
+                }
+            })
+            .collect();
+
+        // Pass 2: normalized rows into the normal equations.
+        let rows: Vec<[f64; MAX_FEATURES]> = xs
+            .iter()
+            .map(|&x| {
+                features.expand_into(x - x_shift, &mut buf[..d]);
+                let mut row = [0.0f64; MAX_FEATURES];
+                for c in 0..d {
+                    row[c] = (buf[c] - col_norm[c].0) * col_norm[c].1;
+                }
+                row
+            })
+            .collect();
+        let coeffs = ridge_solve_rows(rows.iter().map(|r| &r[..d]), ys, d)?;
+        let (w, b) = coeffs.split_at(d);
+        Ok(Self {
+            features,
+            weights: w.to_vec(),
+            bias: b[0],
+            x_shift,
+            col_norm,
+            vector_mode: false,
+        })
+    }
+}
+
+/// Solve the ridge-damped normal equations for rows of features plus an
+/// implicit bias column. Returns `d + 1` coefficients (bias last).
+fn ridge_solve_rows<'a>(
+    rows: impl Iterator<Item = &'a [f64]>,
+    ys: &[f64],
+    d: usize,
+) -> Result<Vec<f64>, SingularMatrix> {
+    let dim = d + 1; // + bias
+    let mut xtx = Matrix::zeros(dim, dim);
+    let mut xty = vec![0.0; dim];
+    let mut n = 0usize;
+    for (row, &y) in rows.zip(ys) {
+        debug_assert_eq!(row.len(), d);
+        for i in 0..d {
+            for j in i..d {
+                xtx[(i, j)] += row[i] * row[j];
+            }
+            xtx[(i, d)] += row[i]; // bias column
+            xty[i] += row[i] * y;
+        }
+        xtx[(d, d)] += 1.0;
+        xty[d] += y;
+        n += 1;
+    }
+    if n == 0 {
+        return Err(SingularMatrix);
+    }
+    // Symmetrize and damp: a vanishing ridge keeps exactly-collinear
+    // features from producing a singular solve while being far below
+    // fit-precision at position scale.
+    let lambda = 1e-10 * n as f64;
+    for i in 0..dim {
+        for j in 0..i {
+            xtx[(i, j)] = xtx[(j, i)];
+        }
+        xtx[(i, i)] += lambda;
+    }
+    solve(xtx, xty)
+}
+
+fn holdout_rmse(m: &MultivariateLinear, xs: &[f64], ys: &[f64]) -> f64 {
+    let mut se = 0.0;
+    let mut n = 0usize;
+    for (i, (&x, &y)) in xs.iter().zip(ys).enumerate() {
+        if i % 8 == 7 {
+            let e = m.predict(x) - y;
+            se += e * e;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        (se / n as f64).sqrt()
+    }
+}
+
+impl Model for MultivariateLinear {
+    #[inline]
+    fn predict(&self, x: f64) -> f64 {
+        if self.vector_mode {
+            // Scalar predict over a vector-mode model treats the scalar
+            // as a 1-vector; only sensible when d == 1.
+            return self.bias + self.weights.first().copied().unwrap_or(0.0) * x;
+        }
+        let d = self.weights.len();
+        let mut buf = [0.0f64; MAX_FEATURES];
+        self.features.expand_into(x - self.x_shift, &mut buf[..d]);
+        let mut acc = self.bias;
+        for c in 0..d {
+            let (min, scale) = self.col_norm[c];
+            acc += self.weights[c] * ((buf[c] - min) * scale);
+        }
+        acc
+    }
+
+    fn size_bytes(&self) -> usize {
+        // weights + per-column norm pairs + shift + bias.
+        (self.weights.len() + 2 * self.col_norm.len() + 2) * std::mem::size_of::<f64>()
+    }
+
+    fn op_count(&self) -> usize {
+        // shift (1) + ~2 ops per derived feature + normalize (2/col) +
+        // dot product (2/col) + bias add.
+        1 + 2 * self.weights.len() + 4 * self.weights.len() + 1
+    }
+
+    fn is_monotonic(&self) -> bool {
+        // All features used here are monotone non-decreasing in x and the
+        // per-column scales are non-negative, so non-negative weights
+        // guarantee monotonicity. (Sufficient, not necessary.)
+        !self.vector_mode && self.weights.iter().all(|&w| w >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rmse_keys(m: &MultivariateLinear, keys: &[f64]) -> f64 {
+        let se: f64 = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (m.predict(k) - i as f64).powi(2))
+            .sum();
+        (se / keys.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn exact_on_affine_data() {
+        let keys: Vec<f64> = (0..500).map(|i| 10.0 + 3.0 * i as f64).collect();
+        let m = MultivariateLinear::fit_keys(FeatureMap::LINEAR, &keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert!((m.predict(k) - i as f64).abs() < 1e-4, "at {i}");
+        }
+    }
+
+    #[test]
+    fn log_feature_fits_exponential_keys() {
+        // keys = e^(i/100): positions are exactly linear in ln(key), so a
+        // model with a log feature fits far better than a pure line.
+        let keys: Vec<f64> = (0..1000).map(|i| (i as f64 / 100.0).exp()).collect();
+        let lin = MultivariateLinear::fit_keys(FeatureMap::LINEAR, &keys);
+        let full = MultivariateLinear::fit_keys(FeatureMap::FULL, &keys);
+        assert!(
+            rmse_keys(&full, &keys) < rmse_keys(&lin, &keys) * 0.5,
+            "full {} vs lin {}",
+            rmse_keys(&full, &keys),
+            rmse_keys(&lin, &keys)
+        );
+    }
+
+    #[test]
+    fn log_feature_is_near_exact_on_pure_exponential() {
+        // position = 50·ln(key) exactly (keys start at 1 so the shift is
+        // ~0 and ln_1p(key−1) ≈ ln(key)); the log column alone fits this.
+        let keys: Vec<f64> = (0..2000).map(|i| (i as f64 / 50.0).exp()).collect();
+        let m = MultivariateLinear::fit_keys(
+            FeatureMap {
+                key: false,
+                log: true,
+                square: false,
+                sqrt: false,
+            },
+            &keys,
+        );
+        let r = rmse_keys(&m, &keys);
+        assert!(r < 2.0, "rmse {r}");
+    }
+
+    #[test]
+    fn feature_selection_picks_low_error_subset() {
+        let keys: Vec<f64> = (0..2000).map(|i| ((i as f64) / 50.0).exp()).collect();
+        let ys: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let sel = MultivariateLinear::fit_select(&keys, &ys);
+        let r = rmse_keys(&sel, &keys);
+        // Pure linear RMSE on this data is > 400; selection must find the
+        // log column and get near-exact.
+        assert!(r < 20.0, "rmse {r}");
+    }
+
+    #[test]
+    fn constant_keys_fall_back_gracefully() {
+        let keys = vec![5.0; 100];
+        let m = MultivariateLinear::fit_keys(FeatureMap::FULL, &keys);
+        // Mean position is 49.5.
+        assert!((m.predict(5.0) - 49.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_input_predicts_zero() {
+        let m = MultivariateLinear::fit(FeatureMap::FULL, &[], &[]);
+        assert_eq!(m.predict(1.0), 0.0);
+    }
+
+    #[test]
+    fn huge_key_magnitudes_stay_stable() {
+        // Keys near 2^63 with spacing above the f64 ulp (2048 at 9e18).
+        let base = 9.0e18;
+        let keys: Vec<f64> = (0..10_000).map(|i| base + (i * 4096) as f64).collect();
+        let m = MultivariateLinear::fit_keys(FeatureMap::FULL, &keys);
+        let r = rmse_keys(&m, &keys);
+        assert!(r < 1.0, "rmse {r}");
+    }
+
+    #[test]
+    fn vector_mode_fits_plane() {
+        // y = 2a + 3b + 1
+        let vectors: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        let ys: Vec<f64> = vectors
+            .iter()
+            .map(|v| 2.0 * v[0] + 3.0 * v[1] + 1.0)
+            .collect();
+        let m = MultivariateLinear::fit_vectors(&vectors, &ys);
+        for (v, &y) in vectors.iter().zip(&ys) {
+            assert!((m.predict_vector(v) - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_subsets_enumerates_15() {
+        let subsets = FeatureMap::all_subsets();
+        assert_eq!(subsets.len(), 15);
+        assert!(subsets.iter().all(|f| f.arity() > 0));
+    }
+
+    #[test]
+    fn size_and_ops_reflect_arity() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let lin = MultivariateLinear::fit_keys(FeatureMap::LINEAR, &keys);
+        let full = MultivariateLinear::fit_keys(FeatureMap::FULL, &keys);
+        assert!(full.size_bytes() > lin.size_bytes());
+        assert!(full.op_count() > lin.op_count());
+    }
+
+    #[test]
+    fn monotonic_when_all_weights_nonnegative() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let m = MultivariateLinear::fit_keys(FeatureMap::LINEAR, &keys);
+        assert!(m.is_monotonic());
+    }
+}

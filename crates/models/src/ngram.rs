@@ -1,0 +1,169 @@
+//! Hashed character-n-gram logistic regression.
+//!
+//! A cheap alternative classifier for the learned Bloom filter. The paper
+//! itself uses a GRU (§5.2), but also notes "there is no reason that our
+//! model needs to use the same features as the Bloom filter" and that
+//! model choice trades accuracy against memory (Figure 10 shows three
+//! model sizes). This model is the small end of that trade-off: it hashes
+//! every 1-, 2- and 3-gram of the input into a fixed-size weight table
+//! and trains a logistic regression with SGD. It trains in milliseconds,
+//! which makes it the default for tests and low-budget experiments.
+
+use crate::rng::SplitMix64;
+use crate::Classifier;
+
+/// Logistic regression over hashed character n-grams (n = 1, 2, 3).
+#[derive(Debug, Clone)]
+pub struct NgramLogReg {
+    weights: Vec<f64>,
+    bias: f64,
+    mask: usize,
+}
+
+#[inline(always)]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// FNV-1a over a short byte window; cheap and good enough for feature
+/// hashing.
+#[inline(always)]
+fn fnv1a(bytes: &[u8], salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl NgramLogReg {
+    /// Train with `epochs` passes of SGD. `table_bits` sets the weight
+    /// table to `2^table_bits` entries (the model size knob).
+    pub fn train(
+        table_bits: u32,
+        epochs: usize,
+        learning_rate: f64,
+        positives: &[&[u8]],
+        negatives: &[&[u8]],
+        seed: u64,
+    ) -> Self {
+        let size = 1usize << table_bits;
+        let mut model = Self {
+            weights: vec![0.0; size],
+            bias: 0.0,
+            mask: size - 1,
+        };
+        let mut examples: Vec<(&[u8], f64)> = positives
+            .iter()
+            .map(|&s| (s, 1.0))
+            .chain(negatives.iter().map(|&s| (s, 0.0)))
+            .collect();
+        let mut rng = SplitMix64::new(seed);
+        let mut feats = Vec::new();
+        let l2 = 1e-6;
+        for _ in 0..epochs {
+            rng.shuffle(&mut examples);
+            for &(s, y) in &examples {
+                model.features_into(s, &mut feats);
+                let p = model.score_features(&feats);
+                let g = p - y; // d(BCE)/d(logit)
+                model.bias -= learning_rate * g;
+                let per_feat = learning_rate * g;
+                for &f in &feats {
+                    let w = &mut model.weights[f];
+                    *w -= per_feat + learning_rate * l2 * *w;
+                }
+            }
+        }
+        model
+    }
+
+    /// Hash all 1/2/3-grams of `s` into feature indices.
+    fn features_into(&self, s: &[u8], out: &mut Vec<usize>) {
+        out.clear();
+        for n in 1..=3usize {
+            if s.len() < n {
+                break;
+            }
+            let salt = n as u64;
+            for window in s.windows(n) {
+                out.push((fnv1a(window, salt) as usize) & self.mask);
+            }
+        }
+    }
+
+    fn score_features(&self, feats: &[usize]) -> f64 {
+        let mut logit = self.bias;
+        for &f in feats {
+            logit += self.weights[f];
+        }
+        sigmoid(logit)
+    }
+}
+
+impl Classifier for NgramLogReg {
+    fn score(&self, input: &[u8]) -> f64 {
+        let mut feats = Vec::with_capacity(input.len() * 3);
+        self.features_into(input, &mut feats);
+        self.score_features(&feats)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.weights.len() * std::mem::size_of::<f64>() + std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_prefix_rule() {
+        let pos: Vec<Vec<u8>> = (0..200).map(|i| format!("evil-{i}.com").into_bytes()).collect();
+        let neg: Vec<Vec<u8>> = (0..200).map(|i| format!("good-{i}.org").into_bytes()).collect();
+        let p: Vec<&[u8]> = pos.iter().map(|v| v.as_slice()).collect();
+        let n: Vec<&[u8]> = neg.iter().map(|v| v.as_slice()).collect();
+        let m = NgramLogReg::train(12, 8, 0.1, &p, &n, 7);
+        let acc = p.iter().filter(|s| m.score(s) > 0.5).count()
+            + n.iter().filter(|s| m.score(s) < 0.5).count();
+        assert!(acc as f64 / 400.0 > 0.95, "acc {}", acc as f64 / 400.0);
+    }
+
+    #[test]
+    fn generalizes_to_unseen_examples() {
+        let pos: Vec<Vec<u8>> = (0..300).map(|i| format!("phish{i}.evil").into_bytes()).collect();
+        let neg: Vec<Vec<u8>> = (0..300).map(|i| format!("site{i}.good").into_bytes()).collect();
+        let p: Vec<&[u8]> = pos.iter().take(200).map(|v| v.as_slice()).collect();
+        let n: Vec<&[u8]> = neg.iter().take(200).map(|v| v.as_slice()).collect();
+        let m = NgramLogReg::train(13, 10, 0.1, &p, &n, 3);
+        // Held-out tail.
+        let mut correct = 0;
+        for s in pos.iter().skip(200) {
+            if m.score(s) > 0.5 {
+                correct += 1;
+            }
+        }
+        for s in neg.iter().skip(200) {
+            if m.score(s) < 0.5 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 200.0 > 0.9, "holdout acc {}", correct as f64 / 200.0);
+    }
+
+    #[test]
+    fn empty_input_scores_without_panic() {
+        let m = NgramLogReg::train(8, 1, 0.1, &[b"a".as_slice()], &[b"b".as_slice()], 1);
+        let s = m.score(b"");
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn table_bits_control_size() {
+        let m8 = NgramLogReg::train(8, 1, 0.1, &[b"a".as_slice()], &[b"b".as_slice()], 1);
+        let m12 = NgramLogReg::train(12, 1, 0.1, &[b"a".as_slice()], &[b"b".as_slice()], 1);
+        assert_eq!(m8.size_bytes(), 256 * 8 + 8);
+        assert!(m12.size_bytes() > m8.size_bytes());
+    }
+}

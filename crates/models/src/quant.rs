@@ -1,0 +1,205 @@
+//! Quantized model parameters (§3.7.1's compression discussion).
+//!
+//! "Neural nets can be compressed by using 4- or 8-bit integers instead
+//! of 32- or 64-bit floating point values to represent the model
+//! parameters (a process referred to as quantization). This level of
+//! compression can unlock additional gains for learned indexes."
+//!
+//! [`QuantizedLinear`] stores a linear leaf model's parameters as `u8`
+//! with an affine (scale, zero-point) codebook — 2 bytes of payload
+//! instead of 16 — plus shared per-stage codebook constants. Prediction
+//! dequantizes on the fly (two extra multiply-adds). The quantization
+//! error is bounded and folded into the leaf's error envelope, so the
+//! index remains exact; the ablation bench measures the size/latency
+//! trade-off.
+
+use crate::linear::LinearModel;
+use crate::Model;
+
+/// Affine u8 codebook for one coefficient range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Codebook {
+    /// Dequantized value = `zero + step * code`.
+    pub zero: f64,
+    /// Quantization step.
+    pub step: f64,
+}
+
+impl Codebook {
+    /// Codebook covering `[lo, hi]` with 256 levels.
+    pub fn covering(lo: f64, hi: f64) -> Self {
+        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo, lo + 1.0) };
+        Self {
+            zero: lo,
+            step: (hi - lo) / 255.0,
+        }
+    }
+
+    /// Quantize a value to the nearest code.
+    #[inline]
+    pub fn encode(&self, v: f64) -> u8 {
+        (((v - self.zero) / self.step).round().clamp(0.0, 255.0)) as u8
+    }
+
+    /// Dequantize a code.
+    #[inline]
+    pub fn decode(&self, code: u8) -> f64 {
+        self.zero + self.step * code as f64
+    }
+
+    /// Worst-case absolute dequantization error (half a step, plus the
+    /// clamp overflow when the value was outside the covered range —
+    /// callers must construct covering codebooks to keep it at step/2).
+    pub fn max_error(&self) -> f64 {
+        self.step / 2.0
+    }
+}
+
+/// A linear model with 8-bit quantized slope and intercept.
+///
+/// The codebooks are intended to be shared across a whole RMI stage
+/// (they are per-*stage* constants, not per-leaf), which is what makes
+/// the 2-bytes-per-leaf accounting real.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedLinear {
+    slope_code: u8,
+    intercept_code: u8,
+    slope_book: Codebook,
+    intercept_book: Codebook,
+}
+
+impl QuantizedLinear {
+    /// Quantize a trained [`LinearModel`] with the given stage codebooks.
+    pub fn quantize(m: &LinearModel, slope_book: Codebook, intercept_book: Codebook) -> Self {
+        Self {
+            slope_code: slope_book.encode(m.slope()),
+            intercept_code: intercept_book.encode(m.intercept()),
+            slope_book,
+            intercept_book,
+        }
+    }
+
+    /// Build stage codebooks covering a set of leaf models.
+    pub fn stage_codebooks(models: &[LinearModel]) -> (Codebook, Codebook) {
+        let mut s_lo = f64::INFINITY;
+        let mut s_hi = f64::NEG_INFINITY;
+        let mut i_lo = f64::INFINITY;
+        let mut i_hi = f64::NEG_INFINITY;
+        for m in models {
+            s_lo = s_lo.min(m.slope());
+            s_hi = s_hi.max(m.slope());
+            i_lo = i_lo.min(m.intercept());
+            i_hi = i_hi.max(m.intercept());
+        }
+        if models.is_empty() {
+            return (Codebook::covering(0.0, 1.0), Codebook::covering(0.0, 1.0));
+        }
+        (Codebook::covering(s_lo, s_hi), Codebook::covering(i_lo, i_hi))
+    }
+
+    /// The dequantized model (for error analysis).
+    pub fn dequantized(&self) -> LinearModel {
+        LinearModel::new(
+            self.slope_book.decode(self.slope_code),
+            self.intercept_book.decode(self.intercept_code),
+        )
+    }
+
+    /// Bound on `|quantized.predict(x) − original.predict(x)|` over
+    /// `|x| ≤ x_max`: slope error × x_max + intercept error.
+    pub fn prediction_error_bound(&self, x_max: f64) -> f64 {
+        self.slope_book.max_error() * x_max.abs() + self.intercept_book.max_error()
+    }
+
+    /// Payload bytes per leaf (codebooks amortize across the stage).
+    pub const PAYLOAD_BYTES: usize = 2;
+}
+
+impl Model for QuantizedLinear {
+    #[inline]
+    fn predict(&self, x: f64) -> f64 {
+        // Dequantize inline: (zero_s + step_s·c_s)·x + zero_i + step_i·c_i.
+        let slope = self.slope_book.zero + self.slope_book.step * self.slope_code as f64;
+        let intercept =
+            self.intercept_book.zero + self.intercept_book.step * self.intercept_code as f64;
+        slope * x + intercept
+    }
+
+    fn size_bytes(&self) -> usize {
+        Self::PAYLOAD_BYTES
+    }
+
+    fn op_count(&self) -> usize {
+        6
+    }
+
+    fn is_monotonic(&self) -> bool {
+        self.slope_book.decode(self.slope_code) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codebook_roundtrip_within_half_step() {
+        let book = Codebook::covering(-10.0, 10.0);
+        for i in 0..100 {
+            let v = -10.0 + 0.2 * i as f64;
+            let err = (book.decode(book.encode(v)) - v).abs();
+            assert!(err <= book.max_error() + 1e-12, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn degenerate_range_does_not_divide_by_zero() {
+        let book = Codebook::covering(5.0, 5.0);
+        assert_eq!(book.decode(book.encode(5.0)), 5.0);
+    }
+
+    #[test]
+    fn quantized_prediction_close_to_original() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64 * 3.0).collect();
+        let m = LinearModel::fit_keys(&keys);
+        let (sb, ib) = QuantizedLinear::stage_codebooks(&[m]);
+        let q = QuantizedLinear::quantize(&m, sb, ib);
+        let bound = q.prediction_error_bound(3000.0);
+        for &k in keys.iter().step_by(37) {
+            let err = (q.predict(k) - m.predict(k)).abs();
+            assert!(err <= bound + 1e-9, "err {err} bound {bound}");
+        }
+    }
+
+    #[test]
+    fn stage_codebooks_cover_all_models() {
+        let models: Vec<LinearModel> = (0..50)
+            .map(|i| LinearModel::new(i as f64 * 0.1, -(i as f64) * 5.0))
+            .collect();
+        let (sb, ib) = QuantizedLinear::stage_codebooks(&models);
+        for m in &models {
+            let q = QuantizedLinear::quantize(m, sb, ib);
+            let d = q.dequantized();
+            assert!((d.slope() - m.slope()).abs() <= sb.max_error() + 1e-12);
+            assert!((d.intercept() - m.intercept()).abs() <= ib.max_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn payload_is_two_bytes() {
+        let m = LinearModel::new(1.0, 2.0);
+        let (sb, ib) = QuantizedLinear::stage_codebooks(&[m]);
+        let q = QuantizedLinear::quantize(&m, sb, ib);
+        assert_eq!(Model::size_bytes(&q), 2);
+        // 8x smaller than the f32 deployment leaf, 8x8 vs f64 storage.
+        assert!(Model::size_bytes(&q) < m.size_bytes());
+    }
+
+    #[test]
+    fn monotonicity_survives_quantization_for_positive_slopes() {
+        let m = LinearModel::new(2.0, 0.0);
+        let (sb, ib) = QuantizedLinear::stage_codebooks(&[m, LinearModel::new(10.0, 1.0)]);
+        let q = QuantizedLinear::quantize(&m, sb, ib);
+        assert!(q.is_monotonic());
+    }
+}

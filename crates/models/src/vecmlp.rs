@@ -1,0 +1,372 @@
+//! Vector-input MLP for string keys.
+//!
+//! §3.5: *"we consider an n-length string to be a feature vector
+//! x ∈ ℝⁿ … we learn a hierarchy of relatively small feed-forward neural
+//! networks. The one difference is that the input is not a single real
+//! value x but a vector x. Linear models w·x+b scale the number of
+//! multiplications and additions linearly with the input length N.
+//! Feed-forward neural networks with even a single hidden layer of width
+//! h will scale O(hN) multiplications and additions."*
+//!
+//! [`VecMlp`] is the [`crate::Mlp`] generalized to a `d`-dimensional
+//! input: per-column min-max input normalization, 0–2 hidden ReLU
+//! layers, Adam on MSE. A zero-hidden-layer `VecMlp` is multivariate
+//! linear regression and is solved in closed form via
+//! [`crate::MultivariateLinear::fit_vectors`].
+
+use crate::linalg::Matrix;
+use crate::mlp::MlpConfig;
+use crate::multivariate::MultivariateLinear;
+use crate::rng::SplitMix64;
+
+/// One dense layer `out = W·in + b` with optional ReLU.
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    relu: bool,
+}
+
+impl Dense {
+    fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.b);
+        self.w.matvec_add_into(input, out);
+        if self.relu {
+            for v in out.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// A feed-forward network mapping a feature vector to a position.
+#[derive(Debug, Clone)]
+pub struct VecMlp {
+    layers: Vec<Dense>,
+    /// Closed-form path when `hidden_layers == 0`.
+    linear: Option<MultivariateLinear>,
+    /// Per-input-column normalization `(min, 1/(max-min))`.
+    col_norm: Vec<(f64, f64)>,
+    y_scale: f64,
+    input_dim: usize,
+}
+
+impl VecMlp {
+    /// Fit over `(vector, y)` pairs. All vectors must share a dimension.
+    pub fn fit(cfg: &MlpConfig, vectors: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert_eq!(vectors.len(), ys.len());
+        assert!(cfg.hidden_layers <= 2, "paper caps at two hidden layers");
+        let d = vectors.first().map_or(0, Vec::len);
+
+        if cfg.hidden_layers == 0 || vectors.len() < 4 {
+            let lin = MultivariateLinear::fit_vectors(vectors, ys);
+            return Self {
+                layers: Vec::new(),
+                linear: Some(lin),
+                col_norm: vec![(0.0, 1.0); d],
+                y_scale: 1.0,
+                input_dim: d,
+            };
+        }
+
+        // Per-column normalization.
+        let mut col_min = vec![f64::INFINITY; d];
+        let mut col_max = vec![f64::NEG_INFINITY; d];
+        for v in vectors {
+            for c in 0..d {
+                col_min[c] = col_min[c].min(v[c]);
+                col_max[c] = col_max[c].max(v[c]);
+            }
+        }
+        let col_norm: Vec<(f64, f64)> = (0..d)
+            .map(|c| {
+                if col_max[c] > col_min[c] {
+                    (col_min[c], 1.0 / (col_max[c] - col_min[c]))
+                } else {
+                    (col_min[c], 0.0)
+                }
+            })
+            .collect();
+        let y_max = ys.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+
+        let stride = (vectors.len() / cfg.max_train_points).max(1);
+        let train: Vec<(Vec<f64>, f64)> = vectors
+            .iter()
+            .zip(ys)
+            .step_by(stride)
+            .map(|(v, &y)| {
+                let xn: Vec<f64> = (0..d).map(|c| (v[c] - col_norm[c].0) * col_norm[c].1).collect();
+                (xn, y / y_max)
+            })
+            .collect();
+
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut layers = build_layers(d, cfg, &mut rng);
+        train_adam(&mut layers, &train, cfg, &mut rng);
+
+        Self {
+            layers,
+            linear: None,
+            col_norm,
+            y_scale: y_max,
+            input_dim: d,
+        }
+    }
+
+    /// Predict from a raw feature vector.
+    pub fn predict_vector(&self, v: &[f64]) -> f64 {
+        if let Some(lin) = &self.linear {
+            return lin.predict_vector(v);
+        }
+        debug_assert_eq!(v.len(), self.input_dim);
+        let mut a: Vec<f64> = v
+            .iter()
+            .zip(&self.col_norm)
+            .map(|(&x, &(min, scale))| (x - min) * scale)
+            .collect();
+        let mut b = Vec::new();
+        for layer in &self.layers {
+            layer.forward_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        a[0] * self.y_scale
+    }
+
+    /// Input dimension the model was trained on.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Parameter memory in bytes.
+    pub fn size_bytes(&self) -> usize {
+        if let Some(lin) = &self.linear {
+            return crate::Model::size_bytes(lin);
+        }
+        self.layers
+            .iter()
+            .map(|l| (l.w.as_slice().len() + l.b.len()) * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + self.col_norm.len() * 2 * std::mem::size_of::<f64>()
+    }
+
+    /// Multiply-add count per prediction (the §3.5 `O(hN)` scaling).
+    pub fn op_count(&self) -> usize {
+        if let Some(lin) = &self.linear {
+            return crate::Model::op_count(lin);
+        }
+        2 * self.input_dim
+            + self
+                .layers
+                .iter()
+                .map(|l| 2 * l.w.as_slice().len() + l.b.len())
+                .sum::<usize>()
+    }
+}
+
+fn build_layers(input_dim: usize, cfg: &MlpConfig, rng: &mut SplitMix64) -> Vec<Dense> {
+    let mut dims = vec![input_dim];
+    for _ in 0..cfg.hidden_layers {
+        dims.push(cfg.width);
+    }
+    dims.push(1);
+    let mut layers = Vec::with_capacity(dims.len() - 1);
+    for i in 0..dims.len() - 1 {
+        let (fan_in, fan_out) = (dims[i], dims[i + 1]);
+        let std = (2.0 / fan_in as f64).sqrt();
+        layers.push(Dense {
+            w: Matrix::from_fn(fan_out, fan_in, |_, _| rng.normal() * std),
+            b: vec![0.0; fan_out],
+            relu: i + 1 < dims.len() - 1,
+        });
+    }
+    layers
+}
+
+fn train_adam(
+    layers: &mut [Dense],
+    train: &[(Vec<f64>, f64)],
+    cfg: &MlpConfig,
+    rng: &mut SplitMix64,
+) {
+    let n_layers = layers.len();
+    let mut m_w: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect();
+    let mut v_w: Vec<Vec<f64>> = m_w.clone();
+    let mut m_b: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+    let mut v_b: Vec<Vec<f64>> = m_b.clone();
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut t = 0usize;
+    let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+    let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect();
+    let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+    const B1: f64 = 0.9;
+    const B2: f64 = 0.999;
+    const EPS: f64 = 1e-8;
+
+    for _ in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(cfg.batch_size) {
+            for g in gw.iter_mut().chain(gb.iter_mut()) {
+                g.iter_mut().for_each(|x| *x = 0.0);
+            }
+            for &idx in chunk {
+                let (x, y) = &train[idx];
+                acts[0].clear();
+                acts[0].extend_from_slice(x);
+                for (li, layer) in layers.iter().enumerate() {
+                    let (before, after) = acts.split_at_mut(li + 1);
+                    layer.forward_into(&before[li], &mut after[0]);
+                }
+                let pred = acts[n_layers][0];
+                let mut delta = vec![2.0 * (pred - y)];
+                for li in (0..n_layers).rev() {
+                    if layers[li].relu {
+                        for (d, &a) in delta.iter_mut().zip(&acts[li + 1]) {
+                            if a <= 0.0 {
+                                *d = 0.0;
+                            }
+                        }
+                    }
+                    let input = &acts[li];
+                    let cols = input.len();
+                    for (r, &dv) in delta.iter().enumerate() {
+                        let row = &mut gw[li][r * cols..(r + 1) * cols];
+                        for (g, &a) in row.iter_mut().zip(input) {
+                            *g += dv * a;
+                        }
+                    }
+                    for (g, &dv) in gb[li].iter_mut().zip(&delta) {
+                        *g += dv;
+                    }
+                    if li > 0 {
+                        let mut prev = vec![0.0; cols];
+                        layers[li].w.t_matvec_add_into(&delta, &mut prev);
+                        delta = prev;
+                    }
+                }
+            }
+            t += 1;
+            let inv = 1.0 / chunk.len() as f64;
+            let bc1 = 1.0 - B1.powi(t as i32);
+            let bc2 = 1.0 - B2.powi(t as i32);
+            for li in 0..n_layers {
+                for (i, p) in layers[li].w.as_mut_slice().iter_mut().enumerate() {
+                    let g = gw[li][i] * inv;
+                    m_w[li][i] = B1 * m_w[li][i] + (1.0 - B1) * g;
+                    v_w[li][i] = B2 * v_w[li][i] + (1.0 - B2) * g * g;
+                    *p -= cfg.learning_rate * (m_w[li][i] / bc1) / ((v_w[li][i] / bc2).sqrt() + EPS);
+                }
+                for (i, p) in layers[li].b.iter_mut().enumerate() {
+                    let g = gb[li][i] * inv;
+                    m_b[li][i] = B1 * m_b[li][i] + (1.0 - B1) * g;
+                    v_b[li][i] = B2 * v_b[li][i] + (1.0 - B2) * g * g;
+                    *p -= cfg.learning_rate * (m_b[li][i] / bc1) / ((v_b[li][i] / bc2).sqrt() + EPS);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hidden_is_closed_form_multivariate() {
+        let vectors: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64, (i / 20) as f64])
+            .collect();
+        let ys: Vec<f64> = vectors.iter().map(|v| 3.0 * v[0] + 7.0 * v[1]).collect();
+        let m = VecMlp::fit(&MlpConfig::new(0, 0), &vectors, &ys);
+        for (v, &y) in vectors.iter().zip(&ys) {
+            assert!((m.predict_vector(v) - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn one_hidden_layer_learns_nonlinear_function() {
+        // y = max(a, b): not linear in (a, b); needs the hidden layer.
+        let mut rng = SplitMix64::new(2);
+        let vectors: Vec<Vec<f64>> = (0..800)
+            .map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0])
+            .collect();
+        let ys: Vec<f64> = vectors.iter().map(|v| v[0].max(v[1])).collect();
+        let cfg = MlpConfig {
+            hidden_layers: 1,
+            width: 16,
+            epochs: 120,
+            ..Default::default()
+        };
+        let nn = VecMlp::fit(&cfg, &vectors, &ys);
+        let lin = VecMlp::fit(&MlpConfig::new(0, 0), &vectors, &ys);
+        let rmse = |m: &VecMlp| {
+            let se: f64 = vectors
+                .iter()
+                .zip(&ys)
+                .map(|(v, &y)| (m.predict_vector(v) - y).powi(2))
+                .sum();
+            (se / ys.len() as f64).sqrt()
+        };
+        assert!(rmse(&nn) < rmse(&lin) * 0.7, "nn {} lin {}", rmse(&nn), rmse(&lin));
+    }
+
+    #[test]
+    fn op_count_scales_with_input_length() {
+        let mk = |d: usize| {
+            let vectors: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64; d]).collect();
+            let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+            let cfg = MlpConfig {
+                hidden_layers: 1,
+                width: 8,
+                epochs: 1,
+                ..Default::default()
+            };
+            VecMlp::fit(&cfg, &vectors, &ys)
+        };
+        // §3.5: O(hN) multiplications — doubling N roughly doubles ops.
+        let ops8 = mk(8).op_count();
+        let ops16 = mk(16).op_count();
+        assert!(ops16 > ops8 + ops8 / 2, "{ops8} vs {ops16}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let vectors: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cfg = MlpConfig {
+            hidden_layers: 1,
+            width: 4,
+            epochs: 3,
+            ..Default::default()
+        };
+        let a = VecMlp::fit(&cfg, &vectors, &ys);
+        let b = VecMlp::fit(&cfg, &vectors, &ys);
+        assert_eq!(a.predict_vector(&[5.0, 10.0]), b.predict_vector(&[5.0, 10.0]));
+    }
+
+    #[test]
+    fn constant_column_is_ignored_via_zero_scale() {
+        let vectors: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 42.0]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64 * 2.0).collect();
+        let cfg = MlpConfig {
+            hidden_layers: 1,
+            width: 8,
+            epochs: 100,
+            ..Default::default()
+        };
+        let m = VecMlp::fit(&cfg, &vectors, &ys);
+        let rmse = {
+            let se: f64 = vectors
+                .iter()
+                .zip(&ys)
+                .map(|(v, &y)| (m.predict_vector(v) - y).powi(2))
+                .sum();
+            (se / ys.len() as f64).sqrt()
+        };
+        assert!(rmse < 20.0, "rmse {rmse}");
+    }
+}

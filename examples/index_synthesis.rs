@@ -1,0 +1,60 @@
+//! §3.1's Learning Index Framework in action: given data with an
+//! unknown distribution, grid-search index configurations (learned and
+//! B-Tree), measure real lookup latency, and pick a winner — optionally
+//! under a memory budget.
+//!
+//! ```sh
+//! cargo run --release --example index_synthesis
+//! ```
+
+use learned_indexes::data::Dataset;
+use learned_indexes::models::FeatureMap;
+use learned_indexes::rmi::{Lif, LifSpec, SearchStrategy, TopModel};
+
+fn main() {
+    for ds in Dataset::ALL {
+        let keyset = ds.generate(300_000, 5);
+        println!("=== synthesizing an index for {} ===", ds.name());
+
+        let spec = LifSpec {
+            leaf_counts: vec![512, 2048],
+            top_models: vec![
+                TopModel::Linear,
+                TopModel::Multivariate(FeatureMap::FULL),
+                TopModel::Mlp { hidden: 1, width: 16 },
+            ],
+            searches: vec![SearchStrategy::ModelBiasedBinary, SearchStrategy::BiasedQuaternary],
+            btree_pages: vec![64, 128, 256],
+            size_budget: None,
+            probe_queries: 50_000,
+            seed: 1,
+        };
+        let report = Lif::synthesize(keyset.keys(), &spec);
+
+        println!("  {:<45} {:>9} {:>10} {:>9}", "candidate", "ns/lookup", "size KB", "build ms");
+        for c in report.candidates.iter().take(6) {
+            println!(
+                "  {:<45} {:>9.0} {:>10.1} {:>9.1}",
+                c.name,
+                c.lookup_ns,
+                c.size_bytes as f64 / 1024.0,
+                c.build_ms
+            );
+        }
+        println!("  … ({} candidates total)", report.candidates.len());
+        println!("  fastest: {}\n", report.best().name);
+
+        // Same search under a tight memory budget (64 KB).
+        let budget_spec = LifSpec {
+            size_budget: Some(64 * 1024),
+            ..spec
+        };
+        let budget_report = Lif::synthesize(keyset.keys(), &budget_spec);
+        println!(
+            "  under a 64 KB budget: {} ({:.1} KB, {:.0} ns)\n",
+            budget_report.best().name,
+            budget_report.best().size_bytes as f64 / 1024.0,
+            budget_report.best().lookup_ns
+        );
+    }
+}

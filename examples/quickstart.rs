@@ -1,0 +1,64 @@
+//! Quickstart: build a Recursive Model Index, look up keys, scan a range.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use learned_indexes::data::Dataset;
+use learned_indexes::rmi::{RangeIndex, Rmi, RmiConfig, SearchStrategy, TopModel};
+
+fn main() {
+    // 1. Get a sorted key set. (Any sorted unique Vec<u64> works; this
+    //    one reproduces the paper's Lognormal benchmark data.)
+    let keyset = Dataset::Lognormal.generate(200_000, 42);
+    let keys = keyset.keys().to_vec();
+    println!("dataset: {} unique lognormal keys", keys.len());
+
+    // 2. Train a two-stage RMI: one model on top, 1000 linear leaf
+    //    models below, model-biased binary search for the last mile.
+    let config = RmiConfig::two_stage(TopModel::Linear, 1000)
+        .with_search(SearchStrategy::ModelBiasedBinary);
+    let rmi = Rmi::build(keys.clone(), &config);
+
+    let stats = rmi.stats();
+    println!(
+        "trained: {} leaves, {:.1} mean abs error, max {} — {:.1} KB index",
+        stats.leaves,
+        stats.mean_abs_err,
+        stats.max_abs_err,
+        stats.size_bytes as f64 / 1024.0
+    );
+
+    // 3. Point lookups.
+    let probe = keys[keys.len() / 2];
+    let pos = rmi.lookup(probe).expect("stored key must be found");
+    println!("lookup({probe}) -> position {pos}");
+    assert_eq!(keys[pos], probe);
+
+    let missing = keyset.sample_missing(1, 7)[0];
+    println!("lookup({missing}) -> {:?} (not stored)", rmi.lookup(missing));
+    assert_eq!(rmi.lookup(missing), None);
+
+    // 4. Range scan: all keys in [lo, hi).
+    let (lo, hi) = (keys[1000], keys[1020]);
+    let range = rmi.range(lo, hi);
+    println!(
+        "range [{lo}, {hi}) covers positions {range:?} = {} keys",
+        range.len()
+    );
+    assert_eq!(range, 1000..1020);
+
+    // 5. lower_bound / upper_bound semantics match the sorted array.
+    let q = keys[500] + 1;
+    assert_eq!(rmi.lower_bound(q), keyset.lower_bound(q));
+    assert_eq!(rmi.upper_bound(q), keyset.upper_bound(q));
+    println!("lower/upper bound verified against the sorted-array oracle");
+
+    // 6. Compare against a read-optimized B-Tree.
+    let btree = learned_indexes::btree::BTreeIndex::new(keys, 128);
+    println!(
+        "index sizes: rmi {:.1} KB vs btree(page=128) {:.1} KB",
+        rmi.size_bytes() as f64 / 1024.0,
+        btree.size_bytes() as f64 / 1024.0
+    );
+}

@@ -1,0 +1,25 @@
+//! # learned-indexes — facade crate
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests and downstream users can write `use learned_indexes::...`.
+//!
+//! This workspace is a from-scratch Rust reproduction of
+//! *"The Case for Learned Index Structures"* (Kraska, Beutel, Chi, Dean,
+//! Polyzotis — SIGMOD 2018). See `README.md` for the tour, `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! The three index families of the paper:
+//!
+//! * **Range indexes** (§2–3): [`rmi::Rmi`] — the Recursive Model Index —
+//!   plus baselines in [`btree`].
+//! * **Point indexes** (§4): [`hash::CdfHash`] learned hash functions and
+//!   the hash-map architectures of Appendices B/C.
+//! * **Existence indexes** (§5): [`bloom::LearnedBloom`] and friends.
+
+pub use li_bloom as bloom;
+pub use li_btree as btree;
+pub use li_core as rmi;
+pub use li_data as data;
+pub use li_hash as hash;
+pub use li_models as models;

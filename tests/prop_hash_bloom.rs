@@ -1,0 +1,104 @@
+//! Property-based tests for the point- and existence-index crates.
+
+use learned_indexes::bloom::BloomFilter;
+use learned_indexes::hash::{
+    ChainedHashMap, CuckooHashMap, InPlaceChained, KeyHasher, MurmurHasher,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chained_map_matches_std_hashmap(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>()), 1..400),
+        slots in 1usize..200,
+        queries in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let mut ours: ChainedHashMap<u64, _> = ChainedHashMap::new(slots, MurmurHasher::new(1));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in ops {
+            prop_assert_eq!(ours.insert(k, v), model.insert(k, v));
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        for q in queries.into_iter().chain(model.keys().copied().collect::<Vec<_>>()) {
+            prop_assert_eq!(ours.get(q), model.get(&q));
+        }
+    }
+
+    #[test]
+    fn cuckoo_map_matches_std_hashmap(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>()), 1..300),
+    ) {
+        let mut ours: CuckooHashMap<u64> = CuckooHashMap::new(1024);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in ops {
+            if ours.try_insert(k, v) {
+                model.insert(k, v);
+            }
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(ours.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn commercial_cuckoo_never_rejects(
+        keys in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut m: CuckooHashMap<u64> = CuckooHashMap::new_commercial(64);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for k in keys {
+            prop_assert!(m.try_insert(k, k ^ 7));
+            expected.insert(k, k ^ 7);
+        }
+        for (&k, &v) in &expected {
+            prop_assert_eq!(m.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn inplace_chained_total_and_exact(
+        raw_keys in prop::collection::hash_set(any::<u64>(), 1..300),
+        probes in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let records: Vec<(u64, u64)> = raw_keys.iter().map(|&k| (k, k.wrapping_mul(3))).collect();
+        let m = InPlaceChained::build(&records, MurmurHasher::new(9));
+        prop_assert_eq!(m.len(), records.len());
+        for (k, v) in &records {
+            prop_assert_eq!(m.get(*k), Some(v));
+        }
+        for p in probes {
+            if !raw_keys.contains(&p) {
+                prop_assert_eq!(m.get(p), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..200),
+        fpr in 0.001f64..0.3,
+    ) {
+        let mut bf = BloomFilter::new(keys.len(), fpr);
+        for k in &keys {
+            bf.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(bf.contains(k));
+        }
+    }
+
+    #[test]
+    fn murmur_slots_always_in_range(
+        keys in prop::collection::vec(any::<u64>(), 1..100),
+        m in 1usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        let h = MurmurHasher::new(seed);
+        for k in keys {
+            prop_assert!(h.slot(k, m) < m);
+        }
+    }
+}

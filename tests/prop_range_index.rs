@@ -1,0 +1,144 @@
+//! Property-based tests: range-index correctness over arbitrary key
+//! multisets and query points.
+
+use learned_indexes::btree::{
+    BTreeIndex, FastTree, InterpBTree, LookupTable, PagedIndex, RangeIndex,
+};
+use learned_indexes::rmi::{learned_sort, Rmi, RmiConfig, SearchStrategy, TopModel};
+use proptest::prelude::*;
+
+fn sorted_unique(keys: Vec<u64>) -> Vec<u64> {
+    let mut k = keys;
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+fn oracle(data: &[u64], q: u64) -> usize {
+    data.partition_point(|&k| k < q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_oracle(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..50),
+        page in 2usize..64,
+    ) {
+        let data = sorted_unique(keys);
+        let idx = BTreeIndex::new(data.clone(), page);
+        for q in queries {
+            prop_assert_eq!(idx.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn fast_tree_matches_oracle(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let data = sorted_unique(keys);
+        let idx = FastTree::new(data.clone());
+        for q in queries {
+            prop_assert_eq!(idx.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn lookup_table_matches_oracle(
+        keys in prop::collection::vec(any::<u64>(), 0..500),
+        queries in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let data = sorted_unique(keys);
+        let idx = LookupTable::new(data.clone());
+        for q in queries {
+            prop_assert_eq!(idx.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn interp_btree_matches_oracle(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..50),
+        budget in 64usize..4096,
+    ) {
+        let data = sorted_unique(keys);
+        let idx = InterpBTree::with_budget(data.clone(), budget);
+        for q in queries {
+            prop_assert_eq!(idx.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn rmi_matches_oracle_for_all_strategies(
+        keys in prop::collection::vec(any::<u64>(), 0..400),
+        queries in prop::collection::vec(any::<u64>(), 1..40),
+        leaves in 1usize..64,
+        strategy_idx in 0usize..4,
+    ) {
+        let data = sorted_unique(keys);
+        let cfg = RmiConfig::two_stage(TopModel::Linear, leaves)
+            .with_search(SearchStrategy::ALL[strategy_idx]);
+        let rmi = Rmi::build(data.clone(), &cfg);
+        // Both arbitrary probes and exact stored keys.
+        for q in queries.iter().copied().chain(data.iter().copied()) {
+            prop_assert_eq!(rmi.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn hybrid_rmi_matches_oracle(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..40),
+        threshold in 0u32..16,
+    ) {
+        let data = sorted_unique(keys);
+        let cfg = RmiConfig::two_stage(TopModel::Linear, 8).with_hybrid(threshold);
+        let rmi = Rmi::build(data.clone(), &cfg);
+        for q in queries {
+            prop_assert_eq!(rmi.lower_bound(q), oracle(&data, q));
+        }
+    }
+
+    #[test]
+    fn paged_index_generic_matches_specialized(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..30),
+        page in 2usize..32,
+    ) {
+        let data = sorted_unique(keys);
+        let paged = PagedIndex::new(data.clone(), page);
+        let btree = BTreeIndex::new(data.clone(), page);
+        for q in queries {
+            prop_assert_eq!(paged.lower_bound(&q), btree.lower_bound(q));
+        }
+    }
+
+    #[test]
+    fn learned_sort_is_a_sorting_function(
+        keys in prop::collection::vec(any::<u64>(), 0..2000),
+    ) {
+        use learned_indexes::rmi::sort::SortModel;
+        let sorted = learned_sort(&keys, SortModel::Linear);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn rmi_error_envelope_contains_stored_keys(
+        keys in prop::collection::vec(any::<u64>(), 2..400),
+        leaves in 1usize..32,
+    ) {
+        let data = sorted_unique(keys);
+        prop_assume!(data.len() >= 2);
+        let rmi = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, leaves));
+        for (i, &k) in data.iter().enumerate() {
+            let p = rmi.predict(k);
+            prop_assert!(p.lo <= i && i < p.hi.max(p.lo + 1),
+                "key {} at {} outside {}..{}", k, i, p.lo, p.hi);
+        }
+    }
+}
