@@ -38,7 +38,7 @@ pub const FPR_SWEEP: [f64; 4] = [0.001, 0.005, 0.01, 0.02];
 
 /// A trained classifier plus its deployment-size accounting.
 enum ClassifierKind {
-    Gru(GruClassifier),
+    Gru(Box<GruClassifier>),
     Ngram(NgramLogReg),
 }
 
@@ -86,7 +86,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig10Row> {
     let models: Vec<(String, ClassifierKind)> = vec![
         (
             "GRU W=16,E=32".into(),
-            ClassifierKind::Gru(GruClassifier::train(
+            ClassifierKind::Gru(Box::new(GruClassifier::train(
                 &GruConfig {
                     width: 16,
                     embed: 32,
@@ -98,11 +98,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig10Row> {
                 },
                 train_pos,
                 train_neg,
-            )),
+            ))),
         ),
         (
             "GRU W=8,E=16".into(),
-            ClassifierKind::Gru(GruClassifier::train(
+            ClassifierKind::Gru(Box::new(GruClassifier::train(
                 &GruConfig {
                     width: 8,
                     embed: 16,
@@ -114,7 +114,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig10Row> {
                 },
                 train_pos,
                 train_neg,
-            )),
+            ))),
         ),
         (
             "ngram-logreg 2^13".into(),

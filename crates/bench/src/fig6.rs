@@ -36,7 +36,7 @@ pub const PAGE_SIZES: [usize; 4] = [32, 64, 128, 256];
 pub fn run(cfg: &BenchConfig) -> Vec<Fig6Row> {
     let n = cfg.keys;
     let data = li_data::strings::doc_ids(n, cfg.seed);
-    let mut rng = li_data::SplitMix64::new(cfg.seed ^ 0xF16_6);
+    let mut rng = li_data::SplitMix64::new(cfg.seed ^ 0xF166);
     let queries: Vec<String> = (0..cfg.queries)
         .map(|_| data[rng.below(data.len())].clone())
         .collect();

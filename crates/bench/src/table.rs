@@ -63,8 +63,8 @@ impl Table {
         };
         out.push_str(&line(&widths));
         out.push('|');
-        for c in 0..cols {
-            out.push_str(&format!(" {:<width$} |", self.header[c], width = widths[c]));
+        for (h, &width) in self.header.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<width$} |"));
         }
         out.push('\n');
         out.push_str(&line(&widths));

@@ -33,7 +33,7 @@ impl LookupTable {
         debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
         let mut mid: Vec<u64> = data.iter().step_by(FANOUT).copied().collect();
         // "including padding to make it a multiple of 64"
-        while mid.len() % FANOUT != 0 {
+        while !mid.len().is_multiple_of(FANOUT) {
             mid.push(u64::MAX);
         }
         let top: Vec<u64> = mid.iter().step_by(FANOUT).copied().collect();

@@ -134,8 +134,8 @@ impl<'a> PagedRmi<'a> {
         let tbl = &self.translation;
         let tbl_page = tbl.partition_point(|&(fk, _)| fk <= key).saturating_sub(1);
         let lo_page = first_page.max(tbl_page.min(last_page));
-        for logical in lo_page..=last_page.min(tbl.len().saturating_sub(1)) {
-            let (_, storage_pos) = tbl[logical];
+        let hi_page = last_page.min(tbl.len().saturating_sub(1));
+        for &(_, storage_pos) in tbl.iter().take(hi_page + 1).skip(lo_page) {
             let page = self.store.read_page(storage_pos);
             if let Ok(off) = page.binary_search(&key) {
                 return Some((storage_pos, off));

@@ -103,7 +103,7 @@ impl<V: Copy + Default> CuckooHashMap<V> {
         // Displacement loop.
         let mut cur_key = key;
         let mut cur_val = value;
-        let mut bucket = if self.kick_rand() % 2 == 0 { b1 } else { b2 };
+        let mut bucket = if self.kick_rand().is_multiple_of(2) { b1 } else { b2 };
         for _ in 0..MAX_KICKS {
             let victim_slot = (self.kick_rand() as usize) % BUCKET_SLOTS;
             // Swap with the victim.

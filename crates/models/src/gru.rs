@@ -214,8 +214,8 @@ impl GruClassifier {
         let p = sigmoid(logit);
         let dlogit = p - y; // d(BCE)/d(logit)
 
-        for i in 0..self.width {
-            g.out_w[i] += dlogit * h_final[i];
+        for (gw, h) in g.out_w.iter_mut().zip(&h_final) {
+            *gw += dlogit * h;
         }
         g.out_b += dlogit;
 
@@ -240,8 +240,8 @@ impl GruClassifier {
             let rh: Vec<f64> = (0..w).map(|i| step.r[i] * step.h_prev[i]).collect();
             g.cand.w.rank1_add(1.0, &da_c, x);
             g.cand.u.rank1_add(1.0, &da_c, &rh);
-            for i in 0..w {
-                g.cand.b[i] += da_c[i];
+            for (gb, d) in g.cand.b.iter_mut().zip(&da_c) {
+                *gb += d;
             }
             let mut d_rh = vec![0.0; w];
             self.cand.u.t_matvec_add_into(&da_c, &mut d_rh);

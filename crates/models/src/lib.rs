@@ -96,7 +96,7 @@ pub trait Classifier: Send + Sync {
 /// Clamp a raw model prediction into a valid position in `[0, n)`.
 #[inline(always)]
 pub fn clamp_position(pred: f64, n: usize) -> usize {
-    if !(pred > 0.0) {
+    if pred.is_nan() || pred <= 0.0 {
         // NaN or <= 0 both land at position 0.
         0
     } else {

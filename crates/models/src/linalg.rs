@@ -66,13 +66,13 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (w, x) in row.iter().zip(v) {
                 acc += w * x;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -83,13 +83,13 @@ impl Matrix {
     pub fn matvec_add_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(out.len(), self.rows, "output dimension mismatch");
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (w, x) in row.iter().zip(v) {
                 acc += w * x;
             }
-            out[r] += acc;
+            *o += acc;
         }
     }
 
@@ -98,9 +98,8 @@ impl Matrix {
     pub fn t_matvec_add_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
         assert_eq!(out.len(), self.cols, "output dimension mismatch");
-        for r in 0..self.rows {
+        for (r, &g) in v.iter().enumerate() {
             let row = self.row(r);
-            let g = v[r];
             for (o, w) in out.iter_mut().zip(row) {
                 *o += w * g;
             }
@@ -112,8 +111,8 @@ impl Matrix {
     pub fn rank1_add(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
         assert_eq!(u.len(), self.rows);
         assert_eq!(v.len(), self.cols);
-        for r in 0..self.rows {
-            let s = alpha * u[r];
+        for (r, &ur) in u.iter().enumerate() {
+            let s = alpha * ur;
             let row = self.row_mut(r);
             for (w, x) in row.iter_mut().zip(v) {
                 *w += s * x;

@@ -160,7 +160,7 @@ impl MultivariateLinear {
         for fm in FeatureMap::all_subsets() {
             let m = Self::fit(fm, xs, ys);
             let rmse = holdout_rmse(&m, xs, ys);
-            if best.as_ref().map_or(true, |(b, _)| rmse < *b) {
+            if best.as_ref().is_none_or(|(b, _)| rmse < *b) {
                 best = Some((rmse, m));
             }
         }
@@ -328,9 +328,8 @@ impl Model for MultivariateLinear {
         let mut buf = [0.0f64; MAX_FEATURES];
         self.features.expand_into(x - self.x_shift, &mut buf[..d]);
         let mut acc = self.bias;
-        for c in 0..d {
-            let (min, scale) = self.col_norm[c];
-            acc += self.weights[c] * ((buf[c] - min) * scale);
+        for ((&w, &(min, scale)), &b) in self.weights.iter().zip(&self.col_norm).zip(&buf[..d]) {
+            acc += w * ((b - min) * scale);
         }
         acc
     }

@@ -12,8 +12,14 @@ use learned_indexes::models::FeatureMap;
 use learned_indexes::rmi::{Lif, LifSpec, SearchStrategy, TopModel};
 
 fn main() {
+    run(learned_indexes::scale::keys_from_env(300_000));
+}
+
+/// The example body, parameterized by key count so the example smoke
+/// tests (`tests/examples_smoke.rs`) can run it at tiny scale.
+pub fn run(n: usize) {
     for ds in Dataset::ALL {
-        let keyset = ds.generate(300_000, 5);
+        let keyset = ds.generate(n, 5);
         println!("=== synthesizing an index for {} ===", ds.name());
 
         let spec = LifSpec {
@@ -26,7 +32,7 @@ fn main() {
             searches: vec![SearchStrategy::ModelBiasedBinary, SearchStrategy::BiasedQuaternary],
             btree_pages: vec![64, 128, 256],
             size_budget: None,
-            probe_queries: 50_000,
+            probe_queries: (n / 6).max(1_000),
             seed: 1,
         };
         let report = Lif::synthesize(keyset.keys(), &spec);

@@ -12,13 +12,18 @@ use learned_indexes::data::{Dataset, Record20};
 use learned_indexes::hash::{conflict_stats, CdfHasher, ChainedHashMap, KeyHasher, MurmurHasher};
 
 fn main() {
-    let n = 500_000;
+    run(learned_indexes::scale::keys_from_env(500_000));
+}
+
+/// The example body, parameterized by key count so the example smoke
+/// tests (`tests/examples_smoke.rs`) can run it at tiny scale.
+pub fn run(n: usize) {
     let keyset = Dataset::Maps.generate(n, 11);
     let keys = keyset.keys();
     println!("{n} map-feature keys (longitudes)");
 
     // Train the learned hash function: h(K) = F(K) · M (§4.1).
-    let learned = CdfHasher::train(keys, n / 2000);
+    let learned = CdfHasher::train(keys, (n / 2000).max(1));
     let random = MurmurHasher::new(3);
     println!(
         "learned hash model: {:.1} KB ({} linear leaf models)",
@@ -38,7 +43,7 @@ fn main() {
 
     // Figure 11: chained hash map with 20-byte records at 100% slots.
     let mut learned_map: ChainedHashMap<Record20, _> =
-        ChainedHashMap::new(keys.len(), CdfHasher::train(keys, n / 2000));
+        ChainedHashMap::new(keys.len(), CdfHasher::train(keys, (n / 2000).max(1)));
     let mut murmur_map: ChainedHashMap<Record20, _> =
         ChainedHashMap::new(keys.len(), MurmurHasher::new(3));
     for &k in keys {

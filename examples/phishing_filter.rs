@@ -14,9 +14,14 @@ use learned_indexes::data::strings::UrlGenerator;
 use learned_indexes::models::NgramLogReg;
 
 fn main() {
+    run(learned_indexes::scale::keys_from_env(20_000));
+}
+
+/// The example body, parameterized by blacklist size so the example
+/// smoke tests (`tests/examples_smoke.rs`) can run it at tiny scale.
+pub fn run(n: usize) {
     // Blacklist + negatives (random valid URLs mixed with brand-bearing
     // whitelisted lookalikes, as in the paper).
-    let n = 20_000;
     let mut gen = UrlGenerator::new(2024);
     let (blacklist, mut negatives) = gen.dataset(n, n * 2, 0.5);
     let test = negatives.split_off(n);

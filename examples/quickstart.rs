@@ -8,15 +8,21 @@ use learned_indexes::data::Dataset;
 use learned_indexes::rmi::{RangeIndex, Rmi, RmiConfig, SearchStrategy, TopModel};
 
 fn main() {
+    run(learned_indexes::scale::keys_from_env(200_000));
+}
+
+/// The example body, parameterized by key count so the example smoke
+/// tests (`tests/examples_smoke.rs`) can run it at tiny scale.
+pub fn run(n: usize) {
     // 1. Get a sorted key set. (Any sorted unique Vec<u64> works; this
     //    one reproduces the paper's Lognormal benchmark data.)
-    let keyset = Dataset::Lognormal.generate(200_000, 42);
+    let keyset = Dataset::Lognormal.generate(n, 42);
     let keys = keyset.keys().to_vec();
     println!("dataset: {} unique lognormal keys", keys.len());
 
-    // 2. Train a two-stage RMI: one model on top, 1000 linear leaf
+    // 2. Train a two-stage RMI: one model on top, ~n/200 linear leaf
     //    models below, model-biased binary search for the last mile.
-    let config = RmiConfig::two_stage(TopModel::Linear, 1000)
+    let config = RmiConfig::two_stage(TopModel::Linear, (n / 200).max(1))
         .with_search(SearchStrategy::ModelBiasedBinary);
     let rmi = Rmi::build(keys.clone(), &config);
 
@@ -40,16 +46,18 @@ fn main() {
     assert_eq!(rmi.lookup(missing), None);
 
     // 4. Range scan: all keys in [lo, hi).
-    let (lo, hi) = (keys[1000], keys[1020]);
+    let a = keys.len() / 4;
+    let b = (a + 20).min(keys.len().saturating_sub(1)).max(a);
+    let (lo, hi) = (keys[a], keys[b]);
     let range = rmi.range(lo, hi);
     println!(
         "range [{lo}, {hi}) covers positions {range:?} = {} keys",
         range.len()
     );
-    assert_eq!(range, 1000..1020);
+    assert_eq!(range, a..b);
 
     // 5. lower_bound / upper_bound semantics match the sorted array.
-    let q = keys[500] + 1;
+    let q = keys[keys.len() / 8] + 1;
     assert_eq!(rmi.lower_bound(q), keyset.lower_bound(q));
     assert_eq!(rmi.upper_bound(q), keyset.upper_bound(q));
     println!("lower/upper bound verified against the sorted-array oracle");

@@ -16,7 +16,12 @@ use learned_indexes::rmi::{DeltaIndex, RangeIndex, Rmi, RmiConfig, TopModel};
 use std::time::Instant;
 
 fn main() {
-    let n = 500_000;
+    run(learned_indexes::scale::keys_from_env(500_000));
+}
+
+/// The example body, parameterized by key count so the example smoke
+/// tests (`tests/examples_smoke.rs`) can run it at tiny scale.
+pub fn run(n: usize) {
     let keyset = Dataset::Weblogs.generate(n, 7);
     let keys = keyset.keys().to_vec();
     println!("web log: {n} unique request timestamps over ~4 years");
@@ -25,7 +30,7 @@ fn main() {
     let t0 = Instant::now();
     let rmi = Rmi::build(
         keys.clone(),
-        &RmiConfig::two_stage(TopModel::Mlp { hidden: 2, width: 16 }, n / 200),
+        &RmiConfig::two_stage(TopModel::Mlp { hidden: 2, width: 16 }, (n / 200).max(1)),
     );
     println!(
         "rmi trained in {:.0} ms — {:.0} KB, mean abs err {:.1}",
@@ -50,7 +55,7 @@ fn main() {
     );
 
     // Throughput comparison on point lookups.
-    let queries = keyset.sample_existing(200_000, 99);
+    let queries = keyset.sample_existing((n / 2).max(100), 99);
     let time = |f: &mut dyn FnMut(u64) -> usize| {
         let t = Instant::now();
         let mut acc = 0usize;
@@ -70,12 +75,12 @@ fn main() {
     // Appendix D.1: appends with increasing timestamps via a delta index.
     let mut live = DeltaIndex::new(
         keys.clone(),
-        RmiConfig::two_stage(TopModel::Linear, n / 500),
-        50_000,
+        RmiConfig::two_stage(TopModel::Linear, (n / 500).max(1)),
+        (n / 10).max(1),
     );
     let last = *keys.last().expect("non-empty");
     let t0 = Instant::now();
-    let appended = 100_000u64;
+    let appended = (n / 5) as u64;
     for i in 0..appended {
         live.insert(last + 1 + i * 1_000); // new requests, 1ms apart
     }

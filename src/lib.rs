@@ -17,6 +17,8 @@
 //!   the hash-map architectures of Appendices B/C.
 //! * **Existence indexes** (§5): [`bloom::LearnedBloom`] and friends.
 
+pub mod scale;
+
 pub use li_bloom as bloom;
 pub use li_btree as btree;
 pub use li_core as rmi;

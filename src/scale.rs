@@ -1,0 +1,22 @@
+//! Workload-scale knobs shared by the examples.
+
+/// Smallest key count [`keys_from_env`] returns: the examples index
+/// into fixed relative positions of the keyset, which needs a minimal
+/// dataset underneath.
+pub const MIN_KEYS: usize = 1_000;
+
+/// Resolve a key count: the `LI_KEYS` environment variable if set (and
+/// parseable), else `default` — clamped to at least [`MIN_KEYS`].
+///
+/// All examples route their dataset size through this, so
+/// `LI_KEYS=5000000 cargo run --release --example quickstart` scales an
+/// example up (or down) without editing code — the same knob the
+/// `repro` benchmark binary honors. Underscore separators are accepted
+/// (`LI_KEYS=5_000_000`), matching `li_bench::resolve_keys`.
+pub fn keys_from_env(default: usize) -> usize {
+    let n = match std::env::var("LI_KEYS") {
+        Ok(v) => v.trim().replace('_', "").parse().unwrap_or(default),
+        Err(_) => default,
+    };
+    n.max(MIN_KEYS)
+}

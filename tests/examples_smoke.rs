@@ -1,0 +1,51 @@
+//! Smoke tests over the `examples/` directory.
+//!
+//! Each example's body lives in a `pub fn run(n: usize)` precisely so it
+//! can be included here (via `#[path]`) and executed at a tiny key count
+//! on every `cargo test` — examples cannot silently rot. The examples'
+//! own `main` functions run the same code at full scale.
+
+#[allow(dead_code)]
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[allow(dead_code)]
+#[path = "../examples/learned_hashmap.rs"]
+mod learned_hashmap;
+
+#[allow(dead_code)]
+#[path = "../examples/phishing_filter.rs"]
+mod phishing_filter;
+
+#[allow(dead_code)]
+#[path = "../examples/weblog_index.rs"]
+mod weblog_index;
+
+#[allow(dead_code)]
+#[path = "../examples/index_synthesis.rs"]
+mod index_synthesis;
+
+#[test]
+fn quickstart_smoke() {
+    quickstart::run(3_000);
+}
+
+#[test]
+fn learned_hashmap_smoke() {
+    learned_hashmap::run(5_000);
+}
+
+#[test]
+fn phishing_filter_smoke() {
+    phishing_filter::run(1_500);
+}
+
+#[test]
+fn weblog_index_smoke() {
+    weblog_index::run(3_000);
+}
+
+#[test]
+fn index_synthesis_smoke() {
+    index_synthesis::run(2_000);
+}

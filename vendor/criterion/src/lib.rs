@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use with a simple
+//! warm-up → sample → report-median loop and no external dependencies.
+//! See `README.md` for the differences from the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works as in the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost across measured calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup batch.
+    SmallInput,
+    /// Large inputs: few routine calls per setup batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Apply the relevant `cargo bench` CLI arguments: an optional
+    /// benchmark-name substring filter and `--quick`; everything else
+    /// that real criterion accepts is parsed and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--quiet" | "--verbose" | "--noplot" => {}
+                "--quick" => {
+                    self.config.measurement = Duration::from_millis(50);
+                    self.config.warm_up = Duration::from_millis(10);
+                    self.config.sample_size = 5;
+                }
+                "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.config.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into();
+        run_one(&self.config, &name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Time spent warming up each benchmark before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        run_one(&self.config, &name, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is inline).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, name: &str, mut f: F) {
+    if let Some(filter) = &config.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        warm_up: config.warm_up,
+        measurement: config.measurement,
+        sample_size: config.sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    b.samples_ns.sort_unstable_by(|a, z| a.total_cmp(z));
+    let median = if b.samples_ns.is_empty() {
+        f64::NAN
+    } else {
+        b.samples_ns[b.samples_ns.len() / 2]
+    };
+    println!("bench: {name:<60} median {median:>12.1} ns/iter");
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a routine with negligible per-call setup.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Measure a routine whose input is produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        size: BatchSize,
+    ) {
+        let batch = size.iters_per_batch();
+
+        // Warm-up: run batches until the warm-up budget is spent, and
+        // estimate the per-iteration cost for sample sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            warm_iters += batch;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+
+        // Size each sample so all samples together fill the measurement
+        // budget, in whole batches.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let iters_per_sample = (budget_ns / est_ns / self.sample_size as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let batches_per_sample = iters_per_sample.div_ceil(batch);
+
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            let mut iters: u64 = 0;
+            for _ in 0..batches_per_sample {
+                let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                timed += start.elapsed();
+                iters += batch;
+            }
+            self.samples_ns.push(timed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,151 @@
+//! String strategies from a small regex subset.
+//!
+//! Real proptest treats `&str` as a regex-derived strategy. This
+//! stand-in supports the subset the workspace's tests use — literal
+//! characters, `[a-z0-9]`-style classes, and `{m}` / `{m,n}` / `?` /
+//! `*` / `+` quantifiers — which covers patterns like `"[a-z0-9]{0,12}"`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pat:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern {pat:?}"));
+                i += 1;
+                match c {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Atom::Literal(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(vec![(' ', '~')])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(gen_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}

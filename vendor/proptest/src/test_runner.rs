@@ -1,0 +1,112 @@
+//! Case-count configuration, failure plumbing and the deterministic RNG
+//! behind the `proptest!` macro.
+
+/// How many cases a `proptest!` function runs.
+///
+/// `PROPTEST_CASES` in the environment overrides the configured value,
+/// exactly like the real crate. The built-in default is deliberately low
+/// (64) so property suites finish in seconds on CI and laptops.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (before any env override).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count.
+    Reject(String),
+    /// An assertion failed; the run panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection (from `prop_assume!`).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Build a failure (from `prop_assert*!`).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period, good enough for test-case
+/// generation. Seeded deterministically per test (from the test's path)
+/// so failures reproduce; `PROPTEST_RNG_SEED` perturbs the sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from an explicit value.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// An RNG seeded from a test's fully-qualified name (FNV-1a hash),
+    /// optionally perturbed by `PROPTEST_RNG_SEED`.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(v) = extra.trim().parse::<u64>() {
+                h ^= v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next full-width pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `1/n`.
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}
