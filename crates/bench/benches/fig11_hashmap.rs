@@ -15,8 +15,7 @@ fn bench_fig11(c: &mut Criterion) {
 
     let mut learned_map: ChainedHashMap<Record20, _> =
         ChainedHashMap::new(N, CdfHasher::train(keys, N / 2000));
-    let mut murmur_map: ChainedHashMap<Record20, _> =
-        ChainedHashMap::new(N, MurmurHasher::new(1));
+    let mut murmur_map: ChainedHashMap<Record20, _> = ChainedHashMap::new(N, MurmurHasher::new(1));
     for &k in keys {
         learned_map.insert(k, Record20::from_key(k));
         murmur_map.insert(k, Record20::from_key(k));

@@ -19,7 +19,10 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(20);
 
     let structures: Vec<(&str, Box<dyn RangeIndex>)> = vec![
-        ("lookup-table", Box::new(li_btree::LookupTable::new(data.clone()))),
+        (
+            "lookup-table",
+            Box::new(li_btree::LookupTable::new(data.clone())),
+        ),
         ("fast", Box::new(li_btree::FastTree::new(data.clone()))),
         (
             "interp-btree",

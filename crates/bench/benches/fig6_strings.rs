@@ -11,7 +11,9 @@ const N: usize = 100_000;
 fn bench_fig6(c: &mut Criterion) {
     let data = li_data::strings::doc_ids(N, 42);
     let mut rng = li_data::SplitMix64::new(9);
-    let queries: Vec<String> = (0..4096).map(|_| data[rng.below(data.len())].clone()).collect();
+    let queries: Vec<String> = (0..4096)
+        .map(|_| data[rng.below(data.len())].clone())
+        .collect();
 
     let mut group = c.benchmark_group("fig6/doc-ids");
     group.measurement_time(Duration::from_millis(800));
@@ -41,12 +43,18 @@ fn bench_fig6(c: &mut Criterion) {
         ),
         (
             "rmi-1hidden",
-            StringTopModel::Mlp { hidden: 1, width: 16 },
+            StringTopModel::Mlp {
+                hidden: 1,
+                width: 16,
+            },
             SearchStrategy::ModelBiasedBinary,
         ),
         (
             "rmi-1hidden-QS",
-            StringTopModel::Mlp { hidden: 1, width: 16 },
+            StringTopModel::Mlp {
+                hidden: 1,
+                width: 16,
+            },
             SearchStrategy::BiasedQuaternary,
         ),
     ] {

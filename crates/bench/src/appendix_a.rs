@@ -55,7 +55,12 @@ pub fn run(cfg: &BenchConfig) -> Vec<AppendixARow> {
 pub fn print(rows: &[AppendixARow]) {
     let mut t = Table::new(
         "Appendix A — error scaling of constant-size structures",
-        &["N", "model mean|err|", "analytic √N·π/8", "const-size btree page"],
+        &[
+            "N",
+            "model mean|err|",
+            "analytic √N·π/8",
+            "const-size btree page",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -97,7 +102,10 @@ mod tests {
         );
         // B-Tree residual is linear (up to integer-division rounding).
         let page_ratio = last.btree_page as f64 / first.btree_page.max(1) as f64;
-        assert!((page_ratio - n_ratio).abs() / n_ratio < 0.15, "page ratio {page_ratio} vs n ratio {n_ratio}");
+        assert!(
+            (page_ratio - n_ratio).abs() / n_ratio < 0.15,
+            "page ratio {page_ratio} vs n ratio {n_ratio}"
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ pub fn run(cfg: &BenchConfig) -> Vec<AppendixERow> {
     let validation = negs;
     let kb: Vec<&[u8]> = keys.iter().map(|s| s.as_bytes()).collect();
     let vb: Vec<&[u8]> = validation.iter().map(|s| s.as_bytes()).collect();
-    let clf = NgramLogReg::train(11, 8, 0.1, &kb[..kb.len().min(2000)], &vb[..vb.len().min(2000)], 3);
+    let clf = NgramLogReg::train(
+        11,
+        8,
+        0.1,
+        &kb[..kb.len().min(2000)],
+        &vb[..vb.len().min(2000)],
+        3,
+    );
 
     let mut rows = Vec::new();
     for p in [0.001, 0.01] {
@@ -83,7 +90,14 @@ pub fn run(cfg: &BenchConfig) -> Vec<AppendixERow> {
 pub fn print(rows: &[AppendixERow], keys: usize) {
     let mut t = Table::new(
         &format!("Appendix E — Model-hash Bloom filters ({keys} keys scale)"),
-        &["Approach", "Target FPR", "Total (KB)", "Filter (KB)", "Test FPR", "vs bloom"],
+        &[
+            "Approach",
+            "Target FPR",
+            "Total (KB)",
+            "Filter (KB)",
+            "Test FPR",
+            "vs bloom",
+        ],
     );
     for r in rows {
         let baseline = rows

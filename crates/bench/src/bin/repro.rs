@@ -53,7 +53,15 @@ fn main() {
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = [
-            "naive", "fig4", "fig5", "fig6", "fig8", "fig10", "fig11", "table1", "appendix-a",
+            "naive",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig8",
+            "fig10",
+            "fig11",
+            "table1",
+            "appendix-a",
             "appendix-e",
         ]
         .iter()

@@ -118,7 +118,9 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig10Row> {
         ),
         (
             "ngram-logreg 2^13".into(),
-            ClassifierKind::Ngram(NgramLogReg::train(13, 8, 0.1, train_pos, train_neg, cfg.seed)),
+            ClassifierKind::Ngram(NgramLogReg::train(
+                13, 8, 0.1, train_pos, train_neg, cfg.seed,
+            )),
         ),
     ];
 
@@ -140,8 +142,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig10Row> {
         for p in FPR_SWEEP {
             let deploy = clf.deploy_bytes();
             let lb = LearnedBloom::build(clone_kind(&clf), &kb, &vb, p, Some(deploy));
-            let test_fpr =
-                empirical_fpr(|x| lb.contains(x), test.iter().map(|s| s.as_bytes()));
+            let test_fpr = empirical_fpr(|x| lb.contains(x), test.iter().map(|s| s.as_bytes()));
             rows.push(Fig10Row {
                 model: name.clone(),
                 target_fpr: p,
@@ -164,8 +165,18 @@ fn clone_kind(c: &ClassifierKind) -> ClassifierKind {
 /// Render the Figure-10 table.
 pub fn print(rows: &[Fig10Row], keys: usize) {
     let mut t = Table::new(
-        &format!("Figure 10 / §5.2 — Learned Bloom filter ({} blacklist URLs)", keys),
-        &["Model", "Target FPR", "Total (KB)", "FNR", "Test FPR", "vs bloom"],
+        &format!(
+            "Figure 10 / §5.2 — Learned Bloom filter ({} blacklist URLs)",
+            keys
+        ),
+        &[
+            "Model",
+            "Target FPR",
+            "Total (KB)",
+            "FNR",
+            "Test FPR",
+            "vs bloom",
+        ],
     );
     for r in rows {
         let baseline = rows
@@ -209,7 +220,13 @@ mod tests {
         // No-false-negative property is asserted inside LearnedBloom
         // tests; here check FPRs are honest.
         for r in &rows {
-            assert!(r.test_fpr <= r.target_fpr * 4.0 + 0.01, "{}: {} vs {}", r.model, r.test_fpr, r.target_fpr);
+            assert!(
+                r.test_fpr <= r.target_fpr * 4.0 + 0.01,
+                "{}: {} vs {}",
+                r.model,
+                r.test_fpr,
+                r.target_fpr
+            );
         }
     }
 

@@ -108,7 +108,10 @@ pub fn print(rows: &[Fig11Row], keys: usize) {
         let random = &chunk[1];
         for r in [model, random] {
             let factor = if std::ptr::eq(r, model) && random.empty_bytes > 0 {
-                format!("{:.2}x", model.empty_bytes as f64 / random.empty_bytes as f64)
+                format!(
+                    "{:.2}x",
+                    model.empty_bytes as f64 / random.empty_bytes as f64
+                )
             } else {
                 String::new()
             };
@@ -144,8 +147,14 @@ mod tests {
             .iter()
             .filter(|r| r.dataset == "Map Data" && r.slot_factor == 1.0)
             .collect();
-        let model = maps100.iter().find(|r| r.hash_type == "Model Hash").unwrap();
-        let random = maps100.iter().find(|r| r.hash_type == "Random Hash").unwrap();
+        let model = maps100
+            .iter()
+            .find(|r| r.hash_type == "Model Hash")
+            .unwrap();
+        let random = maps100
+            .iter()
+            .find(|r| r.hash_type == "Random Hash")
+            .unwrap();
         assert!(
             model.empty_bytes < random.empty_bytes,
             "model {} vs random {}",

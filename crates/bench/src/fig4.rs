@@ -7,10 +7,15 @@
 //! page-128 B-Tree reference), total lookup (ns, with speedup), and
 //! model-execution time (ns, and as % of total).
 
-use crate::harness::{mb, time_batch_ns, BenchConfig};
+use crate::harness::{mb, time_batch_chunked_ns, time_batch_ns, BenchConfig};
 use crate::table::Table;
-use li_core::{RangeIndex, Rmi, RmiConfig, TopModel};
+use li_core::{KeyStore, RangeIndex, Rmi, RmiConfig, TopModel};
 use li_data::Dataset;
+
+/// Queries per `lower_bound_batch` call in the batched column (big
+/// enough to expose memory-level parallelism, small enough that the
+/// plan scratch stays cache-resident).
+pub const BATCH_CHUNK: usize = 1024;
 
 /// One measured configuration on one dataset.
 #[derive(Debug, Clone)]
@@ -25,6 +30,8 @@ pub struct Fig4Row {
     pub lookup_ns: f64,
     /// Mean model-only (predict) ns.
     pub model_ns: f64,
+    /// Mean per-query ns through `lower_bound_batch` (chunked).
+    pub batch_ns: f64,
 }
 
 /// The paper's B-Tree page-size grid.
@@ -77,32 +84,43 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig4Row> {
     for ds in Dataset::ALL {
         let keyset = ds.generate(cfg.keys, cfg.seed);
         let queries = keyset.sample_existing(cfg.queries, cfg.seed ^ 0xBEEF);
+        // One shared key store per dataset: every configuration below is
+        // a zero-copy view over the same allocation.
+        let store = KeyStore::from(keyset.keys());
 
         for page in PAGE_SIZES {
-            let idx = li_btree::BTreeIndex::new(keyset.keys().to_vec(), page);
+            let idx = li_btree::BTreeIndex::new(store.clone(), page);
             let lookup_ns = time_batch_ns(&queries, |q| idx.lower_bound(q));
             let model_ns = time_batch_ns(&queries, |q| idx.predict(q).pos);
+            let batch_ns = time_batch_chunked_ns(&queries, BATCH_CHUNK, |chunk, out| {
+                idx.lower_bound_batch(chunk, out)
+            });
             rows.push(Fig4Row {
                 dataset: ds.name(),
                 config: format!("btree page={page}"),
                 size_bytes: idx.size_bytes(),
                 lookup_ns,
                 model_ns,
+                batch_ns,
             });
         }
 
         for (label, fraction) in LEAF_FRACTIONS {
             let leaves = scaled_leaves(fraction, cfg.keys);
             let rmi_cfg = rmi_config_for(ds, leaves);
-            let idx = Rmi::build(keyset.keys().to_vec(), &rmi_cfg);
+            let idx = Rmi::build(store.clone(), &rmi_cfg);
             let lookup_ns = time_batch_ns(&queries, |q| idx.lower_bound(q));
             let model_ns = time_batch_ns(&queries, |q| idx.predict(q).pos);
+            let batch_ns = time_batch_chunked_ns(&queries, BATCH_CHUNK, |chunk, out| {
+                idx.lower_bound_batch(chunk, out)
+            });
             rows.push(Fig4Row {
                 dataset: ds.name(),
                 config: format!("learned 2nd-stage={label}-equiv ({leaves})"),
                 size_bytes: idx.size_bytes(),
                 lookup_ns,
                 model_ns,
+                batch_ns,
             });
         }
     }
@@ -122,7 +140,13 @@ pub fn print(rows: &[Fig4Row], keys: usize) {
 
         let mut t = Table::new(
             &format!("Figure 4 — {} ({} keys)", ds.name(), keys),
-            &["Config", "Size (MB)", "Lookup (ns)", "Model (ns)"],
+            &[
+                "Config",
+                "Size (MB)",
+                "Lookup (ns)",
+                "Model (ns)",
+                "Batched (ns)",
+            ],
         );
         for r in &ds_rows {
             t.row(&[
@@ -138,10 +162,18 @@ pub fn print(rows: &[Fig4Row], keys: usize) {
                     r.model_ns,
                     100.0 * r.model_ns / r.lookup_ns.max(1e-9)
                 ),
+                format!(
+                    "{:.0} ({:.2}x vs scalar)",
+                    r.batch_ns,
+                    r.lookup_ns / r.batch_ns.max(1e-9)
+                ),
             ]);
         }
         t.note("factors are relative to the btree page=128 reference, as in the paper");
         t.note("paper@200M: learned 10k..200k-leaf configs are 1.5-3x faster and 10-100x smaller than btree page=128");
+        t.note(&format!(
+            "batched = lower_bound_batch in chunks of {BATCH_CHUNK} (phase-split predict/search); x-factor >1 means batching wins"
+        ));
         t.print();
         println!();
     }
@@ -160,7 +192,24 @@ mod tests {
             assert!(r.lookup_ns > 0.0, "{}", r.config);
             // Model time can exceed total by measurement jitter on tiny
             // windows; it must never *dwarf* it.
-            assert!(r.model_ns <= r.lookup_ns * 3.0 + 50.0, "{}: model {} vs total {}", r.config, r.model_ns, r.lookup_ns);
+            assert!(
+                r.model_ns <= r.lookup_ns * 3.0 + 50.0,
+                "{}: model {} vs total {}",
+                r.config,
+                r.model_ns,
+                r.lookup_ns
+            );
+            // The batched column measures the same work through
+            // lower_bound_batch; it must be in the same order of
+            // magnitude as scalar (jitter aside), never zero.
+            assert!(r.batch_ns > 0.0, "{}", r.config);
+            assert!(
+                r.batch_ns <= r.lookup_ns * 5.0 + 100.0,
+                "{}: batch {} vs scalar {}",
+                r.config,
+                r.batch_ns,
+                r.lookup_ns
+            );
         }
     }
 

@@ -11,7 +11,7 @@
 
 use crate::harness::{mb, time_batch_ns, BenchConfig};
 use crate::table::Table;
-use li_core::{RangeIndex, Rmi, RmiConfig, TopModel};
+use li_core::{KeyStore, RangeIndex, Rmi, RmiConfig, TopModel};
 use li_data::Dataset;
 use li_models::FeatureMap;
 
@@ -30,7 +30,8 @@ pub struct Fig5Row {
 pub fn run(cfg: &BenchConfig) -> Vec<Fig5Row> {
     let keyset = Dataset::Lognormal.generate(cfg.keys, cfg.seed);
     let queries = keyset.sample_existing(cfg.queries, cfg.seed ^ 0xF16);
-    let data = keyset.keys().to_vec();
+    // One shared store: all four baselines read the same allocation.
+    let data = KeyStore::from(keyset.keys());
 
     let mut rows = Vec::new();
 
@@ -115,7 +116,12 @@ mod tests {
         let fast = rows.iter().find(|r| r.name.starts_with("FAST")).unwrap();
         for r in &rows {
             if !r.name.starts_with("FAST") {
-                assert!(fast.size_bytes >= r.size_bytes, "{} >= {}", fast.name, r.name);
+                assert!(
+                    fast.size_bytes >= r.size_bytes,
+                    "{} >= {}",
+                    fast.name,
+                    r.name
+                );
             }
         }
     }

@@ -13,6 +13,7 @@ use crate::table::Table;
 use li_btree::PagedIndex;
 use li_core::string_rmi::{StringRmi, StringRmiConfig, StringTopModel};
 use li_core::SearchStrategy;
+use li_index::KeyStore;
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -35,7 +36,9 @@ pub const PAGE_SIZES: [usize; 4] = [32, 64, 128, 256];
 /// whatever `cfg.keys` says, same fractions for the 2nd stage.)
 pub fn run(cfg: &BenchConfig) -> Vec<Fig6Row> {
     let n = cfg.keys;
-    let data = li_data::strings::doc_ids(n, cfg.seed);
+    // One shared string store: all eleven configurations below index the
+    // same allocation instead of deep-copying the dataset each.
+    let data: KeyStore<String> = KeyStore::new(li_data::strings::doc_ids(n, cfg.seed));
     let mut rng = li_data::SplitMix64::new(cfg.seed ^ 0xF166);
     let queries: Vec<String> = (0..cfg.queries)
         .map(|_| data[rng.below(data.len())].clone())
@@ -57,24 +60,25 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig6Row> {
 
     // 10k models at 10M keys = 1/1000 of the key count.
     let leaves = (n / 1000).max(64);
-    let mut learned = |label: String, top: StringTopModel, hybrid: Option<u32>, search: SearchStrategy| {
-        let scfg = StringRmiConfig {
-            max_len: 16,
-            top,
-            leaves,
-            search,
-            hybrid_threshold: hybrid,
+    let mut learned =
+        |label: String, top: StringTopModel, hybrid: Option<u32>, search: SearchStrategy| {
+            let scfg = StringRmiConfig {
+                max_len: 16,
+                top,
+                leaves,
+                search,
+                hybrid_threshold: hybrid,
+            };
+            let idx = StringRmi::build(data.clone(), &scfg);
+            let lookup_ns = time_batch_ref_ns(&queries, |q| idx.lower_bound(q));
+            let model_ns = time_batch_ref_ns(&queries, |q| idx.predict(q).0);
+            rows.push(Fig6Row {
+                config: label,
+                size_bytes: idx.size_bytes(),
+                lookup_ns,
+                model_ns,
+            });
         };
-        let idx = StringRmi::build(data.clone(), &scfg);
-        let lookup_ns = time_batch_ref_ns(&queries, |q| idx.lower_bound(q));
-        let model_ns = time_batch_ref_ns(&queries, |q| idx.predict(q).0);
-        rows.push(Fig6Row {
-            config: label,
-            size_bytes: idx.size_bytes(),
-            lookup_ns,
-            model_ns,
-        });
-    };
 
     for hidden in [1usize, 2] {
         learned(
@@ -96,7 +100,10 @@ pub fn run(cfg: &BenchConfig) -> Vec<Fig6Row> {
     }
     learned(
         "Learned QS, 1 hidden layer".into(),
-        StringTopModel::Mlp { hidden: 1, width: 16 },
+        StringTopModel::Mlp {
+            hidden: 1,
+            width: 16,
+        },
         None,
         SearchStrategy::BiasedQuaternary,
     );
@@ -118,7 +125,11 @@ pub fn print(rows: &[Fig6Row], keys: usize) {
     for r in rows {
         t.row(&[
             r.config.clone(),
-            format!("{:.2} ({:.2}x)", mb(r.size_bytes), r.size_bytes as f64 / ref_size),
+            format!(
+                "{:.2} ({:.2}x)",
+                mb(r.size_bytes),
+                r.size_bytes as f64 / ref_size
+            ),
             format!("{:.0} ({:.2}x)", r.lookup_ns, ref_ns / r.lookup_ns),
             format!(
                 "{:.0} ({:.0}%)",

@@ -107,10 +107,18 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let maps = rows.iter().find(|r| r.dataset == "Map Data").unwrap();
         let web = rows.iter().find(|r| r.dataset == "Web Data").unwrap();
-        let logn = rows.iter().find(|r| r.dataset == "Log-Normal Data").unwrap();
+        let logn = rows
+            .iter()
+            .find(|r| r.dataset == "Log-Normal Data")
+            .unwrap();
         // Random baseline near 1/e for all datasets.
         for r in &rows {
-            assert!((0.3..0.45).contains(&r.random_rate), "{}: {}", r.dataset, r.random_rate);
+            assert!(
+                (0.3..0.45).contains(&r.random_rate),
+                "{}: {}",
+                r.dataset,
+                r.random_rate
+            );
         }
         // The paper's ordering: maps shows the biggest reduction.
         assert!(maps.reduction > 0.3, "maps reduction {}", maps.reduction);

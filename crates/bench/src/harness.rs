@@ -52,6 +52,36 @@ pub fn time_batch_ns<Q: Copy>(queries: &[Q], mut f: impl FnMut(Q) -> usize) -> f
     elapsed.as_nanos() as f64 / queries.len() as f64
 }
 
+/// Time a *batched* lookup path: `f(chunk, out)` is called once per
+/// `chunk_size` slice of the queries with a matching output buffer, and
+/// the mean nanoseconds **per query** (not per call) is returned — the
+/// same unit as [`time_batch_ns`], so scalar-vs-batched columns compare
+/// directly. A short warm-up precedes the measured pass; results are
+/// black-boxed so the work cannot be elided.
+pub fn time_batch_chunked_ns(
+    queries: &[u64],
+    chunk_size: usize,
+    mut f: impl FnMut(&[u64], &mut [usize]),
+) -> f64 {
+    assert!(!queries.is_empty());
+    let chunk_size = chunk_size.max(1);
+    let mut out = vec![0usize; chunk_size];
+    // Warm-up over ~10% of the workload.
+    for chunk in queries
+        .chunks(chunk_size)
+        .take((queries.len() / (10 * chunk_size)).max(1))
+    {
+        f(chunk, &mut out[..chunk.len()]);
+    }
+    let t0 = Instant::now();
+    for chunk in queries.chunks(chunk_size) {
+        f(chunk, &mut out[..chunk.len()]);
+    }
+    let elapsed = t0.elapsed();
+    std::hint::black_box(&out);
+    elapsed.as_nanos() as f64 / queries.len() as f64
+}
+
 /// Same, for borrowed (non-`Copy`) queries such as strings.
 pub fn time_batch_ref_ns<Q>(queries: &[Q], mut f: impl FnMut(&Q) -> usize) -> f64 {
     assert!(!queries.is_empty());
@@ -82,6 +112,22 @@ mod tests {
         let queries: Vec<u64> = (0..1000).collect();
         let ns = time_batch_ns(&queries, |q| q as usize * 2);
         assert!(ns > 0.0 && ns < 1e6, "{ns}");
+    }
+
+    #[test]
+    fn chunked_batch_visits_every_query_once() {
+        let queries: Vec<u64> = (0..1000).collect();
+        let mut visited = 0usize;
+        let ns = time_batch_chunked_ns(&queries, 128, |chunk, out| {
+            visited += chunk.len();
+            for (o, &q) in out.iter_mut().zip(chunk) {
+                *o = q as usize;
+            }
+        });
+        assert!(ns > 0.0);
+        // Measured pass covers every query once; warm-up adds at most
+        // one more full pass.
+        assert!(visited >= queries.len() && visited <= 2 * queries.len());
     }
 
     #[test]

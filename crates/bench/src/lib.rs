@@ -40,7 +40,7 @@ pub mod naive;
 pub mod table;
 pub mod table1;
 
-pub use harness::{time_batch_ns, BenchConfig};
+pub use harness::{time_batch_chunked_ns, time_batch_ns, BenchConfig};
 pub use table::Table;
 
 /// Resolve the key-count scale: CLI override > `LI_KEYS` env > default.

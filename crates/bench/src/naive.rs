@@ -14,7 +14,7 @@
 
 use crate::harness::{time_batch_ns, BenchConfig};
 use crate::table::Table;
-use li_core::RangeIndex;
+use li_core::{KeyStore, RangeIndex};
 use li_data::Dataset;
 use li_models::{Mlp, MlpConfig, Model};
 
@@ -100,7 +100,7 @@ impl InterpretedNet {
 /// Run the §2.3 comparison on the weblog dataset (as in the paper).
 pub fn run(cfg: &BenchConfig) -> Vec<NaiveRow> {
     let keyset = Dataset::Weblogs.generate(cfg.keys, cfg.seed);
-    let data = keyset.keys().to_vec();
+    let data = KeyStore::from(keyset.keys());
     let queries = keyset.sample_existing(cfg.queries, cfg.seed ^ 0x2_3);
 
     let mut rows = Vec::new();
@@ -165,8 +165,14 @@ mod tests {
             queries: 20_000,
             seed: 1,
         });
-        let interp = rows.iter().find(|r| r.name.starts_with("interpreted")).unwrap();
-        let compiled = rows.iter().find(|r| r.name.starts_with("compiled")).unwrap();
+        let interp = rows
+            .iter()
+            .find(|r| r.name.starts_with("interpreted"))
+            .unwrap();
+        let compiled = rows
+            .iter()
+            .find(|r| r.name.starts_with("compiled"))
+            .unwrap();
         assert!(
             interp.ns > compiled.ns * 2.0,
             "interp {} vs compiled {}",
@@ -187,10 +193,23 @@ mod tests {
             queries: 50_000,
             seed: 2,
         });
-        let interp = rows.iter().find(|r| r.name.starts_with("interpreted")).unwrap();
+        let interp = rows
+            .iter()
+            .find(|r| r.name.starts_with("interpreted"))
+            .unwrap();
         let btree = rows.iter().find(|r| r.name.starts_with("btree")).unwrap();
         let bin = rows.iter().find(|r| r.name.starts_with("binary")).unwrap();
-        assert!(interp.ns > btree.ns, "interp {} vs btree {}", interp.ns, btree.ns);
-        assert!(interp.ns > bin.ns, "interp {} vs binary {}", interp.ns, bin.ns);
+        assert!(
+            interp.ns > btree.ns,
+            "interp {} vs btree {}",
+            interp.ns,
+            btree.ns
+        );
+        assert!(
+            interp.ns > bin.ns,
+            "interp {} vs binary {}",
+            interp.ns,
+            bin.ns
+        );
     }
 }

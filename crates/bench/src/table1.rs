@@ -126,7 +126,10 @@ mod tests {
             assert!(r.utilization > 0.9, "{}: {}", r.name, r.utilization);
         }
         let inplace = rows.iter().find(|r| r.name.contains("In-place")).unwrap();
-        assert!((inplace.utilization - 1.0).abs() < 1e-9, "100% by construction");
+        assert!(
+            (inplace.utilization - 1.0).abs() < 1e-9,
+            "100% by construction"
+        );
     }
 
     #[test]

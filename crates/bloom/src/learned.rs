@@ -178,10 +178,7 @@ mod tests {
         let s = setup(3000);
         let p = 0.02;
         let lb = build(&s, p);
-        let fpr = empirical_fpr(
-            |x| lb.contains(x),
-            s.test.iter().map(|x| x.as_bytes()),
-        );
+        let fpr = empirical_fpr(|x| lb.contains(x), s.test.iter().map(|x| x.as_bytes()));
         assert!(fpr <= p * 2.5, "fpr {fpr} vs target {p}");
     }
 

@@ -26,7 +26,9 @@ impl BloomFilter {
         let n = n.max(1);
         let m = (-(n as f64) * p.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil()
             as usize;
-        let k = ((m as f64 / n as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        let k = ((m as f64 / n as f64) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as u32;
         Self::with_params(m.max(64), k)
     }
 

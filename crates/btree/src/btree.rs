@@ -21,12 +21,12 @@
 //! data page — the "last mile". 100% fill, no pointers, no padding.
 
 use crate::search::lower_bound;
-use crate::{Prediction, RangeIndex};
+use crate::{KeyStore, Prediction, RangeIndex};
 
 /// Static dense-page B-Tree over a sorted `u64` array.
 #[derive(Debug, Clone)]
 pub struct BTreeIndex {
-    data: Vec<u64>,
+    data: KeyStore,
     /// Separator levels, bottom (largest) last. `levels[0]` is the root
     /// level (≤ `page_size` keys); each key is the first key of a chunk
     /// of the level below (or of a data page, for the last level).
@@ -36,8 +36,11 @@ pub struct BTreeIndex {
 
 impl BTreeIndex {
     /// Build over `data` (must be sorted ascending; checked in debug
-    /// builds) with `page_size` keys per page.
-    pub fn new(data: Vec<u64>, page_size: usize) -> Self {
+    /// builds) with `page_size` keys per page. Accepts anything
+    /// convertible to a [`KeyStore`] — pass a `KeyStore` clone to share
+    /// the key array with other indexes at zero copy.
+    pub fn new(data: impl Into<KeyStore>, page_size: usize) -> Self {
+        let data: KeyStore = data.into();
         assert!(page_size >= 2, "page size must be at least 2");
         debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
 
@@ -92,7 +95,7 @@ impl BTreeIndex {
 }
 
 impl RangeIndex for BTreeIndex {
-    fn data(&self) -> &[u64] {
+    fn key_store(&self) -> &KeyStore {
         &self.data
     }
 
@@ -118,6 +121,26 @@ impl RangeIndex for BTreeIndex {
         // the next page, which `lower_bound` returns as `p.hi` — correct
         // because the next page's first key is > key (separator property).
         lower_bound(&self.data, key, p.lo, p.hi)
+    }
+
+    /// Phase-split batched lookup: descend the separator levels for
+    /// *every* query first, then run all page-local binary searches.
+    /// The traversal loop touches only the (small, cache-resident)
+    /// separator arrays while the search loop touches the (large) data
+    /// array, so the data-page cache misses of different queries are
+    /// independent and the hardware can overlap them.
+    fn lower_bound_batch(&self, queries: &[u64], out: &mut [usize]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch: queries and out must have equal length"
+        );
+        // Phase 1: predict (separator traversal) for all queries.
+        let preds: Vec<Prediction> = queries.iter().map(|&q| self.predict(q)).collect();
+        // Phase 2: resolve all page-local searches.
+        for ((o, &q), p) in out.iter_mut().zip(queries).zip(&preds) {
+            *o = lower_bound(&self.data, q, p.lo, p.hi);
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -186,7 +209,7 @@ mod tests {
         // 100 within node budget → exactly 100 u64 = 800 bytes.
         assert_eq!(idx.size_bytes(), 100 * 8);
         // Bigger pages → smaller index (the paper's size column).
-        let big = BTreeIndex::new((0..10_000u64).collect(), 500);
+        let big = BTreeIndex::new((0..10_000u64).collect::<Vec<_>>(), 500);
         assert!(big.size_bytes() < idx.size_bytes());
     }
 
@@ -208,10 +231,33 @@ mod tests {
 
     #[test]
     fn data_smaller_than_one_page_has_no_index() {
-        let idx = BTreeIndex::new((0..50u64).collect(), 128);
+        let idx = BTreeIndex::new((0..50u64).collect::<Vec<_>>(), 128);
         assert_eq!(idx.size_bytes(), 0);
         assert_eq!(idx.height(), 0);
         assert_eq!(idx.lower_bound(25), 25);
+    }
+
+    #[test]
+    fn batched_lookup_matches_scalar() {
+        let data: Vec<u64> = (0..3000u64).map(|i| i * 5 + 1).collect();
+        for page in [2usize, 16, 128] {
+            let idx = BTreeIndex::new(data.clone(), page);
+            let queries: Vec<u64> = (0..4000u64).map(|i| i * 4).collect();
+            let mut out = vec![0usize; queries.len()];
+            idx.lower_bound_batch(&queries, &mut out);
+            for (&q, &got) in queries.iter().zip(&out) {
+                assert_eq!(got, idx.lower_bound(q), "page={page} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn shares_key_store_without_copying() {
+        let store = KeyStore::new((0..100u64).collect());
+        let a = BTreeIndex::new(store.clone(), 16);
+        let b = BTreeIndex::new(store.clone(), 32);
+        assert!(a.key_store().ptr_eq(b.key_store()));
+        assert!(a.key_store().ptr_eq(&store));
     }
 
     #[test]

@@ -18,12 +18,12 @@
 //! tree is complete, the sorted *rank* can be reconstructed during the
 //! descent from known subtree sizes — no per-node rank storage needed.
 
-use crate::{Prediction, RangeIndex};
+use crate::{KeyStore, Prediction, RangeIndex};
 
 /// Branch-free implicit complete binary search tree over sorted keys.
 #[derive(Debug, Clone)]
 pub struct FastTree {
-    data: Vec<u64>,
+    data: KeyStore,
     /// Eytzinger-ordered complete tree of `2^height − 1` slots; absent
     /// slots are padded with `u64::MAX`.
     tree: Vec<u64>,
@@ -31,8 +31,9 @@ pub struct FastTree {
 }
 
 impl FastTree {
-    /// Build over `data` (sorted ascending).
-    pub fn new(data: Vec<u64>) -> Self {
+    /// Build over `data` (sorted ascending; shared via [`KeyStore`]).
+    pub fn new(data: impl Into<KeyStore>) -> Self {
+        let data: KeyStore = data.into();
         debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
         let n = data.len();
         // Smallest complete tree with at least n slots.
@@ -77,7 +78,7 @@ impl FastTree {
 }
 
 impl RangeIndex for FastTree {
-    fn data(&self) -> &[u64] {
+    fn key_store(&self) -> &KeyStore {
         &self.data
     }
 
@@ -137,9 +138,9 @@ mod tests {
     fn power_of_two_padding_blows_up_size() {
         // 1025 keys pad to 2047 slots: almost 2× the raw keys — the
         // Figure-5 phenomenon.
-        let idx = FastTree::new((0..1025u64).collect());
+        let idx = FastTree::new((0..1025u64).collect::<Vec<_>>());
         assert_eq!(idx.size_bytes(), 2047 * 8);
-        let exact = FastTree::new((0..1023u64).collect());
+        let exact = FastTree::new((0..1023u64).collect::<Vec<_>>());
         assert_eq!(exact.size_bytes(), 1023 * 8);
     }
 

@@ -14,21 +14,22 @@
 //! like a linear model does, one step at a time.
 
 use crate::search::interpolation_search;
-use crate::{Prediction, RangeIndex};
+use crate::{KeyStore, Prediction, RangeIndex};
 
 /// Fixed-budget B-Tree using interpolation search inside nodes.
 #[derive(Debug, Clone)]
 pub struct InterpBTree {
-    data: Vec<u64>,
+    data: KeyStore,
     /// First key of every page.
     separators: Vec<u64>,
     page_size: usize,
 }
 
 impl InterpBTree {
-    /// Build over `data` (sorted ascending) so that the index occupies at
-    /// most `budget_bytes`.
-    pub fn with_budget(data: Vec<u64>, budget_bytes: usize) -> Self {
+    /// Build over `data` (sorted ascending; shared via [`KeyStore`]) so
+    /// that the index occupies at most `budget_bytes`.
+    pub fn with_budget(data: impl Into<KeyStore>, budget_bytes: usize) -> Self {
+        let data: KeyStore = data.into();
         let n = data.len();
         let max_separators = (budget_bytes / std::mem::size_of::<u64>()).max(1);
         // page_size = ceil(n / max_separators), at least 2.
@@ -37,7 +38,8 @@ impl InterpBTree {
     }
 
     /// Build with an explicit page size.
-    pub fn with_page_size(data: Vec<u64>, page_size: usize) -> Self {
+    pub fn with_page_size(data: impl Into<KeyStore>, page_size: usize) -> Self {
+        let data: KeyStore = data.into();
         assert!(page_size >= 2);
         debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
         let separators = data.iter().step_by(page_size).copied().collect();
@@ -55,7 +57,7 @@ impl InterpBTree {
 }
 
 impl RangeIndex for InterpBTree {
-    fn data(&self) -> &[u64] {
+    fn key_store(&self) -> &KeyStore {
         &self.data
     }
 
@@ -70,7 +72,12 @@ impl RangeIndex for InterpBTree {
         }
         // Interpolation search over the separators: first separator > key
         // minus one names the page.
-        let idx = interpolation_search(&self.separators, key.saturating_add(1), 0, self.separators.len());
+        let idx = interpolation_search(
+            &self.separators,
+            key.saturating_add(1),
+            0,
+            self.separators.len(),
+        );
         let page = idx.saturating_sub(1);
         let lo = page * self.page_size;
         let hi = (lo + self.page_size).min(self.data.len());

@@ -18,11 +18,14 @@
 //!   search" baseline: index size fixed to a byte budget, interpolation
 //!   search inside nodes.
 //!
-//! The [`RangeIndex`] trait is the common interface all of them — and the
-//! learned indexes in `li-core` — implement, split into a *predict* phase
-//! (narrow to a candidate region; for a B-Tree this is the traversal to
-//! the page) and a *search* phase (find the key within the region), so
-//! the benchmark harness can report the paper's "Model (ns)" column.
+//! The [`RangeIndex`] trait (defined in `li-index` and re-exported here
+//! for backward compatibility) is the common interface all of them — and
+//! the learned indexes in `li-core` — implement, split into a *predict*
+//! phase (narrow to a candidate region; for a B-Tree this is the
+//! traversal to the page) and a *search* phase (find the key within the
+//! region), so the benchmark harness can report the paper's "Model (ns)"
+//! column. Every structure is built over a shared [`KeyStore`], so many
+//! indexes can sit on one key allocation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,74 +43,9 @@ pub use interp::InterpBTree;
 pub use lookup_table::LookupTable;
 pub use paged::PagedIndex;
 
-/// A candidate region produced by an index's predict phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Prediction {
-    /// The position estimate (for a B-Tree: start of the page; for a
-    /// learned index: the model output).
-    pub pos: usize,
-    /// Inclusive lower bound of the region guaranteed to contain the
-    /// lower-bound position of the key.
-    pub lo: usize,
-    /// Exclusive upper bound of that region.
-    pub hi: usize,
-}
-
-/// A read-only range index over a sorted `u64` key array.
-///
-/// Semantics follow §3.4 of the paper: `lower_bound(q)` returns the
-/// position of the first stored key `>= q` (i.e. `data.len()` when every
-/// key is smaller), exactly like `slice::partition_point(|k| k < q)` on
-/// the underlying sorted array.
-pub trait RangeIndex: Send + Sync {
-    /// The sorted key array the index was built over.
-    fn data(&self) -> &[u64];
-
-    /// Predict phase: narrow the key to a candidate region. The paper's
-    /// "Model (ns)" column times exactly this.
-    fn predict(&self, key: u64) -> Prediction;
-
-    /// Full lookup: position of the first key `>= key`.
-    fn lower_bound(&self, key: u64) -> usize;
-
-    /// Position of the first key `> key`.
-    fn upper_bound(&self, key: u64) -> usize {
-        let lb = self.lower_bound(key);
-        let data = self.data();
-        // Keys are unique, so at most one equal key to skip.
-        if lb < data.len() && data[lb] == key {
-            lb + 1
-        } else {
-            lb
-        }
-    }
-
-    /// Position of `key` if present.
-    fn lookup(&self, key: u64) -> Option<usize> {
-        let lb = self.lower_bound(key);
-        let data = self.data();
-        (lb < data.len() && data[lb] == key).then_some(lb)
-    }
-
-    /// All positions whose keys fall in `[lo, hi)` — the range scan the
-    /// sorted layout exists to serve (§2.2).
-    fn range(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
-        if hi <= lo {
-            return 0..0;
-        }
-        let start = self.lower_bound(lo);
-        let end = self.lower_bound(hi);
-        start..end
-    }
-
-    /// Index overhead in bytes, **excluding** the data array itself (the
-    /// paper's "Size (MB)" column counts only the index).
-    fn size_bytes(&self) -> usize;
-
-    /// Human-readable name including configuration, e.g.
-    /// `"btree(page=128)"`.
-    fn name(&self) -> String;
-}
+// Re-exported from the foundation crate for backward compatibility:
+// downstream code that wrote `li_btree::RangeIndex` keeps compiling.
+pub use li_index::{KeyStore, Prediction, RangeIndex};
 
 #[cfg(test)]
 mod trait_tests {
@@ -124,5 +62,22 @@ mod trait_tests {
         assert_eq!(idx.range(15, 35), 1..3);
         assert_eq!(idx.range(35, 15), 0..0);
         assert_eq!(idx.range(0, 100), 0..4);
+    }
+
+    #[test]
+    fn indexes_share_one_key_store() {
+        let store = KeyStore::new((0..1000u64).map(|i| i * 2).collect());
+        let btree = BTreeIndex::new(store.clone(), 64);
+        let fast = FastTree::new(store.clone());
+        let lut = LookupTable::new(store.clone());
+        let interp = InterpBTree::with_budget(store.clone(), 1024);
+        for idx in [
+            &btree as &dyn RangeIndex,
+            &fast as &dyn RangeIndex,
+            &lut as &dyn RangeIndex,
+            &interp as &dyn RangeIndex,
+        ] {
+            assert!(idx.key_store().ptr_eq(&store), "{}", idx.name());
+        }
     }
 }

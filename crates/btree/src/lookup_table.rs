@@ -12,14 +12,14 @@
 //! with no early exit — the scalar form of an AVX compare+popcount; the
 //! compiler autovectorizes the loop.
 
-use crate::{Prediction, RangeIndex};
+use crate::{KeyStore, Prediction, RangeIndex};
 
 const FANOUT: usize = 64;
 
 /// 3-stage 64-way lookup table over a sorted `u64` array.
 #[derive(Debug, Clone)]
 pub struct LookupTable {
-    data: Vec<u64>,
+    data: KeyStore,
     /// Stage 2: every 64th key of `data`, padded to a multiple of 64
     /// with `u64::MAX`.
     mid: Vec<u64>,
@@ -28,8 +28,9 @@ pub struct LookupTable {
 }
 
 impl LookupTable {
-    /// Build over `data` (sorted ascending).
-    pub fn new(data: Vec<u64>) -> Self {
+    /// Build over `data` (sorted ascending; shared via [`KeyStore`]).
+    pub fn new(data: impl Into<KeyStore>) -> Self {
+        let data: KeyStore = data.into();
         debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
         let mut mid: Vec<u64> = data.iter().step_by(FANOUT).copied().collect();
         // "including padding to make it a multiple of 64"
@@ -68,7 +69,7 @@ impl LookupTable {
 }
 
 impl RangeIndex for LookupTable {
-    fn data(&self) -> &[u64] {
+    fn key_store(&self) -> &KeyStore {
         &self.data
     }
 
@@ -120,7 +121,12 @@ mod tests {
             queries.extend_from_slice(&[k.saturating_sub(1), k, k.saturating_add(1)]);
         }
         for q in queries {
-            assert_eq!(idx.lower_bound(q), oracle(&data, q), "n={} q={q}", data.len());
+            assert_eq!(
+                idx.lower_bound(q),
+                oracle(&data, q),
+                "n={} q={q}",
+                data.len()
+            );
         }
     }
 
@@ -133,14 +139,14 @@ mod tests {
 
     #[test]
     fn mid_table_is_padded_to_64() {
-        let idx = LookupTable::new((0..1000u64).collect());
+        let idx = LookupTable::new((0..1000u64).collect::<Vec<_>>());
         assert_eq!(idx.mid.len() % FANOUT, 0);
     }
 
     #[test]
     fn size_is_roughly_data_over_64() {
         let n = 1 << 20;
-        let idx = LookupTable::new((0..n as u64).collect());
+        let idx = LookupTable::new((0..n as u64).collect::<Vec<_>>());
         let expected_mid = n / FANOUT;
         // top adds another /64.
         let bytes = idx.size_bytes();

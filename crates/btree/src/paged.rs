@@ -8,12 +8,13 @@
 //! like the CSS-tree layout — but generic, with caller-visible byte
 //! accounting for variable-length keys.
 
+use crate::KeyStore;
 use std::ops::Range;
 
 /// A static multi-level paged index over a sorted slice of `T`.
 #[derive(Debug, Clone)]
 pub struct PagedIndex<T> {
-    data: Vec<T>,
+    data: KeyStore<T>,
     /// Separator levels, root level first; each entry is (first key of
     /// chunk) paired implicitly by position.
     levels: Vec<Vec<T>>,
@@ -21,8 +22,10 @@ pub struct PagedIndex<T> {
 }
 
 impl<T: Ord + Clone> PagedIndex<T> {
-    /// Build over sorted `data` with `page_size` keys per page.
-    pub fn new(data: Vec<T>, page_size: usize) -> Self {
+    /// Build over sorted `data` (shared via a generic [`KeyStore`]) with
+    /// `page_size` keys per page.
+    pub fn new(data: impl Into<KeyStore<T>>, page_size: usize) -> Self {
+        let data: KeyStore<T> = data.into();
         assert!(page_size >= 2);
         debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
         let mut levels: Vec<Vec<T>> = Vec::new();
@@ -45,6 +48,11 @@ impl<T: Ord + Clone> PagedIndex<T> {
 
     /// The underlying sorted data.
     pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The shared key store the index was built over.
+    pub fn key_store(&self) -> &KeyStore<T> {
         &self.data
     }
 

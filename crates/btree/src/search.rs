@@ -140,7 +140,9 @@ mod tests {
             // Skewed: quadratic growth breaks naive interpolation.
             (0..500u64).map(|i| i * i).collect(),
             // Duplicate-free but highly clustered.
-            (0..300u64).map(|i| if i < 290 { i } else { i * 1000 }).collect(),
+            (0..300u64)
+                .map(|i| if i < 290 { i } else { i * 1000 })
+                .collect(),
         ]
     }
 
@@ -165,7 +167,11 @@ mod tests {
     fn branchless_matches_oracle() {
         for data in datasets() {
             for q in queries(&data) {
-                assert_eq!(branchless_lower_bound(&data, q), oracle(&data, q), "{data:?} q={q}");
+                assert_eq!(
+                    branchless_lower_bound(&data, q),
+                    oracle(&data, q),
+                    "{data:?} q={q}"
+                );
             }
         }
     }

@@ -13,9 +13,12 @@
 //! and retraining a linear-top RMI is a single pass.
 
 use crate::rmi::{Rmi, RmiConfig};
-use li_btree::RangeIndex;
+use li_index::{KeyStore, RangeIndex};
 
 /// An updatable learned index: RMI base + sorted delta buffer.
+///
+/// The base keys live in the RMI's shared [`KeyStore`]; only the (small,
+/// bounded) insert buffer is owned, mutable storage.
 #[derive(Debug)]
 pub struct DeltaIndex {
     base: Rmi,
@@ -28,7 +31,7 @@ pub struct DeltaIndex {
 impl DeltaIndex {
     /// Build over initial `data` (sorted, unique); buffer up to
     /// `merge_threshold` inserts between retrains.
-    pub fn new(data: Vec<u64>, config: RmiConfig, merge_threshold: usize) -> Self {
+    pub fn new(data: impl Into<KeyStore>, config: RmiConfig, merge_threshold: usize) -> Self {
         assert!(merge_threshold > 0);
         Self {
             base: Rmi::build(data, &config),

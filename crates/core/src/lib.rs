@@ -40,10 +40,12 @@ pub mod sort;
 pub mod string_rmi;
 
 pub use delta::DeltaIndex;
+pub use lif::{Lif, LifCandidate, LifReport, LifSpec};
+// The shared vocabulary comes straight from the foundation crate —
+// li-core no longer reaches through its own baseline for it.
+pub use li_index::{KeyStore, Prediction, RangeIndex};
 pub use multidim::ZOrderRmi;
 pub use paging::{PagedRmi, PagedStore};
-pub use lif::{Lif, LifCandidate, LifReport, LifSpec};
-pub use li_btree::{Prediction, RangeIndex};
 pub use rmi::{Leaf, LeafKind, Rmi, RmiConfig, RmiStats, TopModel};
 pub use search::SearchStrategy;
 pub use sort::learned_sort;

@@ -13,7 +13,7 @@
 //! range scan per interval, filtering the residual false positives.
 
 use crate::rmi::{Rmi, RmiConfig};
-use li_btree::RangeIndex;
+use li_index::RangeIndex;
 
 /// Interleave the bits of `x` and `y` (32 bits each) into a Morton code.
 #[inline]
@@ -142,12 +142,21 @@ mod tests {
     use crate::rmi::TopModel;
 
     fn grid_points(w: u32, h: u32) -> Vec<(u32, u32)> {
-        (0..w).flat_map(|x| (0..h).map(move |y| (x * 3, y * 5))).collect()
+        (0..w)
+            .flat_map(|x| (0..h).map(move |y| (x * 3, y * 5)))
+            .collect()
     }
 
     #[test]
     fn morton_roundtrip() {
-        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (123_456, 654_321), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (123_456, 654_321),
+            (u32::MAX, 0),
+            (u32::MAX, u32::MAX),
+        ] {
             assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
         }
     }
@@ -205,7 +214,11 @@ mod tests {
         let mut rng = li_models::rng::SplitMix64::new(12);
         let pts: Vec<(u32, u32)> = (0..5000)
             .map(|_| {
-                let cx = if rng.next_f64() < 0.5 { 1000.0 } else { 50_000.0 };
+                let cx = if rng.next_f64() < 0.5 {
+                    1000.0
+                } else {
+                    50_000.0
+                };
                 (
                     (cx + rng.normal() * 300.0).abs() as u32,
                     (cx + rng.normal() * 300.0).abs() as u32,

@@ -16,7 +16,7 @@
 //! tests and benches can verify the I/O reduction the paper predicts.
 
 use crate::rmi::{Rmi, RmiConfig};
-use li_btree::RangeIndex;
+use li_index::RangeIndex;
 use std::cell::Cell;
 
 /// A simulated page store: fixed-size pages in arbitrary storage order.

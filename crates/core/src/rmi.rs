@@ -24,7 +24,8 @@
 //! still exact for every query.
 
 use crate::search::{search_with_widening, SearchStrategy};
-use li_btree::{BTreeIndex, Prediction, RangeIndex};
+use li_btree::BTreeIndex;
+use li_index::{KeyStore, Prediction, RangeIndex};
 use li_models::{
     clamp_position, FeatureMap, LinearModel, Mlp, MlpConfig, Model, MultivariateLinear,
 };
@@ -240,7 +241,7 @@ const LEAF_DEPLOY_BYTES: usize = 4 + 4 + 2 + 2 + 4;
 /// The Recursive Model Index over a sorted `u64` array.
 #[derive(Debug, Clone)]
 pub struct Rmi {
-    data: Vec<u64>,
+    data: KeyStore,
     top: TrainedTop,
     /// Intermediate linear stages (usually empty; the paper's default is
     /// two stages total).
@@ -252,10 +253,20 @@ pub struct Rmi {
 
 impl Rmi {
     /// Train an RMI over `data` (sorted ascending, unique) — Algorithm 1.
-    pub fn build(data: Vec<u64>, config: &RmiConfig) -> Self {
-        assert!(!config.stages.is_empty(), "need at least one stage after stage 0");
+    /// Accepts anything convertible to a [`KeyStore`]; pass a `KeyStore`
+    /// clone to train over an array shared with other indexes at zero
+    /// copy.
+    pub fn build(data: impl Into<KeyStore>, config: &RmiConfig) -> Self {
+        let data: KeyStore = data.into();
+        assert!(
+            !config.stages.is_empty(),
+            "need at least one stage after stage 0"
+        );
         assert!(config.stages.iter().all(|&m| m > 0));
-        debug_assert!(data.windows(2).all(|w| w[0] < w[1]), "data must be sorted unique");
+        debug_assert!(
+            data.windows(2).all(|w| w[0] < w[1]),
+            "data must be sorted unique"
+        );
 
         let n = data.len();
         let keys_f64: Vec<f64> = data.iter().map(|&k| k as f64).collect();
@@ -314,10 +325,10 @@ impl Rmi {
                 Some(t) if abs_err > t as u64 => {
                     let first = bucket.iter().map(|&(_, y)| y).min().expect("non-empty");
                     let last = bucket.iter().map(|&(_, y)| y).max().expect("non-empty");
-                    let tree = BTreeIndex::new(
-                        data[first..=last].to_vec(),
-                        config.hybrid_page_size,
-                    );
+                    // Zero-copy: the leaf B-Tree indexes a slice *view*
+                    // of the shared key array, not a copy of it.
+                    let tree =
+                        BTreeIndex::new(data.slice(first..last + 1), config.hybrid_page_size);
                     LeafKind::BTree {
                         offset: first,
                         tree: Box::new(tree),
@@ -372,6 +383,33 @@ impl Rmi {
         route(pred, self.leaves.len(), self.data.len())
     }
 
+    /// The full per-query model phase: cascade + leaf prediction +
+    /// error-window arithmetic, producing the last-mile search plan
+    /// `(pos, lo, hi, sigma)`. Shared by the scalar path, `predict`, and
+    /// the phase-split batched path. Requires a non-empty key array.
+    #[inline]
+    fn plan(&self, key: u64) -> (usize, usize, usize, usize) {
+        let n = self.data.len();
+        let x = key as f64;
+        let leaf = &self.leaves[self.leaf_index(x)];
+        match &leaf.kind {
+            LeafKind::Linear(m) => {
+                let pos = clamp_position(m.predict(x), n);
+                let lo = pos.saturating_add_signed(leaf.min_err as isize).min(n);
+                let hi = (pos.saturating_add_signed(leaf.max_err as isize) + 1).min(n);
+                let sigma = (leaf.std_err.ceil() as usize).max(1);
+                (pos, lo, hi, sigma)
+            }
+            LeafKind::BTree { offset, tree } => {
+                // The leaf B-Tree answers exactly for keys inside its
+                // range; boundary results are certified globally by the
+                // widening search (handles keys mis-routed to this leaf).
+                let pos = (offset + tree.lower_bound(key)).min(n);
+                (pos, pos, pos, 1)
+            }
+        }
+    }
+
     /// The leaf a key routes to (for inspection/tests).
     pub fn leaf_for(&self, key: u64) -> &Leaf {
         &self.leaves[self.leaf_index(key as f64)]
@@ -407,11 +445,7 @@ impl Rmi {
             sum_abs += leaf.std_err * leaf.n_keys as f64;
         }
         let size_bytes = self.top.size_bytes()
-            + self
-                .mids
-                .iter()
-                .map(|s| s.len() * (4 + 4))
-                .sum::<usize>()
+            + self.mids.iter().map(|s| s.len() * (4 + 4)).sum::<usize>()
             + self
                 .leaves
                 .iter()
@@ -453,60 +487,54 @@ fn route(pred: f64, m: usize, n: usize) -> usize {
 }
 
 impl RangeIndex for Rmi {
-    fn data(&self) -> &[u64] {
+    fn key_store(&self) -> &KeyStore {
         &self.data
     }
 
     #[inline]
     fn predict(&self, key: u64) -> Prediction {
-        let n = self.data.len();
-        if n == 0 {
-            return Prediction { pos: 0, lo: 0, hi: 0 };
+        if self.data.is_empty() {
+            return Prediction {
+                pos: 0,
+                lo: 0,
+                hi: 0,
+            };
         }
-        let x = key as f64;
-        let leaf = &self.leaves[self.leaf_index(x)];
-        match &leaf.kind {
-            LeafKind::Linear(m) => {
-                let pos = clamp_position(m.predict(x), n);
-                let lo = pos.saturating_add_signed(leaf.min_err as isize);
-                let hi = pos.saturating_add_signed(leaf.max_err as isize) + 1;
-                Prediction {
-                    pos,
-                    lo: lo.min(n),
-                    hi: hi.min(n),
-                }
-            }
-            LeafKind::BTree { offset, tree } => {
-                let pos = (offset + tree.lower_bound(key)).min(n);
-                Prediction { pos, lo: pos, hi: pos }
-            }
-        }
+        let (pos, lo, hi, _) = self.plan(key);
+        Prediction { pos, lo, hi }
     }
 
     #[inline]
     fn lower_bound(&self, key: u64) -> usize {
-        let n = self.data.len();
-        if n == 0 {
+        if self.data.is_empty() {
             return 0;
         }
-        let x = key as f64;
-        let leaf = &self.leaves[self.leaf_index(x)];
-        match &leaf.kind {
-            LeafKind::Linear(m) => {
-                let pos = clamp_position(m.predict(x), n);
-                let lo = pos.saturating_add_signed(leaf.min_err as isize).min(n);
-                let hi = (pos.saturating_add_signed(leaf.max_err as isize) + 1).min(n);
-                let sigma = (leaf.std_err.ceil() as usize).max(1);
-                search_with_widening(&self.data, key, self.search, pos, sigma, lo, hi)
-            }
-            LeafKind::BTree { offset, tree } => {
-                // The leaf B-Tree answers exactly for keys inside its
-                // range; boundary results are certified globally by the
-                // widening search (handles keys mis-routed to this leaf).
-                let local = offset + tree.lower_bound(key);
-                let pos = local.min(n);
-                search_with_widening(&self.data, key, self.search, pos, 1, pos, pos)
-            }
+        let (pos, lo, hi, sigma) = self.plan(key);
+        search_with_widening(&self.data, key, self.search, pos, sigma, lo, hi)
+    }
+
+    /// Phase-split batched lookup: run the model cascade for *every*
+    /// query first (pure arithmetic over the small model tables), then
+    /// resolve every last-mile search against the data array. The
+    /// loop fission keeps the data-array cache misses of different
+    /// queries independent, so the hardware can overlap them instead of
+    /// waiting out predict→search serially per query.
+    fn lower_bound_batch(&self, queries: &[u64], out: &mut [usize]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch: queries and out must have equal length"
+        );
+        if self.data.is_empty() {
+            out.fill(0);
+            return;
+        }
+        // Phase 1: model execution for all queries.
+        let plans: Vec<(usize, usize, usize, usize)> =
+            queries.iter().map(|&q| self.plan(q)).collect();
+        // Phase 2: all last-mile searches.
+        for ((o, &q), &(pos, lo, hi, sigma)) in out.iter_mut().zip(queries).zip(&plans) {
+            *o = search_with_widening(&self.data, q, self.search, pos, sigma, lo, hi);
         }
     }
 
@@ -590,7 +618,13 @@ mod tests {
     fn exact_with_mlp_top() {
         check_exact(
             quadratic_data(1500),
-            &RmiConfig::two_stage(TopModel::Mlp { hidden: 1, width: 8 }, 32),
+            &RmiConfig::two_stage(
+                TopModel::Mlp {
+                    hidden: 1,
+                    width: 8,
+                },
+                32,
+            ),
         );
     }
 
@@ -614,8 +648,15 @@ mod tests {
     #[test]
     fn linear_data_has_near_zero_error() {
         // §2's promise: a linear pattern is learned perfectly.
-        let rmi = Rmi::build(linear_data(10_000), &RmiConfig::two_stage(TopModel::Linear, 16));
-        assert!(rmi.stats().max_abs_err <= 1, "max err {}", rmi.stats().max_abs_err);
+        let rmi = Rmi::build(
+            linear_data(10_000),
+            &RmiConfig::two_stage(TopModel::Linear, 16),
+        );
+        assert!(
+            rmi.stats().max_abs_err <= 1,
+            "max err {}",
+            rmi.stats().max_abs_err
+        );
     }
 
     #[test]
@@ -712,6 +753,70 @@ mod tests {
                 assert_eq!(rmi.lower_bound(k), expect, "{}", s.name());
             }
         }
+    }
+
+    #[test]
+    fn batched_lookup_matches_scalar_for_all_strategies() {
+        let data = quadratic_data(3000);
+        let queries: Vec<u64> = (0..4000u64).map(|i| i * i / 2 + 3).collect();
+        for s in SearchStrategy::ALL {
+            let rmi = Rmi::build(
+                data.clone(),
+                &RmiConfig::two_stage(TopModel::Linear, 64).with_search(s),
+            );
+            let mut out = vec![0usize; queries.len()];
+            rmi.lower_bound_batch(&queries, &mut out);
+            for (&q, &got) in queries.iter().zip(&out) {
+                assert_eq!(got, rmi.lower_bound(q), "{} q={q}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lookup_matches_scalar_with_hybrid_leaves() {
+        let mut data: Vec<u64> = Vec::new();
+        let mut v = 0u64;
+        for i in 0..3000u64 {
+            v += if (i / 100) % 2 == 0 { 1 } else { 10_000 };
+            data.push(v);
+        }
+        let rmi = Rmi::build(
+            data.clone(),
+            &RmiConfig::two_stage(TopModel::Linear, 8).with_hybrid(10),
+        );
+        assert!(rmi.stats().btree_leaves > 0);
+        let queries: Vec<u64> = (0..50_000u64).step_by(17).collect();
+        let mut out = vec![0usize; queries.len()];
+        rmi.lower_bound_batch(&queries, &mut out);
+        for (&q, &got) in queries.iter().zip(&out) {
+            assert_eq!(got, rmi.lower_bound(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn hybrid_leaves_share_the_key_store() {
+        // The B-Tree fallback leaves must be views into the RMI's own
+        // key array, not per-leaf copies.
+        let mut data: Vec<u64> = Vec::new();
+        let mut v = 0u64;
+        for i in 0..3000u64 {
+            v += if (i / 100) % 2 == 0 { 1 } else { 10_000 };
+            data.push(v);
+        }
+        let store = KeyStore::new(data);
+        let rmi = Rmi::build(
+            store.clone(),
+            &RmiConfig::two_stage(TopModel::Linear, 8).with_hybrid(10),
+        );
+        assert!(rmi.key_store().ptr_eq(&store));
+        let mut hybrid_seen = 0usize;
+        for leaf in &rmi.leaves {
+            if let LeafKind::BTree { tree, .. } = &leaf.kind {
+                hybrid_seen += 1;
+                assert!(tree.key_store().ptr_eq(&store), "leaf copied the keys");
+            }
+        }
+        assert!(hybrid_seen > 0);
     }
 
     #[test]

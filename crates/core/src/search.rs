@@ -187,7 +187,11 @@ pub fn search_with_widening(
         }
         // Widen: double the window around the prediction.
         let width = (hi - lo).max(8);
-        lo = if left_ok { lo } else { lo.saturating_sub(width) };
+        lo = if left_ok {
+            lo
+        } else {
+            lo.saturating_sub(width)
+        };
         hi = if right_ok { hi } else { (hi + width).min(n) };
     }
 }

@@ -15,6 +15,7 @@
 //! the B-Tree-page equivalent for strings (t = 128 / 64 in Figure 6).
 
 use crate::search::SearchStrategy;
+use li_index::KeyStore;
 use li_models::vecmlp::VecMlp;
 use li_models::{clamp_position, mlp::MlpConfig, MultivariateLinear};
 
@@ -107,7 +108,7 @@ enum StringLeaf {
 /// A learned range index over lexicographically sorted strings.
 #[derive(Debug, Clone)]
 pub struct StringRmi {
-    data: Vec<String>,
+    data: KeyStore<String>,
     vectors: Vec<Vec<f64>>,
     top: StringTop,
     leaves: Vec<StringLeaf>,
@@ -117,9 +118,14 @@ pub struct StringRmi {
 }
 
 impl StringRmi {
-    /// Train over `data` (sorted lexicographically, unique).
-    pub fn build(data: Vec<String>, config: &StringRmiConfig) -> Self {
-        debug_assert!(data.windows(2).all(|w| w[0] < w[1]), "data must be sorted unique");
+    /// Train over `data` (sorted lexicographically, unique; shared via a
+    /// generic [`KeyStore`]).
+    pub fn build(data: impl Into<KeyStore<String>>, config: &StringRmiConfig) -> Self {
+        let data: KeyStore<String> = data.into();
+        debug_assert!(
+            data.windows(2).all(|w| w[0] < w[1]),
+            "data must be sorted unique"
+        );
         let n = data.len();
         let vectors: Vec<Vec<f64>> = data.iter().map(|s| tokenize(s, config.max_len)).collect();
         let ys: Vec<f64> = (0..n).map(|i| i as f64).collect();
@@ -200,6 +206,11 @@ impl StringRmi {
 
     /// The sorted string keys.
     pub fn data(&self) -> &[String] {
+        &self.data
+    }
+
+    /// The shared key store the index was built over.
+    pub fn key_store(&self) -> &KeyStore<String> {
         &self.data
     }
 
@@ -304,7 +315,11 @@ impl StringRmi {
                 return r;
             }
             let width = (hi - lo).max(8);
-            lo = if left_ok { lo } else { lo.saturating_sub(width) };
+            lo = if left_ok {
+                lo
+            } else {
+                lo.saturating_sub(width)
+            };
             hi = if right_ok { hi } else { (hi + width).min(n) };
         }
     }
@@ -386,7 +401,10 @@ mod tests {
     fn exact_with_mlp_top() {
         let data = dataset(1200);
         let cfg = StringRmiConfig {
-            top: StringTopModel::Mlp { hidden: 1, width: 8 },
+            top: StringTopModel::Mlp {
+                hidden: 1,
+                width: 8,
+            },
             leaves: 64,
             ..Default::default()
         };

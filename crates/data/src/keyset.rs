@@ -22,7 +22,10 @@ impl KeySet {
     /// # Panics
     /// In debug builds, panics if the invariant is violated.
     pub fn from_sorted(keys: Vec<u64>) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
         Self { keys }
     }
 
@@ -64,7 +67,9 @@ impl KeySet {
     pub fn sample_existing(&self, n: usize, seed: u64) -> Vec<u64> {
         assert!(!self.keys.is_empty());
         let mut rng = SplitMix64::new(seed);
-        (0..n).map(|_| self.keys[rng.below(self.keys.len())]).collect()
+        (0..n)
+            .map(|_| self.keys[rng.below(self.keys.len())])
+            .collect()
     }
 
     /// Sample `n` keys *not* in the set, drawn uniformly from the key

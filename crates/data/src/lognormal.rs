@@ -43,7 +43,11 @@ pub fn lognormal_keys_with(n: usize, mu: f64, sigma: f64, scale: f64, seed: u64)
         for _ in 0..missing * 2 + 64 {
             let z = rng.normal();
             let v = (mu + sigma * z).exp() * scale;
-            let k = if v >= MAX_KEY as f64 { MAX_KEY - 1 } else { v as u64 };
+            let k = if v >= MAX_KEY as f64 {
+                MAX_KEY - 1
+            } else {
+                v as u64
+            };
             keys.push(k);
         }
         keys.sort_unstable();

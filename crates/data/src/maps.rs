@@ -130,11 +130,7 @@ mod tests {
         // The finite-resolution property: a good share of adjacent key
         // pairs must be exactly consecutive grid cells.
         let ks = maps_longitudes(50_000, 8);
-        let consecutive = ks
-            .keys()
-            .windows(2)
-            .filter(|w| w[1] - w[0] == 1)
-            .count();
+        let consecutive = ks.keys().windows(2).filter(|w| w[1] - w[0] == 1).count();
         let frac = consecutive as f64 / (ks.len() - 1) as f64;
         assert!(frac > 0.3, "consecutive fraction {frac}");
     }
@@ -171,9 +167,7 @@ mod tests {
         let n = 5000;
         let dense = maps_longitudes_with_grid(n, n as u64 + n as u64 / 2, 2);
         let sparse = maps_longitudes_with_grid(n, 1_000_000, 2);
-        let runs = |ks: &KeySet| {
-            ks.keys().windows(2).filter(|w| w[1] - w[0] == 1).count()
-        };
+        let runs = |ks: &KeySet| ks.keys().windows(2).filter(|w| w[1] - w[0] == 1).count();
         assert!(runs(&dense) > runs(&sparse) * 2);
     }
 }

@@ -68,8 +68,18 @@ pub struct UrlGenerator {
 }
 
 const BRANDS: &[&str] = &[
-    "paypal", "amazon", "google", "apple", "microsoft", "netflix", "chase", "wellsfargo",
-    "dropbox", "facebook", "instagram", "linkedin",
+    "paypal",
+    "amazon",
+    "google",
+    "apple",
+    "microsoft",
+    "netflix",
+    "chase",
+    "wellsfargo",
+    "dropbox",
+    "facebook",
+    "instagram",
+    "linkedin",
 ];
 const BENIGN_WORDS: &[&str] = &[
     "news", "blog", "shop", "garden", "recipe", "travel", "music", "photo", "forum", "wiki",

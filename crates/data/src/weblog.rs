@@ -67,9 +67,9 @@ fn weekly(d: u64) -> f64 {
 /// Relative rate for day-of-year: semesters vs breaks vs holidays.
 fn academic(day_of_year: u64) -> f64 {
     match day_of_year {
-        0..=19 => 0.25,    // winter break
-        135..=240 => 0.3,  // summer break
-        328..=331 => 0.4,  // late-November holiday dip
+        0..=19 => 0.25,   // winter break
+        135..=240 => 0.3, // summer break
+        328..=331 => 0.4, // late-November holiday dip
         _ => 1.0,
     }
 }
@@ -177,7 +177,10 @@ mod tests {
         }
         let per_weekday = weekday as f64 / 5.0;
         let per_weekend = weekend as f64 / 2.0;
-        assert!(per_weekday > 2.0 * per_weekend, "{per_weekday} vs {per_weekend}");
+        assert!(
+            per_weekday > 2.0 * per_weekend,
+            "{per_weekday} vs {per_weekend}"
+        );
     }
 
     #[test]
@@ -240,11 +243,7 @@ mod tests {
         let ks = weblog_timestamps(n, 9);
         let span = span_days(n) * SECS_PER_DAY * MICROS_PER_SEC;
         let tick = (span / (8 * n as u64)).max(1);
-        let runs = ks
-            .keys()
-            .windows(2)
-            .filter(|w| w[1] - w[0] == tick)
-            .count();
+        let runs = ks.keys().windows(2).filter(|w| w[1] - w[0] == tick).count();
         let frac = runs as f64 / (n - 1) as f64;
         assert!(frac > 0.15, "tick-run fraction {frac}");
     }

@@ -263,7 +263,9 @@ mod tests {
         let mut std_map = HashMap::new();
         let mut state = 12345u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = state % 500;
             let val = state >> 32;
             assert_eq!(ours.insert(key, val), std_map.insert(key, val), "key {key}");

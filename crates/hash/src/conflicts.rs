@@ -94,7 +94,11 @@ mod tests {
         let keys: Vec<u64> = (0..200_000).collect();
         let s = conflict_stats(&keys, &MurmurHasher::new(2), keys.len());
         // 1/e ≈ 0.368.
-        assert!((0.35..0.39).contains(&s.conflict_rate()), "{}", s.conflict_rate());
+        assert!(
+            (0.35..0.39).contains(&s.conflict_rate()),
+            "{}",
+            s.conflict_rate()
+        );
     }
 
     #[test]
@@ -111,7 +115,13 @@ mod tests {
             ..base
         };
         assert!((ours.reduction_vs(&base) - 0.75).abs() < 1e-12);
-        assert_eq!(ours.reduction_vs(&ConflictStats { conflicts: 0, ..base }), 0.0);
+        assert_eq!(
+            ours.reduction_vs(&ConflictStats {
+                conflicts: 0,
+                ..base
+            }),
+            0.0
+        );
     }
 
     #[test]

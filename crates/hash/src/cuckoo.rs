@@ -67,7 +67,11 @@ impl<V: Copy + Default> CuckooHashMap<V> {
                     }; BUCKET_SLOTS]
                 })
                 .collect(),
-            versions: if commercial { vec![0; n_buckets] } else { Vec::new() },
+            versions: if commercial {
+                vec![0; n_buckets]
+            } else {
+                Vec::new()
+            },
             stash: Vec::new(),
             n_buckets,
             len: 0,
@@ -103,7 +107,11 @@ impl<V: Copy + Default> CuckooHashMap<V> {
         // Displacement loop.
         let mut cur_key = key;
         let mut cur_val = value;
-        let mut bucket = if self.kick_rand().is_multiple_of(2) { b1 } else { b2 };
+        let mut bucket = if self.kick_rand().is_multiple_of(2) {
+            b1
+        } else {
+            b2
+        };
         for _ in 0..MAX_KICKS {
             let victim_slot = (self.kick_rand() as usize) % BUCKET_SLOTS;
             // Swap with the victim.

@@ -234,8 +234,7 @@ mod tests {
 
     #[test]
     fn empty_build() {
-        let m: InPlaceChained<u64, MurmurHasher> =
-            InPlaceChained::build(&[], MurmurHasher::new(1));
+        let m: InPlaceChained<u64, MurmurHasher> = InPlaceChained::build(&[], MurmurHasher::new(1));
         assert!(m.is_empty());
         assert_eq!(m.get(5), None);
     }

@@ -13,7 +13,8 @@
 //! `⌊p·M/N⌋`.
 
 use crate::KeyHasher;
-use li_core::{RangeIndex, Rmi, RmiConfig, TopModel};
+use li_core::{Rmi, RmiConfig, TopModel};
+use li_index::{KeyStore, RangeIndex};
 
 /// A learned hash function backed by a 2-stage RMI over the key CDF.
 #[derive(Debug)]
@@ -24,15 +25,15 @@ pub struct CdfHasher {
 
 impl CdfHasher {
     /// Train over the key set the hash table will hold (sorted unique
-    /// keys). `leaves` is the second-stage size; the paper uses 100k at
-    /// 200M keys — scale proportionally (about `n/2000`).
-    pub fn train(keys: &[u64], leaves: usize) -> Self {
+    /// keys; shared via [`KeyStore`] — pass a store clone for zero-copy
+    /// training). `leaves` is the second-stage size; the paper uses 100k
+    /// at 200M keys — scale proportionally (about `n/2000`).
+    pub fn train(keys: impl Into<KeyStore>, leaves: usize) -> Self {
+        let keys: KeyStore = keys.into();
+        let n = keys.len();
         let cfg = RmiConfig::two_stage(TopModel::Linear, leaves.max(1));
-        let rmi = Rmi::build(keys.to_vec(), &cfg);
-        Self {
-            rmi,
-            n: keys.len(),
-        }
+        let rmi = Rmi::build(keys, &cfg);
+        Self { rmi, n }
     }
 
     /// The paper's §4.2 default second-stage sizing: one leaf per ~2000

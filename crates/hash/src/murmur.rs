@@ -31,9 +31,17 @@ pub fn murmur3_x64(data: &[u8], seed: u64) -> u64 {
         let mut k1 = u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes"));
         let mut k2 = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
         k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
-        h1 = (h1 ^ k1).rotate_left(27).wrapping_add(h2).wrapping_mul(5).wrapping_add(0x52DC_E729);
+        h1 = (h1 ^ k1)
+            .rotate_left(27)
+            .wrapping_add(h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52DC_E729);
         k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
-        h2 = (h2 ^ k2).rotate_left(31).wrapping_add(h1).wrapping_mul(5).wrapping_add(0x3849_5AB5);
+        h2 = (h2 ^ k2)
+            .rotate_left(31)
+            .wrapping_add(h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5AB5);
     }
 
     let tail = chunks.remainder();

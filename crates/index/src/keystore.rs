@@ -1,0 +1,217 @@
+//! The shared, read-only key store every index is built over.
+//!
+//! The paper's §3 framing — indexes are interchangeable models over one
+//! sorted array — implies the array itself should exist exactly once, no
+//! matter how many candidate indexes are built on it (LIF grid search
+//! builds dozens). SOSD-style benchmarking makes the same demand: fair
+//! comparison requires every structure to read the *same* memory.
+//! [`KeyStore`] delivers that: an `Arc<[T]>` plus a sub-range, so clones
+//! and slices are O(1) pointer bumps and `ptr_eq` can assert that two
+//! indexes really do share one allocation.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply clonable, read-only view over a shared sorted key array.
+///
+/// Defaults to `u64` keys (the workspace's common case); string indexes
+/// use `KeyStore<String>`. Cloning never copies key data; [`slice`]
+/// produces a narrowed view over the *same* allocation (used by hybrid
+/// B-Tree leaves, which index a sub-range of the full array).
+///
+/// [`slice`]: KeyStore::slice
+#[derive(Clone)]
+pub struct KeyStore<T = u64> {
+    data: Arc<[T]>,
+    start: usize,
+    end: usize,
+}
+
+impl<T> KeyStore<T> {
+    /// Wrap an owned key vector (the one unavoidable allocation; every
+    /// clone and slice afterwards is free).
+    pub fn new(data: Vec<T>) -> Self {
+        let data: Arc<[T]> = data.into();
+        let end = data.len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
+    /// The keys this view addresses.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Number of keys in this view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether this view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A narrowed view over the same allocation — zero-copy. `range` is
+    /// relative to this view.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for KeyStore of len {}",
+            self.len()
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Bytes of key data addressed by this view (shallow: for heap-owning
+    /// key types such as `String` this counts the inline part only).
+    pub fn size_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+
+    /// Whether two stores share the same underlying allocation (views
+    /// over different ranges of one array still compare equal here —
+    /// this is the zero-copy witness, not value equality).
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Number of `KeyStore` handles sharing this allocation.
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl<T> Deref for KeyStore<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for KeyStore<T> {
+    fn from(data: Vec<T>) -> Self {
+        Self::new(data)
+    }
+}
+
+impl<T> From<Arc<[T]>> for KeyStore<T> {
+    fn from(data: Arc<[T]>) -> Self {
+        let end = data.len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl<T: Clone> From<&[T]> for KeyStore<T> {
+    fn from(data: &[T]) -> Self {
+        Self::new(data.to_vec())
+    }
+}
+
+impl<T: Clone> From<&Vec<T>> for KeyStore<T> {
+    fn from(data: &Vec<T>) -> Self {
+        Self::new(data.clone())
+    }
+}
+
+impl<T> FromIterator<T> for KeyStore<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for KeyStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyStore")
+            .field("len", &self.len())
+            .field("start", &self.start)
+            .field("shared_handles", &self.strong_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let store = KeyStore::new(vec![1u64, 2, 3]);
+        let a = store.clone();
+        let b = store.clone();
+        assert!(a.ptr_eq(&b));
+        assert!(a.ptr_eq(&store));
+        assert_eq!(store.strong_count(), 3);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let store = KeyStore::new((0..100u64).collect());
+        let mid = store.slice(10..20);
+        assert!(mid.ptr_eq(&store));
+        assert_eq!(mid.as_slice(), &(10..20).collect::<Vec<u64>>()[..]);
+        // Slicing a slice composes.
+        let inner = mid.slice(2..5);
+        assert_eq!(inner.as_slice(), &[12, 13, 14]);
+        assert!(inner.ptr_eq(&store));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        KeyStore::new(vec![1u64]).slice(0..2);
+    }
+
+    #[test]
+    fn size_bytes_counts_the_view_not_the_allocation() {
+        let store: KeyStore = (0..64u64).collect();
+        assert_eq!(store.size_bytes(), 64 * 8);
+        assert_eq!(store.slice(0..8).size_bytes(), 8 * 8);
+    }
+
+    #[test]
+    fn conversions_cover_common_sources() {
+        let v = vec![5u64, 6];
+        let from_ref: KeyStore = (&v).into();
+        let from_slice: KeyStore = v.as_slice().into();
+        let from_vec: KeyStore = v.into();
+        for s in [&from_ref, &from_slice, &from_vec] {
+            assert_eq!(s.as_slice(), &[5, 6]);
+        }
+        // Conversions from borrowed data copy once; they do not share.
+        assert!(!from_ref.ptr_eq(&from_vec));
+    }
+
+    #[test]
+    fn generic_string_store_works() {
+        let store: KeyStore<String> = vec!["a".to_string(), "b".to_string()].into();
+        assert_eq!(store.len(), 2);
+        assert_eq!(&store[0], "a");
+        assert!(store.clone().ptr_eq(&store));
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let store = KeyStore::new(vec![1u64, 3, 5]);
+        assert_eq!(store.partition_point(|&k| k < 4), 2);
+        assert!(!store.is_empty());
+        assert_eq!(store.len(), 3);
+    }
+}

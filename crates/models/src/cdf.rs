@@ -24,7 +24,10 @@ pub struct EmpiricalCdf {
 impl EmpiricalCdf {
     /// Build from keys (sorted internally; NaNs are rejected).
     pub fn new(mut keys: Vec<f64>) -> Self {
-        assert!(keys.iter().all(|k| !k.is_nan()), "NaN keys are not orderable");
+        assert!(
+            keys.iter().all(|k| !k.is_nan()),
+            "NaN keys are not orderable"
+        );
         keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Self { keys }
     }
@@ -185,8 +188,6 @@ mod tests {
         assert_eq!(expected_sq_cdf_error(0.0, 100), 0.0);
         assert_eq!(expected_sq_cdf_error(1.0, 100), 0.0);
         assert!(expected_sq_cdf_error(0.5, 100) > expected_sq_cdf_error(0.3, 100));
-        assert!(
-            (expected_sq_cdf_error(0.3, 100) - expected_sq_cdf_error(0.7, 100)).abs() < 1e-15
-        );
+        assert!((expected_sq_cdf_error(0.3, 100) - expected_sq_cdf_error(0.7, 100)).abs() < 1e-15);
     }
 }

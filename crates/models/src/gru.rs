@@ -299,8 +299,7 @@ impl GruClassifier {
 impl Classifier for GruClassifier {
     fn score(&self, input: &[u8]) -> f64 {
         let (h, _) = self.run(input, false);
-        let logit: f64 =
-            self.out_w.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.out_b;
+        let logit: f64 = self.out_w.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.out_b;
         sigmoid(logit)
     }
 

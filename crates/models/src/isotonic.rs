@@ -43,7 +43,10 @@ impl IsotonicModel {
             weight.push(1.0);
             end_idx.push(i);
             while mean.len() > 1 && mean[mean.len() - 2] > mean[mean.len() - 1] {
-                let (m2, w2) = (mean.pop().expect("nonempty"), weight.pop().expect("nonempty"));
+                let (m2, w2) = (
+                    mean.pop().expect("nonempty"),
+                    weight.pop().expect("nonempty"),
+                );
                 let e2 = end_idx.pop().expect("nonempty");
                 let last = mean.len() - 1;
                 let merged_w = weight[last] + w2;
@@ -62,7 +65,10 @@ impl IsotonicModel {
             out_y.push(mean[b]);
             start = end + 1;
         }
-        Self { xs: out_x, ys: out_y }
+        Self {
+            xs: out_x,
+            ys: out_y,
+        }
     }
 
     /// Fit a monotone calibration of an arbitrary model over sorted keys

@@ -120,8 +120,12 @@ mod tests {
 
     #[test]
     fn learns_prefix_rule() {
-        let pos: Vec<Vec<u8>> = (0..200).map(|i| format!("evil-{i}.com").into_bytes()).collect();
-        let neg: Vec<Vec<u8>> = (0..200).map(|i| format!("good-{i}.org").into_bytes()).collect();
+        let pos: Vec<Vec<u8>> = (0..200)
+            .map(|i| format!("evil-{i}.com").into_bytes())
+            .collect();
+        let neg: Vec<Vec<u8>> = (0..200)
+            .map(|i| format!("good-{i}.org").into_bytes())
+            .collect();
         let p: Vec<&[u8]> = pos.iter().map(|v| v.as_slice()).collect();
         let n: Vec<&[u8]> = neg.iter().map(|v| v.as_slice()).collect();
         let m = NgramLogReg::train(12, 8, 0.1, &p, &n, 7);
@@ -132,8 +136,12 @@ mod tests {
 
     #[test]
     fn generalizes_to_unseen_examples() {
-        let pos: Vec<Vec<u8>> = (0..300).map(|i| format!("phish{i}.evil").into_bytes()).collect();
-        let neg: Vec<Vec<u8>> = (0..300).map(|i| format!("site{i}.good").into_bytes()).collect();
+        let pos: Vec<Vec<u8>> = (0..300)
+            .map(|i| format!("phish{i}.evil").into_bytes())
+            .collect();
+        let neg: Vec<Vec<u8>> = (0..300)
+            .map(|i| format!("site{i}.good").into_bytes())
+            .collect();
         let p: Vec<&[u8]> = pos.iter().take(200).map(|v| v.as_slice()).collect();
         let n: Vec<&[u8]> = neg.iter().take(200).map(|v| v.as_slice()).collect();
         let m = NgramLogReg::train(13, 10, 0.1, &p, &n, 3);
@@ -149,7 +157,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / 200.0 > 0.9, "holdout acc {}", correct as f64 / 200.0);
+        assert!(
+            correct as f64 / 200.0 > 0.9,
+            "holdout acc {}",
+            correct as f64 / 200.0
+        );
     }
 
     #[test]

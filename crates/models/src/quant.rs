@@ -94,7 +94,10 @@ impl QuantizedLinear {
         if models.is_empty() {
             return (Codebook::covering(0.0, 1.0), Codebook::covering(0.0, 1.0));
         }
-        (Codebook::covering(s_lo, s_hi), Codebook::covering(i_lo, i_hi))
+        (
+            Codebook::covering(s_lo, s_hi),
+            Codebook::covering(i_lo, i_hi),
+        )
     }
 
     /// The dequantized model (for error analysis).

@@ -98,7 +98,9 @@ impl VecMlp {
             .zip(ys)
             .step_by(stride)
             .map(|(v, &y)| {
-                let xn: Vec<f64> = (0..d).map(|c| (v[c] - col_norm[c].0) * col_norm[c].1).collect();
+                let xn: Vec<f64> = (0..d)
+                    .map(|c| (v[c] - col_norm[c].0) * col_norm[c].1)
+                    .collect();
                 (xn, y / y_max)
             })
             .collect();
@@ -192,7 +194,10 @@ fn train_adam(
     rng: &mut SplitMix64,
 ) {
     let n_layers = layers.len();
-    let mut m_w: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect();
+    let mut m_w: Vec<Vec<f64>> = layers
+        .iter()
+        .map(|l| vec![0.0; l.w.as_slice().len()])
+        .collect();
     let mut v_w: Vec<Vec<f64>> = m_w.clone();
     let mut m_b: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
     let mut v_b: Vec<Vec<f64>> = m_b.clone();
@@ -200,7 +205,10 @@ fn train_adam(
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut t = 0usize;
     let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
-    let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect();
+    let mut gw: Vec<Vec<f64>> = layers
+        .iter()
+        .map(|l| vec![0.0; l.w.as_slice().len()])
+        .collect();
     let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
     const B1: f64 = 0.9;
@@ -258,13 +266,15 @@ fn train_adam(
                     let g = gw[li][i] * inv;
                     m_w[li][i] = B1 * m_w[li][i] + (1.0 - B1) * g;
                     v_w[li][i] = B2 * v_w[li][i] + (1.0 - B2) * g * g;
-                    *p -= cfg.learning_rate * (m_w[li][i] / bc1) / ((v_w[li][i] / bc2).sqrt() + EPS);
+                    *p -=
+                        cfg.learning_rate * (m_w[li][i] / bc1) / ((v_w[li][i] / bc2).sqrt() + EPS);
                 }
                 for (i, p) in layers[li].b.iter_mut().enumerate() {
                     let g = gb[li][i] * inv;
                     m_b[li][i] = B1 * m_b[li][i] + (1.0 - B1) * g;
                     v_b[li][i] = B2 * v_b[li][i] + (1.0 - B2) * g * g;
-                    *p -= cfg.learning_rate * (m_b[li][i] / bc1) / ((v_b[li][i] / bc2).sqrt() + EPS);
+                    *p -=
+                        cfg.learning_rate * (m_b[li][i] / bc1) / ((v_b[li][i] / bc2).sqrt() + EPS);
                 }
             }
         }
@@ -311,7 +321,12 @@ mod tests {
                 .sum();
             (se / ys.len() as f64).sqrt()
         };
-        assert!(rmse(&nn) < rmse(&lin) * 0.7, "nn {} lin {}", rmse(&nn), rmse(&lin));
+        assert!(
+            rmse(&nn) < rmse(&lin) * 0.7,
+            "nn {} lin {}",
+            rmse(&nn),
+            rmse(&lin)
+        );
     }
 
     #[test]
@@ -345,7 +360,10 @@ mod tests {
         };
         let a = VecMlp::fit(&cfg, &vectors, &ys);
         let b = VecMlp::fit(&cfg, &vectors, &ys);
-        assert_eq!(a.predict_vector(&[5.0, 10.0]), b.predict_vector(&[5.0, 10.0]));
+        assert_eq!(
+            a.predict_vector(&[5.0, 10.0]),
+            b.predict_vector(&[5.0, 10.0])
+        );
     }
 
     #[test]

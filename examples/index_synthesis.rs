@@ -27,9 +27,15 @@ pub fn run(n: usize) {
             top_models: vec![
                 TopModel::Linear,
                 TopModel::Multivariate(FeatureMap::FULL),
-                TopModel::Mlp { hidden: 1, width: 16 },
+                TopModel::Mlp {
+                    hidden: 1,
+                    width: 16,
+                },
             ],
-            searches: vec![SearchStrategy::ModelBiasedBinary, SearchStrategy::BiasedQuaternary],
+            searches: vec![
+                SearchStrategy::ModelBiasedBinary,
+                SearchStrategy::BiasedQuaternary,
+            ],
             btree_pages: vec![64, 128, 256],
             size_budget: None,
             probe_queries: (n / 6).max(1_000),
@@ -37,7 +43,10 @@ pub fn run(n: usize) {
         };
         let report = Lif::synthesize(keyset.keys(), &spec);
 
-        println!("  {:<45} {:>9} {:>10} {:>9}", "candidate", "ns/lookup", "size KB", "build ms");
+        println!(
+            "  {:<45} {:>9} {:>10} {:>9}",
+            "candidate", "ns/lookup", "size KB", "build ms"
+        );
         for c in report.candidates.iter().take(6) {
             println!(
                 "  {:<45} {:>9.0} {:>10.1} {:>9.1}",

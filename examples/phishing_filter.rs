@@ -54,7 +54,11 @@ pub fn run(n: usize) {
     // Learned Bloom filter (§5.1.1).
     let learned = LearnedBloom::build(classifier.clone(), &keys, &val, target_fpr, None);
     let r = learned.report();
-    println!("\nlearned filter: τ={:.3}, classifier FNR {:.0}%", r.tau, r.fnr * 100.0);
+    println!(
+        "\nlearned filter: τ={:.3}, classifier FNR {:.0}%",
+        r.tau,
+        r.fnr * 100.0
+    );
 
     // Model-hash variant (Appendix E).
     let model_hash = ModelHashBloom::build(
@@ -70,7 +74,10 @@ pub fn run(n: usize) {
     for k in &keys {
         assert!(standard.contains(k) && learned.contains(k) && model_hash.contains(k));
     }
-    println!("zero-false-negative guarantee verified on all {} keys", keys.len());
+    println!(
+        "zero-false-negative guarantee verified on all {} keys",
+        keys.len()
+    );
 
     // Memory + empirical FPR on the held-out test set.
     let report = |name: &str, bytes: usize, fpr: f64| {
@@ -95,6 +102,9 @@ pub fn run(n: usize) {
     report(
         "model-hash bloom (5.1.2)",
         model_hash.size_bytes(),
-        empirical_fpr(|x| model_hash.contains(x), test.iter().map(|s| s.as_bytes())),
+        empirical_fpr(
+            |x| model_hash.contains(x),
+            test.iter().map(|s| s.as_bytes()),
+        ),
     );
 }

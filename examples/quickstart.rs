@@ -5,7 +5,8 @@
 //! ```
 
 use learned_indexes::data::Dataset;
-use learned_indexes::rmi::{RangeIndex, Rmi, RmiConfig, SearchStrategy, TopModel};
+use learned_indexes::rmi::{Rmi, RmiConfig, SearchStrategy, TopModel};
+use learned_indexes::{KeyStore, RangeIndex};
 
 fn main() {
     run(learned_indexes::scale::keys_from_env(200_000));
@@ -14,10 +15,12 @@ fn main() {
 /// The example body, parameterized by key count so the example smoke
 /// tests (`tests/examples_smoke.rs`) can run it at tiny scale.
 pub fn run(n: usize) {
-    // 1. Get a sorted key set. (Any sorted unique Vec<u64> works; this
-    //    one reproduces the paper's Lognormal benchmark data.)
+    // 1. Get a sorted key set into a shared KeyStore. (Any sorted
+    //    unique Vec<u64> works; this one reproduces the paper's
+    //    Lognormal benchmark data.) Every index built over a clone of
+    //    the store shares one key allocation — no copies.
     let keyset = Dataset::Lognormal.generate(n, 42);
-    let keys = keyset.keys().to_vec();
+    let keys = KeyStore::from(keyset.keys());
     println!("dataset: {} unique lognormal keys", keys.len());
 
     // 2. Train a two-stage RMI: one model on top, ~n/200 linear leaf
@@ -42,7 +45,10 @@ pub fn run(n: usize) {
     assert_eq!(keys[pos], probe);
 
     let missing = keyset.sample_missing(1, 7)[0];
-    println!("lookup({missing}) -> {:?} (not stored)", rmi.lookup(missing));
+    println!(
+        "lookup({missing}) -> {:?} (not stored)",
+        rmi.lookup(missing)
+    );
     assert_eq!(rmi.lookup(missing), None);
 
     // 4. Range scan: all keys in [lo, hi).
@@ -62,11 +68,33 @@ pub fn run(n: usize) {
     assert_eq!(rmi.upper_bound(q), keyset.upper_bound(q));
     println!("lower/upper bound verified against the sorted-array oracle");
 
-    // 6. Compare against a read-optimized B-Tree.
-    let btree = learned_indexes::btree::BTreeIndex::new(keys, 128);
+    // 6. Compare against a read-optimized B-Tree — built over the same
+    //    KeyStore, so both indexes read one shared key array.
+    let btree = learned_indexes::btree::BTreeIndex::new(keys.clone(), 128);
+    assert!(btree.key_store().ptr_eq(&keys));
     println!(
         "index sizes: rmi {:.1} KB vs btree(page=128) {:.1} KB",
         rmi.size_bytes() as f64 / 1024.0,
         btree.size_bytes() as f64 / 1024.0
+    );
+
+    // 7. Batched lookups: hand a whole query slice to the index and let
+    //    the phase-split implementation run every model prediction
+    //    before any last-mile search — on large datasets this overlaps
+    //    the cache misses of independent queries. Results are
+    //    position-for-position identical to scalar lower_bound.
+    let batch: Vec<u64> = keys
+        .iter()
+        .step_by((keys.len() / 8).max(1))
+        .copied()
+        .collect();
+    let mut positions = vec![0usize; batch.len()];
+    rmi.lower_bound_batch(&batch, &mut positions);
+    for (&q, &p) in batch.iter().zip(&positions) {
+        assert_eq!(p, rmi.lower_bound(q));
+    }
+    println!(
+        "batched lookup of {} keys verified against scalar",
+        batch.len()
     );
 }

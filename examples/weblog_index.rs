@@ -12,7 +12,8 @@
 
 use learned_indexes::btree::BTreeIndex;
 use learned_indexes::data::Dataset;
-use learned_indexes::rmi::{DeltaIndex, RangeIndex, Rmi, RmiConfig, TopModel};
+use learned_indexes::rmi::{DeltaIndex, Rmi, RmiConfig, TopModel};
+use learned_indexes::{KeyStore, RangeIndex};
 use std::time::Instant;
 
 fn main() {
@@ -23,14 +24,22 @@ fn main() {
 /// tests (`tests/examples_smoke.rs`) can run it at tiny scale.
 pub fn run(n: usize) {
     let keyset = Dataset::Weblogs.generate(n, 7);
-    let keys = keyset.keys().to_vec();
+    // One shared KeyStore: the RMI, the B-Tree and the delta index's
+    // base all read the same allocation.
+    let keys = KeyStore::from(keyset.keys());
     println!("web log: {n} unique request timestamps over ~4 years");
 
     // Learned index: the weblog CDF needs a nonlinear top model.
     let t0 = Instant::now();
     let rmi = Rmi::build(
         keys.clone(),
-        &RmiConfig::two_stage(TopModel::Mlp { hidden: 2, width: 16 }, (n / 200).max(1)),
+        &RmiConfig::two_stage(
+            TopModel::Mlp {
+                hidden: 2,
+                width: 16,
+            },
+            (n / 200).max(1),
+        ),
     );
     println!(
         "rmi trained in {:.0} ms — {:.0} KB, mean abs err {:.1}",
@@ -40,7 +49,10 @@ pub fn run(n: usize) {
     );
 
     let btree = BTreeIndex::new(keys.clone(), 128);
-    println!("btree(page=128) — {:.0} KB", btree.size_bytes() as f64 / 1024.0);
+    println!(
+        "btree(page=128) — {:.0} KB",
+        btree.size_bytes() as f64 / 1024.0
+    );
 
     // Time-window query: "all requests in a 6-hour window".
     let day_micros = 86_400_000_000u64;

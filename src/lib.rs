@@ -24,4 +24,9 @@ pub use li_btree as btree;
 pub use li_core as rmi;
 pub use li_data as data;
 pub use li_hash as hash;
+pub use li_index as index;
 pub use li_models as models;
+
+// The foundation vocabulary at the crate root: the shared key store,
+// the common trait (with its batched lookup path), and predictions.
+pub use li_index::{KeyStore, Prediction, RangeIndex};

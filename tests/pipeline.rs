@@ -7,8 +7,8 @@ use learned_indexes::data::{Dataset, Record20};
 use learned_indexes::hash::{CdfHasher, ChainedHashMap, KeyHasher, MurmurHasher};
 use learned_indexes::models::NgramLogReg;
 use learned_indexes::rmi::{
-    DeltaIndex, Lif, LifSpec, RangeIndex, Rmi, RmiConfig, SearchStrategy,
-    StringRmi, StringRmiConfig, TopModel,
+    DeltaIndex, Lif, LifSpec, RangeIndex, Rmi, RmiConfig, SearchStrategy, StringRmi,
+    StringRmiConfig, TopModel,
 };
 
 #[test]
@@ -30,7 +30,10 @@ fn lif_synthesis_end_to_end() {
     // must answer exactly; the learned candidate must be competitive in
     // speed (§2's O(1) argument) and far smaller than the B-Tree.
     for &k in keyset.keys().iter().step_by(977) {
-        assert_eq!(report.best().index.lookup(k), keyset.keys().binary_search(&k).ok());
+        assert_eq!(
+            report.best().index.lookup(k),
+            keyset.keys().binary_search(&k).ok()
+        );
     }
     let rmi = report
         .candidates

@@ -2,9 +2,7 @@
 //! (string RMI, Z-order index, delta index, paging, quantization,
 //! isotonic calibration).
 
-use learned_indexes::models::{
-    Codebook, IsotonicModel, LinearModel, Model, QuantizedLinear,
-};
+use learned_indexes::models::{Codebook, IsotonicModel, LinearModel, Model, QuantizedLinear};
 use learned_indexes::rmi::multidim::{morton_decode, morton_encode, ZOrderRmi};
 use learned_indexes::rmi::{
     DeltaIndex, PagedRmi, PagedStore, RmiConfig, StringRmi, StringRmiConfig, TopModel,

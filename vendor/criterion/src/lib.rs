@@ -73,8 +73,8 @@ impl Criterion {
                     self.config.warm_up = Duration::from_millis(10);
                     self.config.sample_size = 5;
                 }
-                "--save-baseline" | "--baseline" | "--measurement-time"
-                | "--warm-up-time" | "--sample-size" | "--profile-time" => {
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" | "--profile-time" => {
                     args.next();
                 }
                 s if s.starts_with("--") => {}

@@ -60,7 +60,7 @@ impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         // Finite values spanning many magnitudes; no NaN/Inf, which the
         // workspace's numeric code treats as input errors.
-        
+
         rng.unit_f64() * 2e9 - 1e9
     }
 }

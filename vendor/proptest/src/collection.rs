@@ -30,13 +30,19 @@ impl From<usize> for SizeRange {
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 /// Strategy for `Vec<S::Value>` with length drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`vec`].
@@ -61,7 +67,10 @@ where
     S: Strategy,
     S::Value: Hash + Eq,
 {
-    HashSetStrategy { element, size: size.into() }
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`hash_set`].
@@ -95,7 +104,10 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`btree_set`].
