@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
-//!              appendix-a appendix-e all   (default: all)
+//!              appendix-a appendix-e scaling all   (default: all)
 //! ```
 //!
 //! Run release builds for meaningful numbers:
@@ -63,6 +63,7 @@ fn main() {
             "table1",
             "appendix-a",
             "appendix-e",
+            "scaling",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -104,6 +105,15 @@ fn main() {
             "naive" => naive::print(&naive::run(&cfg), cfg.keys),
             "appendix-a" => appendix_a::print(&appendix_a::run(&cfg)),
             "appendix-e" => appendix_e::print(&appendix_e::run(&cfg), cfg.keys),
+            "scaling" => {
+                // The paper-level defaults are tuned for 200M-key hosts;
+                // the serving-scaling story is already visible at 200k.
+                let scfg = BenchConfig {
+                    keys: cfg.keys.min(200_000),
+                    ..cfg.clone()
+                };
+                scaling::print(&scaling::run(&scfg), scfg.keys);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
     }
@@ -112,7 +122,7 @@ fn main() {
 fn print_usage() {
     println!(
         "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e all"
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling all"
     );
 }
 

@@ -17,6 +17,7 @@
 //! | [`naive`]    | §2.3 — naïve TF-style learned index vs B-Tree |
 //! | [`appendix_a`] | Appendix A — O(√N) error scaling |
 //! | [`appendix_e`] | Appendix E — model-hash Bloom filter |
+//! | [`scaling`]  | beyond the paper — sharded serving under multi-thread batched load |
 //!
 //! Scale: every experiment takes a key count; the defaults target a
 //! laptop (≈2M keys, seconds per experiment). The paper's absolute
@@ -37,6 +38,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod harness;
 pub mod naive;
+pub mod scaling;
 pub mod table;
 pub mod table1;
 

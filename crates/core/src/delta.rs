@@ -11,17 +11,46 @@
 //! follow the learned pattern (the paper's D.1 observation about
 //! timestamp appends being O(1)) stay cheap because merging is linear
 //! and retraining a linear-top RMI is a single pass.
+//!
+//! The base RMI lives behind an `Arc`, so a merge+retrain is a
+//! *whole-base swap*: readers holding a [`DeltaSnapshot`] keep the old
+//! trained model (and its zero-copy [`KeyStore`]) alive for as long as
+//! they need it, which is what makes the `li-serve` write path's
+//! snapshot-consistent concurrent reads possible.
+
+use std::sync::Arc;
 
 use crate::rmi::{Rmi, RmiConfig};
 use li_index::{KeyStore, RangeIndex};
 
+/// Linear two-pointer merge of two sorted sequences into one sorted
+/// vector (stable: ties take the left side first).
+fn merge_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// An updatable learned index: RMI base + sorted delta buffer.
 ///
 /// The base keys live in the RMI's shared [`KeyStore`]; only the (small,
-/// bounded) insert buffer is owned, mutable storage.
+/// bounded) insert buffer is owned, mutable storage. The trained base
+/// sits behind an `Arc` so [`DeltaIndex::snapshot`] is O(pending): it
+/// clones the `Arc` and freezes the buffer, never the keys or the model.
 #[derive(Debug)]
 pub struct DeltaIndex {
-    base: Rmi,
+    base: Arc<Rmi>,
     config: RmiConfig,
     delta: Vec<u64>,
     merge_threshold: usize,
@@ -34,7 +63,7 @@ impl DeltaIndex {
     pub fn new(data: impl Into<KeyStore>, config: RmiConfig, merge_threshold: usize) -> Self {
         assert!(merge_threshold > 0);
         Self {
-            base: Rmi::build(data, &config),
+            base: Arc::new(Rmi::build(data, &config)),
             config,
             delta: Vec::new(),
             merge_threshold,
@@ -45,20 +74,28 @@ impl DeltaIndex {
     /// Insert a key. Duplicates (of base or buffered keys) are ignored,
     /// keeping the unique-sorted-key invariant. Triggers a merge +
     /// retrain when the buffer is full.
+    ///
+    /// The duplicate check is split: the O(log pending) sorted-buffer
+    /// probe runs first and short-circuits, so re-inserting a buffered
+    /// key never pays the full learned lookup against the base — and the
+    /// probe doubles as the insertion position, so bulk loads do one
+    /// buffer search per insert, not two.
     pub fn insert(&mut self, key: u64) {
-        if self.contains(key) {
+        let pos = self.delta.partition_point(|&k| k < key);
+        if self.delta.get(pos).is_some_and(|&k| k == key) || self.base.lookup(key).is_some() {
             return;
         }
-        let pos = self.delta.partition_point(|&k| k < key);
         self.delta.insert(pos, key);
         if self.delta.len() >= self.merge_threshold {
             self.merge();
         }
     }
 
-    /// Whether `key` exists (base or buffer).
+    /// Whether `key` exists (base or buffer). Probes the small sorted
+    /// buffer first; the learned base is only consulted on a buffer
+    /// miss.
     pub fn contains(&self, key: u64) -> bool {
-        self.base.lookup(key).is_some() || self.delta.binary_search(&key).is_ok()
+        self.delta.binary_search(&key).is_ok() || self.base.lookup(key).is_some()
     }
 
     /// Number of keys `< key` across base and buffer — the global
@@ -87,53 +124,93 @@ impl DeltaIndex {
         self.merges
     }
 
+    /// An immutable, internally consistent view of the index as of now:
+    /// the current trained base (shared via `Arc`, zero-copy) plus a
+    /// frozen copy of the pending buffer (bounded by the merge
+    /// threshold). Later inserts, merges and retrains never disturb an
+    /// outstanding snapshot — a merge swaps in a *new* base `Arc`, it
+    /// does not mutate the old one.
+    pub fn snapshot(&self) -> DeltaSnapshot {
+        DeltaSnapshot {
+            base: Arc::clone(&self.base),
+            // One copy straight into the Arc allocation (a Vec clone
+            // would copy again on the Vec -> Arc<[u64]> conversion).
+            delta: Arc::from(self.delta.as_slice()),
+        }
+    }
+
     /// Force a merge + retrain now.
     pub fn merge(&mut self) {
         if self.delta.is_empty() {
             return;
         }
-        let base_data = self.base.data();
-        let mut merged = Vec::with_capacity(base_data.len() + self.delta.len());
-        // Two-pointer linear merge of two sorted unique sequences.
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < base_data.len() && j < self.delta.len() {
-            if base_data[i] <= self.delta[j] {
-                merged.push(base_data[i]);
-                i += 1;
-            } else {
-                merged.push(self.delta[j]);
-                j += 1;
-            }
-        }
-        merged.extend_from_slice(&base_data[i..]);
-        merged.extend_from_slice(&self.delta[j..]);
+        let merged = merge_sorted(self.base.data(), &self.delta);
         self.delta.clear();
-        self.base = Rmi::build(merged, &self.config);
+        // Whole-base swap: snapshots holding the old Arc stay valid.
+        self.base = Arc::new(Rmi::build(merged, &self.config));
         self.merges += 1;
     }
 
     /// Range scan over the merged view: all keys in `[lo, hi)`, sorted.
     pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
-        let base = self.base.range(lo, hi);
-        let d_lo = self.delta.partition_point(|&k| k < lo);
-        let d_hi = self.delta.partition_point(|&k| k < hi);
-        let mut out = Vec::with_capacity(base.len() + d_hi - d_lo);
-        let base_keys = &self.base.data()[base];
-        let delta_keys = &self.delta[d_lo..d_hi];
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < base_keys.len() && j < delta_keys.len() {
-            if base_keys[i] <= delta_keys[j] {
-                out.push(base_keys[i]);
-                i += 1;
-            } else {
-                out.push(delta_keys[j]);
-                j += 1;
-            }
-        }
-        out.extend_from_slice(&base_keys[i..]);
-        out.extend_from_slice(&delta_keys[j..]);
-        out
+        range_keys_of(&self.base, &self.delta, lo, hi)
     }
+}
+
+/// An immutable point-in-time view of a [`DeltaIndex`]: the trained base
+/// at snapshot time (`Arc`-shared with the live index — zero key copies)
+/// plus the then-pending buffer. All reads answered from one snapshot
+/// are mutually consistent no matter how many inserts, merges or
+/// retrains the live index runs concurrently.
+#[derive(Debug, Clone)]
+pub struct DeltaSnapshot {
+    base: Arc<Rmi>,
+    delta: Arc<[u64]>,
+}
+
+impl DeltaSnapshot {
+    /// Whether `key` existed when the snapshot was taken.
+    pub fn contains(&self, key: u64) -> bool {
+        self.delta.binary_search(&key).is_ok() || self.base.lookup(key).is_some()
+    }
+
+    /// Number of keys `< key` in the snapshot (lower-bound rank over the
+    /// merged view).
+    pub fn rank(&self, key: u64) -> usize {
+        self.base.lower_bound(key) + self.delta.partition_point(|&k| k < key)
+    }
+
+    /// Total keys in the snapshot.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.base.data().len() + self.delta.len()
+    }
+
+    /// Keys that were pending in the buffer at snapshot time.
+    pub fn pending(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Range scan over the snapshot's merged view: all keys in
+    /// `[lo, hi)`, sorted.
+    pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
+        range_keys_of(&self.base, &self.delta, lo, hi)
+    }
+
+    /// The snapshot's base key store (for zero-copy assertions: a
+    /// snapshot taken before a merge shares its store with nothing the
+    /// live index currently holds, one taken after shares it exactly).
+    pub fn base_store(&self) -> &KeyStore {
+        self.base.key_store()
+    }
+}
+
+/// Shared range-scan body for the live index and its snapshots.
+fn range_keys_of(base: &Rmi, delta: &[u64], lo: u64, hi: u64) -> Vec<u64> {
+    let base_range = base.range(lo, hi);
+    let d_lo = delta.partition_point(|&k| k < lo);
+    let d_hi = delta.partition_point(|&k| k < hi);
+    merge_sorted(&base.data()[base_range], &delta[d_lo..d_hi])
 }
 
 #[cfg(test)]
@@ -183,6 +260,35 @@ mod tests {
         assert_eq!(idx.len(), 4);
     }
 
+    /// Regression for the duplicate-check split: duplicate inserts must
+    /// never occupy buffer slots, so they can neither trigger merges nor
+    /// perturb the merge cadence of the unique inserts around them.
+    #[test]
+    fn duplicate_inserts_do_not_affect_merge_counts() {
+        let threshold = 8usize;
+        let mut idx = DeltaIndex::new(vec![1000, 2000, 3000], cfg(), threshold);
+
+        // Hammer one buffered key: threshold× re-inserts, zero merges.
+        idx.insert(5);
+        for _ in 0..threshold * 2 {
+            idx.insert(5);
+        }
+        assert_eq!(idx.merges(), 0);
+        assert_eq!(idx.pending(), 1);
+
+        // Interleave unique inserts with base and buffer duplicates; the
+        // merge count must be exactly what the unique inserts alone give:
+        // 16 unique total (incl. the 5 above) at threshold 8 -> 2 merges.
+        for k in 0..15u64 {
+            idx.insert(k * 2 + 11);
+            idx.insert(1000); // base duplicate
+            idx.insert(5); // previously inserted key
+        }
+        assert_eq!(idx.merges(), 2, "pending={}", idx.pending());
+        assert_eq!(idx.pending(), 0);
+        assert_eq!(idx.len(), 3 + 16);
+    }
+
     #[test]
     fn rank_counts_across_base_and_delta() {
         let mut idx = DeltaIndex::new(vec![10, 20, 30], cfg(), 100);
@@ -229,5 +335,44 @@ mod tests {
         assert_eq!(idx.merges(), 1);
         assert_eq!(idx.pending(), 0);
         assert!(idx.contains(10));
+    }
+
+    #[test]
+    fn snapshot_is_zero_copy_and_unaffected_by_later_writes() {
+        let data: Vec<u64> = (0..100u64).map(|i| i * 4).collect();
+        let mut idx = DeltaIndex::new(data, cfg(), 8);
+        idx.insert(1);
+        idx.insert(9);
+
+        let snap = idx.snapshot();
+        // Zero-copy: snapshot base shares the live index's allocation.
+        assert!(snap.base_store().ptr_eq(idx.base.key_store()));
+        assert_eq!(snap.len(), 102);
+        assert_eq!(snap.pending(), 2);
+        assert!(snap.contains(1) && snap.contains(9) && snap.contains(0));
+        assert_eq!(snap.rank(10), 5); // 0, 1, 4, 8, 9
+
+        // Drive the live index through a merge+retrain: the base Arc is
+        // swapped, the snapshot keeps the old one intact.
+        for k in 0..10u64 {
+            idx.insert(k * 4 + 2);
+        }
+        assert!(idx.merges() >= 1);
+        assert!(!snap.base_store().ptr_eq(idx.base.key_store()));
+        assert_eq!(snap.len(), 102, "snapshot must not see later inserts");
+        assert!(!snap.contains(2));
+        assert_eq!(snap.range_keys(0, 10), vec![0, 1, 4, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_agrees_with_live_index_at_capture_time() {
+        let mut idx = DeltaIndex::new(vec![10, 20, 30], cfg(), 100);
+        idx.insert(15);
+        let snap = idx.snapshot();
+        for q in [0u64, 5, 10, 15, 16, 25, 35, u64::MAX] {
+            assert_eq!(snap.rank(q), idx.rank(q), "q={q}");
+            assert_eq!(snap.contains(q), idx.contains(q), "q={q}");
+        }
+        assert_eq!(snap.range_keys(0, u64::MAX), idx.range_keys(0, u64::MAX));
     }
 }

@@ -39,7 +39,7 @@ pub mod search;
 pub mod sort;
 pub mod string_rmi;
 
-pub use delta::DeltaIndex;
+pub use delta::{DeltaIndex, DeltaSnapshot};
 pub use lif::{Lif, LifCandidate, LifReport, LifSpec};
 // The shared vocabulary comes straight from the foundation crate —
 // li-core no longer reaches through its own baseline for it.

@@ -17,15 +17,21 @@
 //!   batched execution path that lets phase-split implementations
 //!   overlap the cache misses of many queries (the SOSD-style
 //!   memory-level-parallelism measurement).
+//! * [`partition`] — the range-partitioning arithmetic shared by the
+//!   sharded serving layer (`li-serve`): balanced shard offsets, shard
+//!   boundary keys, and the reference routing rule with its
+//!   duplicates-safe correctness argument.
 //!
 //! The workspace dependency graph is `li-index → li-btree → li-core →
-//! li-hash → {li-bloom, li-bench}`; `li-btree` and `li-core` re-export
-//! these types for backward compatibility.
+//! {li-serve, li-hash} → {li-bloom, li-bench}`; `li-btree` and
+//! `li-core` re-export these types for backward compatibility, and
+//! `li-serve` builds its sharded serving layer on [`partition`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod keystore;
+pub mod partition;
 
 pub use keystore::KeyStore;
 

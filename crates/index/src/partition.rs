@@ -1,0 +1,143 @@
+//! Range-partitioning helpers for sharded serving.
+//!
+//! A sharded index splits one sorted key array into N contiguous
+//! position ranges ("shards") and routes each query to the shard that
+//! must contain its lower-bound position. These helpers hold the
+//! arithmetic both the router and the partitioner share, so `li-serve`
+//! and any future partitioned structure agree on the exact semantics:
+//!
+//! * [`even_offsets`] — N+1 split points over `len` positions, balanced
+//!   to within one key.
+//! * [`boundaries`] — the first key of every shard except shard 0: the
+//!   router's decision keys.
+//! * [`route_binary`] — the reference routing rule. For a globally
+//!   sorted array the lower-bound position of `q` always falls inside
+//!   shard `partition_point(boundaries, |b| b < q)` (proof in the
+//!   function docs), so a learned router only has to *approximate* this
+//!   and verify in O(1).
+
+/// Split `len` positions into `shards` contiguous ranges, returning the
+/// `shards + 1` offsets (offset `i`..offset `i+1` is shard `i`). The
+/// first `len % shards` shards get one extra key, so sizes differ by at
+/// most one.
+///
+/// # Panics
+/// If `shards == 0`.
+pub fn even_offsets(len: usize, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "even_offsets: shards must be > 0");
+    let base = len / shards;
+    let extra = len % shards;
+    let mut offsets = Vec::with_capacity(shards + 1);
+    let mut at = 0usize;
+    offsets.push(0);
+    for i in 0..shards {
+        at += base + usize::from(i < extra);
+        offsets.push(at);
+    }
+    debug_assert_eq!(*offsets.last().unwrap(), len);
+    offsets
+}
+
+/// The routing keys for a partition of `keys` at `offsets` (as produced
+/// by [`even_offsets`]): the first key of each shard `1..N`. Shard 0
+/// needs no boundary — every query smaller than all boundaries routes
+/// there.
+///
+/// Empty shards (which [`even_offsets`] only produces as a suffix, when
+/// `shards > len`) get boundary `u64::MAX`: since `u64::MAX < q` never
+/// holds, [`route_binary`] never selects them and every query stops at
+/// the last non-empty shard instead.
+pub fn boundaries(keys: &[u64], offsets: &[usize]) -> Vec<u64> {
+    let n = offsets.len().saturating_sub(1);
+    offsets[1..n.max(1)]
+        .iter()
+        .map(|&o| keys.get(o).copied().unwrap_or(u64::MAX))
+        .collect()
+}
+
+/// Reference routing rule: the shard whose position range contains
+/// `lower_bound(q)` over the full array.
+///
+/// Why `partition_point(|b| b < q)` is correct, duplicates included:
+/// let `s` be the returned shard. Every shard `j > s` has first key
+/// `>= q`, so the global lower bound is at or before shard `s+1`'s
+/// start. Every key in shards `< s` is `<=` shard `s`'s first key
+/// (global sort order), which is `< q`, so the global lower bound is at
+/// or after shard `s`'s start. Hence it lies in
+/// `[offsets[s], offsets[s+1]]`, and a shard-local `lower_bound`
+/// (which returns the shard length when every shard key is `< q`)
+/// lands exactly on it.
+#[inline]
+pub fn route_binary(boundaries: &[u64], q: u64) -> usize {
+    boundaries.partition_point(|&b| b < q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_balanced_and_cover() {
+        for len in [0usize, 1, 2, 7, 10, 100, 101] {
+            for shards in [1usize, 2, 3, 7, 16] {
+                let o = even_offsets(len, shards);
+                assert_eq!(o.len(), shards + 1);
+                assert_eq!(o[0], 0);
+                assert_eq!(*o.last().unwrap(), len);
+                let sizes: Vec<usize> = o.windows(2).map(|w| w[1] - w[0]).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "len={len} shards={shards} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be > 0")]
+    fn zero_shards_panics() {
+        even_offsets(10, 0);
+    }
+
+    #[test]
+    fn boundaries_are_first_keys() {
+        let keys: Vec<u64> = (0..10u64).map(|i| i * 5).collect();
+        let offsets = even_offsets(keys.len(), 3); // [0, 4, 7, 10]
+        assert_eq!(boundaries(&keys, &offsets), vec![keys[4], keys[7]]);
+        // Single shard: no boundaries.
+        assert_eq!(boundaries(&keys, &even_offsets(keys.len(), 1)), vec![]);
+        // Empty keyset, single shard.
+        assert_eq!(boundaries(&[], &even_offsets(0, 1)), vec![]);
+    }
+
+    /// Routing must place the global lower bound inside the chosen
+    /// shard's position range, for unique and duplicate-heavy keysets.
+    #[test]
+    fn routed_shard_contains_the_global_lower_bound() {
+        let keysets: Vec<Vec<u64>> = vec![
+            (0..100u64).map(|i| i * 3).collect(),
+            vec![7; 50],
+            vec![1, 1, 1, 5, 5, 9, 9, 9, 9, 12],
+            vec![0, u64::MAX - 1, u64::MAX, u64::MAX],
+        ];
+        for keys in keysets {
+            for shards in [1usize, 2, 3, 7] {
+                let offsets = even_offsets(keys.len(), shards);
+                let bounds = boundaries(&keys, &offsets);
+                let mut probes = vec![0u64, 1, u64::MAX - 1, u64::MAX];
+                probes.extend(
+                    keys.iter()
+                        .flat_map(|&k| [k.saturating_sub(1), k, k.saturating_add(1)]),
+                );
+                for q in probes {
+                    let s = route_binary(&bounds, q);
+                    let global = keys.partition_point(|&k| k < q);
+                    let local = keys[offsets[s]..offsets[s + 1]].partition_point(|&k| k < q);
+                    assert_eq!(
+                        offsets[s] + local,
+                        global,
+                        "keys={keys:?} shards={shards} q={q} -> shard {s}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # li-serve — the sharded concurrent serving layer
+//!
+//! The paper frames learned indexes as read-heavy serving structures;
+//! this crate is the workspace's answer to serving them at scale: one
+//! shared sorted key array, range-partitioned into N zero-copy shards,
+//! each served by whatever index backend fits it best, with concurrent
+//! batched reads and a snapshot-consistent write path.
+//!
+//! * [`ShardedIndex`] — the tentpole: partitions one [`KeyStore`] into
+//!   N `KeyStore::slice` views (no key copied), builds a pluggable
+//!   [`ShardBuilder`] backend per shard, and routes every lookup
+//!   through a learned shard router with an O(1)-verified answer and a
+//!   binary-search fallback. It implements [`RangeIndex`] itself, so
+//!   every existing harness and property suite works against it
+//!   unchanged.
+//! * [`ShardRouter`] — routing as a recursive application of the
+//!   paper's thesis: a linear model over the shard boundary keys with a
+//!   certified last-mile window.
+//! * [`ShardedIndex::lower_bound_batch_parallel`] — the concurrent read
+//!   path: scoped threads fan contiguous sub-batches out, each running
+//!   the per-shard bucketed batch plan.
+//! * [`WritableShard`] — the write path: a `DeltaIndex` (Appendix D.1)
+//!   behind an `RwLock`; merges retrain and swap the whole base behind
+//!   an `Arc`, so readers on a [`DeltaSnapshot`] are never torn across
+//!   a retrain.
+//!
+//! The partition arithmetic (balanced offsets, boundary keys, and the
+//! duplicates-safe routing proof) lives in `li_index::partition`, so
+//! any future partitioned structure shares the exact same semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod router;
+pub mod sharded;
+pub mod writable;
+
+pub use builder::{
+    BTreeShardBuilder, FastShardBuilder, InterpShardBuilder, RmiShardBuilder, ShardBuilder,
+};
+pub use li_core::delta::DeltaSnapshot;
+pub use li_index::{KeyStore, Prediction, RangeIndex};
+pub use router::ShardRouter;
+pub use sharded::ShardedIndex;
+pub use writable::WritableShard;

@@ -1,0 +1,207 @@
+//! The shard router: learned fast path, binary fallback, O(1) global
+//! verification.
+//!
+//! Routing is itself a tiny lower-bound problem — "which shard's first
+//! key is the last one `< q`?" — so the paper's thesis applies to it
+//! recursively: fit a linear model over the boundary keys and use it as
+//! a position hint, exactly like an RMI leaf, with `partition_point`
+//! over a narrow verified window as the last mile. Because the correct
+//! answer has an O(1) *global* certificate (`boundaries[r-1] < q <=
+//! boundaries[r]`), the learned path can never return a wrong shard: a
+//! failed certificate falls back to full binary search.
+
+use li_index::partition::route_binary;
+
+/// Linear routing model over the boundary keys, with the validated
+/// window half-width that makes its answers certifiable.
+#[derive(Debug, Clone, Copy)]
+struct LinearRoute {
+    slope: f64,
+    intercept: f64,
+    /// Half-width of the search window around the prediction; fitted so
+    /// the window provably brackets the true route at every boundary.
+    err: usize,
+}
+
+impl LinearRoute {
+    #[inline]
+    fn predict(&self, key: u64) -> f64 {
+        self.slope * key as f64 + self.intercept
+    }
+}
+
+/// Routes a query key to the shard whose position range contains its
+/// global lower bound.
+///
+/// Built from the shard boundary keys (first key of every shard except
+/// shard 0, see `li_index::partition::boundaries`). Uses a learned
+/// linear model when the boundaries support one (monotone, finite fit),
+/// binary search otherwise — and *always* verifies the learned answer
+/// with the O(1) certificate before trusting it.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    boundaries: Vec<u64>,
+    model: Option<LinearRoute>,
+}
+
+impl ShardRouter {
+    /// Fit a router over the boundary keys (must be sorted; one entry
+    /// per shard beyond the first).
+    pub fn fit(boundaries: Vec<u64>) -> Self {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        let model = Self::fit_linear(&boundaries);
+        Self { boundaries, model }
+    }
+
+    /// Least-squares line through `(boundary_i, i + 0.5)` — the center
+    /// of the route-value jump at each boundary — plus the max observed
+    /// rounding error. Returns `None` when the boundaries cannot
+    /// support a useful monotone model (fewer than 2 distinct keys, or
+    /// a degenerate/non-finite fit), in which case routing is pure
+    /// binary search.
+    fn fit_linear(boundaries: &[u64]) -> Option<LinearRoute> {
+        let n = boundaries.len();
+        if n < 2 || boundaries.first() == boundaries.last() {
+            return None;
+        }
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (i, &b) in boundaries.iter().enumerate() {
+            let (x, y) = (b as f64, i as f64 + 0.5);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let nf = n as f64;
+        let det = nf * sxx - sx * sx;
+        if det.abs() < f64::EPSILON {
+            return None;
+        }
+        let slope = (nf * sxy - sx * sy) / det;
+        let intercept = (sy - slope * sx) / nf;
+        if !slope.is_finite() || !intercept.is_finite() || slope < 0.0 {
+            return None;
+        }
+        let mut model = LinearRoute {
+            slope,
+            intercept,
+            err: 0,
+        };
+        // Window half-width: the worst rounded miss at any boundary key
+        // against both route values that meet there (just-below keys
+        // route to i, the boundary key itself to at most i+1), plus one
+        // for the rounding of interior keys.
+        let mut err = 0usize;
+        for (i, &b) in boundaries.iter().enumerate() {
+            let p = model.predict(b);
+            if !p.is_finite() {
+                return None;
+            }
+            let rounded = p.round().clamp(0.0, n as f64) as usize;
+            err = err.max(rounded.abs_diff(i)).max(rounded.abs_diff(i + 1));
+        }
+        model.err = err + 1;
+        Some(model)
+    }
+
+    /// Number of shards this router serves.
+    pub fn shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Whether the learned fast path is active (false on degenerate
+    /// boundary sets, where routing is pure binary search).
+    pub fn is_learned(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// The shard whose position range contains `lower_bound(key)` of
+    /// the full array. Learned prediction + verified window when a
+    /// model is fitted; exact binary search otherwise or whenever the
+    /// certificate fails.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        let n = self.boundaries.len();
+        if let Some(m) = &self.model {
+            let p = m.predict(key);
+            if p.is_finite() {
+                let center = p.round().clamp(0.0, n as f64) as usize;
+                let lo = center.saturating_sub(m.err).min(n);
+                let hi = (center.saturating_add(m.err)).min(n);
+                let r = lo + self.boundaries[lo..hi].partition_point(|&b| b < key);
+                // O(1) global certificate: r is THE route iff every
+                // boundary before it is < key and the one at it is >= key.
+                if (r == 0 || self.boundaries[r - 1] < key) && (r == n || self.boundaries[r] >= key)
+                {
+                    return r;
+                }
+            }
+        }
+        route_binary(&self.boundaries, key)
+    }
+
+    /// Router overhead in bytes (boundary keys + model).
+    pub fn size_bytes(&self) -> usize {
+        self.boundaries.len() * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_set(boundaries: &[u64]) -> Vec<u64> {
+        let mut qs = vec![0u64, 1, u64::MAX - 1, u64::MAX];
+        for &b in boundaries {
+            qs.extend_from_slice(&[b.saturating_sub(1), b, b.saturating_add(1)]);
+        }
+        qs
+    }
+
+    #[test]
+    fn learned_route_always_matches_binary() {
+        let boundary_sets: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![100],
+            (1..50u64).map(|i| i * 1000).collect(),
+            (1..50u64).map(|i| i * i * 7919).collect(), // quadratic: model misses
+            vec![5, 5, 5, 5],                           // duplicate boundaries
+            vec![0, 1, u64::MAX - 1, u64::MAX],         // extreme spread
+            (0..100u64).map(|i| i / 10).collect(),      // long runs
+        ];
+        for bounds in boundary_sets {
+            let router = ShardRouter::fit(bounds.clone());
+            assert_eq!(router.shards(), bounds.len() + 1);
+            for q in probe_set(&bounds) {
+                assert_eq!(
+                    router.route(q),
+                    route_binary(&bounds, q),
+                    "bounds={bounds:?} q={q} learned={}",
+                    router.is_learned()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_uniform_boundaries_get_a_learned_model() {
+        let bounds: Vec<u64> = (1..128u64).map(|i| i * 1_000_003).collect();
+        let router = ShardRouter::fit(bounds);
+        assert!(router.is_learned());
+    }
+
+    #[test]
+    fn degenerate_boundaries_fall_back_to_binary() {
+        for bounds in [vec![], vec![42], vec![7, 7, 7]] {
+            let router = ShardRouter::fit(bounds);
+            assert!(!router.is_learned());
+        }
+    }
+
+    #[test]
+    fn router_size_is_small() {
+        let bounds: Vec<u64> = (1..16u64).map(|i| i * 100).collect();
+        let router = ShardRouter::fit(bounds);
+        assert!(router.size_bytes() < 1024);
+    }
+}

@@ -97,4 +97,23 @@ pub fn run(n: usize) {
         "batched lookup of {} keys verified against scalar",
         batch.len()
     );
+
+    // 8. Scale out: range-partition the same store into 4 zero-copy
+    //    shards, each served by its own RMI, routed by a learned shard
+    //    router — and fan a batch across threads. ShardedIndex is a
+    //    RangeIndex too, so everything above works on it unchanged.
+    let sharded = learned_indexes::serve::ShardedIndex::build(
+        keys.clone(),
+        4,
+        &learned_indexes::serve::RmiShardBuilder::new(),
+    );
+    assert!(sharded.key_store().ptr_eq(&keys), "sharding copies no keys");
+    let mut parallel = vec![0usize; batch.len()];
+    sharded.lower_bound_batch_parallel(&batch, &mut parallel, 4);
+    assert_eq!(parallel, positions, "sharded ≡ flat, thread-for-thread");
+    println!(
+        "sharded serving: {} over {} shards agrees with the flat index",
+        sharded.name(),
+        sharded.shard_count()
+    );
 }

@@ -16,6 +16,11 @@
 //! * **Point indexes** (§4): [`hash::CdfHash`] learned hash functions and
 //!   the hash-map architectures of Appendices B/C.
 //! * **Existence indexes** (§5): [`bloom::LearnedBloom`] and friends.
+//!
+//! The [`serve`] module is the production-facing layer on top: a
+//! sharded, concurrently readable and writable serving index
+//! ([`serve::ShardedIndex`], [`serve::WritableShard`]) over the same
+//! `RangeIndex` vocabulary.
 
 pub mod scale;
 
@@ -26,6 +31,7 @@ pub use li_data as data;
 pub use li_hash as hash;
 pub use li_index as index;
 pub use li_models as models;
+pub use li_serve as serve;
 
 // The foundation vocabulary at the crate root: the shared key store,
 // the common trait (with its batched lookup path), and predictions.

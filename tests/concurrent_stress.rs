@@ -1,0 +1,199 @@
+//! Multi-threaded stress: concurrent readers must always observe a
+//! consistent snapshot while a writer drives inserts through multiple
+//! merge/retrain cycles.
+//!
+//! Two pressure points:
+//!
+//! 1. **Read path** — many threads hammer one `ShardedIndex` (scalar,
+//!    batched and parallel-batched) while comparing every answer to the
+//!    flat sorted-array oracle. The index is immutable, so any torn
+//!    answer would be a `Send`/`Sync` violation in a backend.
+//! 2. **Write path** — a writer drives `WritableShard::insert` through
+//!    at least two merge+retrain cycles while readers take
+//!    `DeltaSnapshot`s and check internal consistency with no lock
+//!    held: ranks monotone in the key, no torn rank (base swapped
+//!    mid-read would break `rank(∞) == len`), and the initial keyset
+//!    permanently visible.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use learned_indexes::rmi::{RmiConfig, TopModel};
+use learned_indexes::serve::{RmiShardBuilder, ShardedIndex, WritableShard};
+use learned_indexes::{KeyStore, RangeIndex};
+
+fn cfg() -> RmiConfig {
+    RmiConfig::two_stage(TopModel::Linear, 64)
+}
+
+#[test]
+fn concurrent_readers_agree_with_the_oracle() {
+    let data: Vec<u64> = (0..60_000u64).map(|i| i * 3).collect();
+    let store = KeyStore::new(data.clone());
+    let idx = ShardedIndex::build(store, 8, &RmiShardBuilder::new());
+
+    let readers = 4;
+    std::thread::scope(|scope| {
+        for t in 0..readers {
+            let idx = &idx;
+            let data = &data;
+            scope.spawn(move || {
+                // Each reader probes a different stride so the threads
+                // cover different shards at the same time.
+                let queries: Vec<u64> = (0..4000u64)
+                    .map(|i| (i * 37 + t as u64 * 13) % 200_000)
+                    .collect();
+                let mut batch = vec![0usize; queries.len()];
+                idx.lower_bound_batch(&queries, &mut batch);
+                for (&q, &got) in queries.iter().zip(&batch) {
+                    assert_eq!(got, data.partition_point(|&k| k < q), "t={t} q={q}");
+                    assert_eq!(idx.lower_bound(q), got, "t={t} q={q}");
+                }
+            });
+        }
+        // Main thread runs the parallel path concurrently with the
+        // scalar/batched readers above.
+        let queries: Vec<u64> = (0..8000u64).map(|i| i * 23 % 200_000).collect();
+        let mut out = vec![0usize; queries.len()];
+        idx.lower_bound_batch_parallel(&queries, &mut out, 4);
+        for (&q, &got) in queries.iter().zip(&out) {
+            assert_eq!(got, data.partition_point(|&k| k < q), "parallel q={q}");
+        }
+    });
+}
+
+#[test]
+fn writer_through_merge_cycles_never_tears_reader_snapshots() {
+    // Initial keys: even numbers. The writer inserts odd keys, so any
+    // even key's membership is an invariant of every snapshot.
+    let initial = 20_000usize;
+    let inserts = 4_000u64;
+    let threshold = 512usize; // 4_000 / 512 -> at least 7 merges
+    let base: Vec<u64> = (0..initial as u64).map(|i| i * 2).collect();
+    let shard = WritableShard::new(base, cfg(), threshold);
+
+    let done = AtomicBool::new(false);
+    let snapshots_checked = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let shard_ref = &shard;
+        let done_ref = &done;
+        let checked_ref = &snapshots_checked;
+
+        // Readers: grab a snapshot, verify internal consistency with no
+        // lock held, repeat until the writer finishes.
+        for t in 0..3 {
+            scope.spawn(move || {
+                let mut last_len = 0usize;
+                loop {
+                    let finished = done_ref.load(Ordering::Acquire);
+                    let snap = shard_ref.snapshot();
+
+                    // No torn length: rank over the whole domain plus
+                    // the MAX-key membership must equal len() exactly —
+                    // a base swap observed halfway would break this.
+                    let total = snap.rank(u64::MAX) + usize::from(snap.contains(u64::MAX));
+                    assert_eq!(total, snap.len(), "t={t}: torn snapshot length");
+
+                    // Snapshot lengths are monotone per reader (inserts
+                    // only ever add keys).
+                    assert!(
+                        snap.len() >= last_len,
+                        "t={t}: len went backwards {last_len} -> {}",
+                        snap.len()
+                    );
+                    assert!(
+                        snap.len() <= initial + inserts as usize,
+                        "t={t}: impossible len {}",
+                        snap.len()
+                    );
+                    last_len = snap.len();
+
+                    // Monotone lower-bound ranks across the key space,
+                    // and rank deltas bounded by key-range population.
+                    let mut prev = 0usize;
+                    for q in (0..initial as u64 * 2 + 4).step_by(997) {
+                        let r = snap.rank(q);
+                        assert!(
+                            r >= prev,
+                            "t={t}: rank not monotone at q={q}: {prev} -> {r}"
+                        );
+                        prev = r;
+                    }
+
+                    // The initial (even) keys are permanently visible.
+                    for k in (0..initial as u64).step_by(1013) {
+                        assert!(snap.contains(k * 2), "t={t}: lost initial key {}", k * 2);
+                    }
+
+                    // Range scans come back sorted and in-bounds.
+                    let lo = 1000u64;
+                    let hi = 3000u64;
+                    let scan = snap.range_keys(lo, hi);
+                    assert!(
+                        scan.windows(2).all(|w| w[0] <= w[1]),
+                        "t={t}: unsorted scan"
+                    );
+                    assert!(
+                        scan.iter().all(|&k| (lo..hi).contains(&k)),
+                        "t={t}: scan out of bounds"
+                    );
+
+                    checked_ref.fetch_add(1, Ordering::Relaxed);
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Writer: odd keys, spread over the domain, through >= 2 merge
+        // cycles (asserted below).
+        scope.spawn(move || {
+            for i in 0..inserts {
+                shard_ref.insert((i * 13 % (initial as u64 * 2)) | 1);
+            }
+            // Flush the tail so the final state is fully merged.
+            shard_ref.merge();
+            done_ref.store(true, Ordering::Release);
+        });
+    });
+
+    assert!(
+        shard.merges() >= 2,
+        "writer must run through at least two merge/retrain cycles, got {}",
+        shard.merges()
+    );
+    assert!(
+        snapshots_checked.load(Ordering::Relaxed) > 0,
+        "readers must have validated at least one snapshot"
+    );
+
+    // Final state: every initial key plus every distinct odd insert.
+    let distinct_odd: std::collections::BTreeSet<u64> = (0..inserts)
+        .map(|i| (i * 13 % (initial as u64 * 2)) | 1)
+        .collect();
+    assert_eq!(shard.len(), initial + distinct_odd.len());
+    assert_eq!(shard.pending(), 0);
+    for &k in distinct_odd.iter().step_by(97) {
+        assert!(shard.contains(k), "lost inserted key {k}");
+    }
+}
+
+#[test]
+fn snapshot_taken_before_merges_serves_the_old_state_forever() {
+    let shard = WritableShard::new((0..1000u64).map(|i| i * 2).collect::<Vec<_>>(), cfg(), 64);
+    let before = shard.snapshot();
+    assert_eq!(before.len(), 1000);
+
+    // Two full merge cycles after the snapshot.
+    for k in 0..200u64 {
+        shard.insert(k * 2 + 1);
+    }
+    assert!(shard.merges() >= 2, "merges {}", shard.merges());
+
+    assert_eq!(before.len(), 1000, "snapshot must be frozen");
+    assert!(!before.contains(1));
+    assert_eq!(before.rank(u64::MAX), 1000);
+    assert_eq!(shard.len(), 1200);
+}

@@ -1,0 +1,152 @@
+//! Property suite for `DeltaIndex` (Appendix D.1): `insert` +
+//! `range_keys` + `rank` + `contains` must agree with a `BTreeSet`
+//! oracle across random insert orders, merge thresholds and
+//! duplicate-insert no-ops — before, during and after merge/retrain
+//! cycles, and through snapshots.
+
+use std::collections::BTreeSet;
+
+use learned_indexes::rmi::{DeltaIndex, RmiConfig, TopModel};
+use proptest::prelude::*;
+
+fn cfg() -> RmiConfig {
+    RmiConfig::two_stage(TopModel::Linear, 32)
+}
+
+fn sorted_unique(keys: Vec<u64>) -> Vec<u64> {
+    let mut k = keys;
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+/// Probe points: around every 5th oracle key plus domain extremes.
+fn probes(oracle: &BTreeSet<u64>) -> Vec<u64> {
+    let mut qs = vec![0u64, 1, u64::MAX - 1, u64::MAX];
+    for &k in oracle.iter().step_by(5) {
+        qs.extend_from_slice(&[k.saturating_sub(1), k, k.saturating_add(1)]);
+    }
+    qs
+}
+
+fn assert_matches_oracle(
+    idx: &DeltaIndex,
+    oracle: &BTreeSet<u64>,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(idx.len(), oracle.len(), "{}: len", ctx);
+    let qs = probes(oracle);
+    for &q in &qs {
+        prop_assert_eq!(
+            idx.rank(q),
+            oracle.range(..q).count(),
+            "{}: rank({})",
+            ctx,
+            q
+        );
+        prop_assert_eq!(
+            idx.contains(q),
+            oracle.contains(&q),
+            "{}: contains({})",
+            ctx,
+            q
+        );
+    }
+    // Range scans at a few windows drawn from the probe set.
+    for w in qs.windows(2) {
+        let (lo, hi) = (w[0].min(w[1]), w[0].max(w[1]));
+        let want: Vec<u64> = oracle.range(lo..hi).copied().collect();
+        prop_assert_eq!(
+            idx.range_keys(lo, hi),
+            want,
+            "{}: range [{}, {})",
+            ctx,
+            lo,
+            hi
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary initial keyset + arbitrary insert stream (with natural
+    /// duplicates) at arbitrary merge thresholds: the merged view must
+    /// track the set oracle exactly, and duplicate inserts must be
+    /// no-ops that never consume buffer space.
+    #[test]
+    fn delta_index_tracks_btreeset_oracle(
+        initial in prop::collection::vec(any::<u64>(), 0..200),
+        inserts in prop::collection::vec(any::<u64>(), 0..120),
+        threshold in 1usize..64,
+    ) {
+        let initial = sorted_unique(initial);
+        let mut oracle: BTreeSet<u64> = initial.iter().copied().collect();
+        let mut idx = DeltaIndex::new(initial, cfg(), threshold);
+
+        let mut unique_new = 0usize;
+        for (step, &k) in inserts.iter().enumerate() {
+            let fresh = oracle.insert(k);
+            unique_new += usize::from(fresh);
+            idx.insert(k);
+            // Duplicate inserts must not occupy buffer slots.
+            prop_assert!(idx.pending() < threshold.max(1));
+            if step % 17 == 0 {
+                assert_matches_oracle(&idx, &oracle, &format!("step {step}"))?;
+            }
+        }
+        assert_matches_oracle(&idx, &oracle, "final")?;
+
+        // Merge cadence is a pure function of the unique inserts.
+        prop_assert_eq!(idx.merges(), unique_new / threshold, "merge count");
+
+        // Re-inserting every key is a complete no-op.
+        let merges_before = idx.merges();
+        let len_before = idx.len();
+        for &k in oracle.iter().take(50) {
+            idx.insert(k);
+        }
+        prop_assert_eq!(idx.len(), len_before);
+        prop_assert_eq!(idx.merges(), merges_before);
+        assert_matches_oracle(&idx, &oracle, "after re-inserts")?;
+    }
+
+    /// Forced merges at arbitrary points never change the observable
+    /// set, and snapshots taken mid-stream stay internally exact.
+    #[test]
+    fn forced_merges_and_snapshots_preserve_the_view(
+        initial in prop::collection::vec(any::<u64>(), 1..150),
+        inserts in prop::collection::vec(any::<u64>(), 1..60),
+        threshold in 8usize..64,
+    ) {
+        let initial = sorted_unique(initial);
+        let mut oracle: BTreeSet<u64> = initial.iter().copied().collect();
+        let mut idx = DeltaIndex::new(initial, cfg(), threshold);
+
+        let mid = inserts.len() / 2;
+        for &k in &inserts[..mid] {
+            oracle.insert(k);
+            idx.insert(k);
+        }
+        let snap = idx.snapshot();
+        let snap_oracle = oracle.clone();
+
+        idx.merge();
+        prop_assert_eq!(idx.pending(), 0);
+        assert_matches_oracle(&idx, &oracle, "after forced merge")?;
+
+        for &k in &inserts[mid..] {
+            oracle.insert(k);
+            idx.insert(k);
+        }
+        assert_matches_oracle(&idx, &oracle, "after second half")?;
+
+        // The snapshot still answers from the pre-merge state.
+        prop_assert_eq!(snap.len(), snap_oracle.len());
+        for &q in &probes(&snap_oracle) {
+            prop_assert_eq!(snap.rank(q), snap_oracle.range(..q).count(), "snap rank({})", q);
+            prop_assert_eq!(snap.contains(q), snap_oracle.contains(&q), "snap contains({})", q);
+        }
+    }
+}

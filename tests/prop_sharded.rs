@@ -1,0 +1,311 @@
+//! Property suite: `ShardedIndex` must be observationally identical to
+//! the flat sorted-array oracle — sharding is an implementation detail,
+//! never a semantics change.
+//!
+//! Coverage matrix: {RMI, B-Tree, InterpBTree, FastTree} backends ×
+//! shard counts {1, 3, 7} × arbitrary keysets, with fixed cases for the
+//! empty, single-key, all-duplicate and `u64::MAX`-saturated keysets.
+//! Duplicate-heavy multisets run against the FastTree backend (the one
+//! whose per-shard `lower_bound` is exact on duplicates — the same
+//! contract split `prop_batch_lookup` uses); every duplicate-admitting
+//! backend is also held to internal batch ≡ scalar ≡ parallel
+//! consistency on multisets (the RMI's contract is sorted unique input,
+//! so it only appears in the unique-keyset properties).
+//! Zero-copy sharding is part of the contract: every shard must be a
+//! view of the caller's allocation (`ptr_eq`/`strong_count`).
+
+use learned_indexes::serve::{
+    BTreeShardBuilder, FastShardBuilder, InterpShardBuilder, RmiShardBuilder, ShardBuilder,
+    ShardedIndex,
+};
+use learned_indexes::{KeyStore, RangeIndex};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 7];
+
+fn sorted(mut keys: Vec<u64>) -> Vec<u64> {
+    keys.sort_unstable();
+    keys
+}
+
+fn sorted_unique(keys: Vec<u64>) -> Vec<u64> {
+    let mut k = sorted(keys);
+    k.dedup();
+    k
+}
+
+/// Every backend the serving layer must support, with mid-range tuning.
+fn all_builders() -> Vec<Box<dyn ShardBuilder>> {
+    vec![
+        Box::new(RmiShardBuilder::new().with_leaf_fraction(1.0 / 32.0)),
+        Box::new(BTreeShardBuilder::new(16)),
+        Box::new(InterpShardBuilder::new(512)),
+        Box::new(FastShardBuilder),
+    ]
+}
+
+/// Backends whose build contract admits duplicate keys (the RMI is
+/// documented — and debug-asserted — as sorted *unique* input).
+fn duplicate_safe_builders() -> Vec<Box<dyn ShardBuilder>> {
+    vec![
+        Box::new(BTreeShardBuilder::new(16)),
+        Box::new(InterpShardBuilder::new(512)),
+        Box::new(FastShardBuilder),
+    ]
+}
+
+fn oracle(data: &[u64], q: u64) -> usize {
+    data.partition_point(|&k| k < q)
+}
+
+fn upper_oracle(data: &[u64], q: u64) -> usize {
+    data.partition_point(|&k| k <= q)
+}
+
+/// Probe set: generated queries plus domain extremes and the
+/// neighborhood of every 7th stored key (shard-boundary keys included).
+fn probes(data: &[u64], queries: &[u64]) -> Vec<u64> {
+    let mut qs = queries.to_vec();
+    qs.extend_from_slice(&[0, 1, u64::MAX - 1, u64::MAX]);
+    for &k in data.iter().step_by(7) {
+        qs.extend_from_slice(&[k.saturating_sub(1), k, k.saturating_add(1)]);
+    }
+    qs
+}
+
+/// Full oracle equivalence: scalar, upper bound, batch and parallel
+/// batch all agree with the flat sorted array.
+fn assert_oracle_equivalence(
+    idx: &ShardedIndex,
+    data: &[u64],
+    queries: &[u64],
+) -> Result<(), TestCaseError> {
+    let qs = probes(data, queries);
+    let mut batch = vec![usize::MAX; qs.len()];
+    idx.lower_bound_batch(&qs, &mut batch);
+    let mut par = vec![usize::MAX; qs.len()];
+    idx.lower_bound_batch_parallel(&qs, &mut par, 3);
+    for (i, &q) in qs.iter().enumerate() {
+        let want = oracle(data, q);
+        prop_assert_eq!(idx.lower_bound(q), want, "{} scalar q={}", idx.name(), q);
+        prop_assert_eq!(batch[i], want, "{} batch q={}", idx.name(), q);
+        prop_assert_eq!(par[i], want, "{} parallel q={}", idx.name(), q);
+        prop_assert_eq!(
+            idx.upper_bound(q),
+            upper_oracle(data, q),
+            "{} upper q={}",
+            idx.name(),
+            q
+        );
+    }
+    Ok(())
+}
+
+/// Internal consistency (well-defined even for backends that are
+/// inexact on duplicates): batch and parallel must reproduce scalar.
+fn assert_batch_matches_scalar(idx: &ShardedIndex, queries: &[u64]) -> Result<(), TestCaseError> {
+    let mut batch = vec![usize::MAX; queries.len()];
+    idx.lower_bound_batch(queries, &mut batch);
+    let mut par = vec![usize::MAX; queries.len()];
+    idx.lower_bound_batch_parallel(queries, &mut par, 4);
+    for (i, &q) in queries.iter().enumerate() {
+        let want = idx.lower_bound(q);
+        prop_assert_eq!(batch[i], want, "{} batch q={}", idx.name(), q);
+        prop_assert_eq!(par[i], want, "{} parallel q={}", idx.name(), q);
+    }
+    Ok(())
+}
+
+/// Zero-copy witness: the index and every shard backend must view the
+/// caller's allocation, and the handle count must account for them.
+fn assert_zero_copy(idx: &ShardedIndex, store: &KeyStore) -> Result<(), TestCaseError> {
+    prop_assert!(idx.key_store().ptr_eq(store), "{}", idx.name());
+    for s in 0..idx.shard_count() {
+        prop_assert!(
+            idx.shard(s).key_store().ptr_eq(store),
+            "{} shard {}",
+            idx.name(),
+            s
+        );
+    }
+    // Caller handle + the ShardedIndex's own + at least one per shard.
+    prop_assert!(
+        store.strong_count() >= idx.shard_count() + 2,
+        "{}: strong_count {} for {} shards",
+        idx.name(),
+        store.strong_count(),
+        idx.shard_count()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unique keysets (empty and single-key included via the 0.. lower
+    /// bound): every backend × every shard count ≡ the flat oracle.
+    #[test]
+    fn every_backend_matches_oracle_on_unique_keys(
+        keys in prop::collection::vec(any::<u64>(), 0..400),
+        queries in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let data = sorted_unique(keys);
+        let store = KeyStore::new(data.clone());
+        for builder in all_builders() {
+            for shards in SHARD_COUNTS {
+                let idx = ShardedIndex::build(store.clone(), shards, builder.as_ref());
+                assert_zero_copy(&idx, &store)?;
+                assert_oracle_equivalence(&idx, &data, &queries)?;
+            }
+        }
+    }
+
+    /// Duplicate-heavy multisets (tiny domain, long equal runs that
+    /// straddle shard boundaries): the duplicate-exact backend must
+    /// match the oracle at every shard count.
+    #[test]
+    fn duplicate_multisets_match_oracle_with_fast_backend(
+        keys in prop::collection::vec(0u64..16, 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let data = sorted(keys);
+        let store = KeyStore::new(data.clone());
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build(store.clone(), shards, &FastShardBuilder);
+            assert_zero_copy(&idx, &store)?;
+            assert_oracle_equivalence(&idx, &data, &queries)?;
+        }
+    }
+
+    /// On multisets every backend must still be internally consistent:
+    /// batch and parallel reproduce scalar position-for-position.
+    #[test]
+    fn every_backend_is_batch_consistent_on_multisets(
+        keys in prop::collection::vec(0u64..64, 0..300),
+        queries in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let data = sorted(keys);
+        let store = KeyStore::new(data);
+        for builder in duplicate_safe_builders() {
+            for shards in SHARD_COUNTS {
+                let idx = ShardedIndex::build(store.clone(), shards, builder.as_ref());
+                assert_batch_matches_scalar(&idx, &queries)?;
+            }
+        }
+    }
+
+    /// Keysets saturated at the top of the domain: `u64::MAX` keys and
+    /// probes must round-trip at every shard count.
+    #[test]
+    fn max_key_saturated_keysets(
+        low in prop::collection::vec(any::<u64>(), 0..50),
+        max_run in 1usize..20,
+    ) {
+        let mut data = sorted_unique(low);
+        data.retain(|&k| k < u64::MAX);
+        data.extend(std::iter::repeat_n(u64::MAX, max_run));
+        let store = KeyStore::new(data.clone());
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build(store.clone(), shards, &FastShardBuilder);
+            assert_oracle_equivalence(&idx, &data, &[u64::MAX - 1, u64::MAX])?;
+        }
+    }
+}
+
+// ---- Fixed edge-case keysets, every backend × every shard count ----
+
+#[test]
+fn empty_keyset_every_backend() {
+    for builder in all_builders() {
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build(Vec::<u64>::new(), shards, builder.as_ref());
+            for q in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(idx.lower_bound(q), 0, "{}", idx.name());
+                assert_eq!(idx.upper_bound(q), 0, "{}", idx.name());
+            }
+            idx.lower_bound_batch(&[], &mut []);
+            idx.lower_bound_batch_parallel(&[], &mut [], 4);
+        }
+    }
+}
+
+#[test]
+fn single_key_keyset_every_backend() {
+    for builder in all_builders() {
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build(vec![9u64], shards, builder.as_ref());
+            assert_eq!(
+                idx.shard_count(),
+                1,
+                "{}: clamped to the key count",
+                idx.name()
+            );
+            assert_eq!(idx.lower_bound(8), 0, "{}", idx.name());
+            assert_eq!(idx.lower_bound(9), 0, "{}", idx.name());
+            assert_eq!(idx.lower_bound(10), 1, "{}", idx.name());
+            assert_eq!(idx.lookup(9), Some(0), "{}", idx.name());
+            assert_eq!(idx.lookup(8), None, "{}", idx.name());
+        }
+    }
+}
+
+#[test]
+fn all_duplicate_keyset_every_backend_is_batch_consistent() {
+    // Baselines other than FastTree are documented as inexact on
+    // duplicate runs (they return *a* bound, not the first occurrence);
+    // what sharding must preserve is each backend's own answer.
+    let data = vec![7u64; 100];
+    let queries = [0u64, 6, 7, 8, u64::MAX];
+    for builder in duplicate_safe_builders() {
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build(data.clone(), shards, builder.as_ref());
+            let mut batch = vec![usize::MAX; queries.len()];
+            idx.lower_bound_batch(&queries, &mut batch);
+            for (i, &q) in queries.iter().enumerate() {
+                assert_eq!(batch[i], idx.lower_bound(q), "{} q={q}", idx.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn all_duplicate_keyset_matches_oracle_with_fast_backend() {
+    let data = vec![7u64; 100];
+    for shards in SHARD_COUNTS {
+        let idx = ShardedIndex::build(data.clone(), shards, &FastShardBuilder);
+        assert_eq!(idx.lower_bound(6), 0);
+        assert_eq!(idx.lower_bound(7), 0, "first occurrence across shards");
+        assert_eq!(idx.lower_bound(8), 100);
+        assert_eq!(idx.upper_bound(7), 100, "whole run skipped");
+    }
+}
+
+#[test]
+fn max_key_keyset_every_backend() {
+    let data = vec![0u64, 5, u64::MAX - 1, u64::MAX];
+    for builder in all_builders() {
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build(data.clone(), shards, builder.as_ref());
+            for q in [0u64, 1, 5, u64::MAX - 1, u64::MAX] {
+                assert_eq!(
+                    idx.lower_bound(q),
+                    data.partition_point(|&k| k < q),
+                    "{} shards={shards} q={q}",
+                    idx.name()
+                );
+            }
+        }
+    }
+}
+
+/// The RangeIndex provided methods (lookup/range) compose with sharding.
+#[test]
+fn provided_trait_methods_work_through_sharding() {
+    let data: Vec<u64> = (0..1000u64).map(|i| i * 4).collect();
+    let idx = ShardedIndex::build(data.clone(), 7, &BTreeShardBuilder::new(32));
+    assert_eq!(idx.lookup(400), Some(100));
+    assert_eq!(idx.lookup(401), None);
+    assert_eq!(idx.range(40, 80), 10..20);
+    assert_eq!(idx.range(80, 40), 0..0);
+    assert_eq!(idx.data(), &data[..]);
+}
