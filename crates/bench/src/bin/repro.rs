@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
-//!              appendix-a appendix-e scaling all   (default: all)
+//!              appendix-a appendix-e scaling write all   (default: all)
 //! ```
 //!
 //! Run release builds for meaningful numbers:
@@ -64,6 +64,7 @@ fn main() {
             "appendix-a",
             "appendix-e",
             "scaling",
+            "write",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -114,6 +115,16 @@ fn main() {
                 };
                 scaling::print(&scaling::run(&scfg), scfg.keys);
             }
+            "write" => {
+                // Same scale reasoning as `scaling`: the write-path
+                // story (routing, merges, rebalancing) is visible well
+                // below paper scale, and every insert retrains models.
+                let wcfg = BenchConfig {
+                    keys: cfg.keys.min(200_000),
+                    ..cfg.clone()
+                };
+                write::print(&write::run(&wcfg), wcfg.keys);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
     }
@@ -122,7 +133,7 @@ fn main() {
 fn print_usage() {
     println!(
         "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling all"
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write all"
     );
 }
 

@@ -1,0 +1,275 @@
+//! Write-path throughput: the sharded concurrent write path under
+//! insert load, with lookup latency measured *while the writes run*.
+//!
+//! The paper's Appendix D.1 sketches the buffer-and-retrain insert
+//! strategy; "Learned Indexes for a Google-scale Disk-based Database"
+//! shows that sustaining it under concurrent traffic is where the
+//! engineering lives. This experiment drives a
+//! [`ShardedWritable`] with a writer thread flooding fresh keys while
+//! the measuring thread samples point-lookup latency, for every
+//! configuration in [`WRITE_SHARD_GRID`] × [`MERGE_THRESHOLDS`]:
+//! inserts per second, mean and p99 lookup-under-writes latency, and
+//! the rebalance activity (splits/merges) the load provoked.
+//!
+//! On a single-core host the writer and the measuring reader contend
+//! for the same CPU, so the absolute numbers measure interleaving, not
+//! parallel capacity — the table prints `available_parallelism` so the
+//! reader can judge (EXPERIMENTS.md records the caveat).
+
+use crate::harness::BenchConfig;
+use crate::table::Table;
+use li_data::Dataset;
+use li_serve::{RebalanceConfig, ShardedWritable, ShardedWritableConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Initial shard counts measured.
+pub const WRITE_SHARD_GRID: [usize; 3] = [1, 4, 8];
+
+/// Per-shard delta merge thresholds measured.
+pub const MERGE_THRESHOLDS: [usize; 2] = [1_000, 16_000];
+
+/// One measured write configuration.
+#[derive(Debug, Clone)]
+pub struct WriteRow {
+    /// Initial shard count.
+    pub shards: usize,
+    /// Per-shard delta merge threshold.
+    pub merge_threshold: usize,
+    /// Newly inserted keys per second sustained by the writer.
+    pub inserts_per_sec: f64,
+    /// Mean point-lookup ns while the writer ran.
+    pub mean_lookup_ns: f64,
+    /// p99 point-lookup ns while the writer ran.
+    pub p99_lookup_ns: f64,
+    /// Shard splits the load provoked.
+    pub splits: usize,
+    /// Shard merges the load provoked.
+    pub shard_merges: usize,
+    /// Final shard count after the load.
+    pub final_shards: usize,
+}
+
+/// Greatest common divisor (for choosing a permutation stride).
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// p-th percentile (0..=100) of unsorted latency samples, in place.
+fn percentile(samples: &mut [u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() - 1) as f64 * p / 100.0).round() as usize;
+    samples[rank] as f64
+}
+
+/// Run one configuration: writer floods `inserts` fresh keys while the
+/// measuring thread samples lookups; returns the row.
+fn run_one(
+    initial: &[u64],
+    inserts: &[u64],
+    lookups: &[u64],
+    shards: usize,
+    merge_threshold: usize,
+) -> WriteRow {
+    // Split pressure scaled so the grid provokes real rebalancing:
+    // the keyset doubles over the run, and a shard splits once it
+    // outgrows its initial fair share by 1.5x — so every configuration
+    // pays the topology-maintenance cost it would pay in production.
+    let max_shard_len = (initial.len() * 3 / (2 * shards.max(1))).max(1024);
+    let config = ShardedWritableConfig {
+        merge_threshold,
+        rebalance: RebalanceConfig {
+            max_shard_len,
+            merge_max_len: (max_shard_len / 4).max(1),
+            ..RebalanceConfig::default()
+        },
+        ..ShardedWritableConfig::default()
+    };
+    let sw = ShardedWritable::new(initial.to_vec(), shards, config);
+
+    let done = AtomicBool::new(false);
+    let mut samples: Vec<u64> = Vec::with_capacity(lookups.len());
+    let mut write_secs = 0.0f64;
+    let mut inserted = 0usize;
+
+    std::thread::scope(|scope| {
+        let sw_ref = &sw;
+        let done_ref = &done;
+        let writer = scope.spawn(move || {
+            let t0 = Instant::now();
+            let mut n = 0usize;
+            for &k in inserts {
+                n += usize::from(sw_ref.insert(k));
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            done_ref.store(true, Ordering::Release);
+            (n, secs)
+        });
+
+        // Measuring loop: sample lookups until the writer finishes,
+        // then keep cycling so every configured lookup gets a sample
+        // even if the writer is quick.
+        let mut acc = 0usize;
+        for (i, &q) in lookups.iter().cycle().enumerate() {
+            if i >= lookups.len() && done.load(Ordering::Acquire) {
+                break;
+            }
+            let t0 = Instant::now();
+            acc += usize::from(sw.contains(q));
+            let ns = t0.elapsed().as_nanos() as u64;
+            if samples.len() < samples.capacity() {
+                samples.push(ns);
+            } else {
+                samples[i % lookups.len()] = ns;
+            }
+        }
+        std::hint::black_box(acc);
+
+        let (n, secs) = writer.join().expect("writer panicked");
+        inserted = n;
+        write_secs = secs;
+    });
+
+    let mean = samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64;
+    let p99 = percentile(&mut samples, 99.0);
+    WriteRow {
+        shards,
+        merge_threshold,
+        inserts_per_sec: inserted as f64 / write_secs.max(1e-9),
+        mean_lookup_ns: mean,
+        p99_lookup_ns: p99,
+        splits: sw.splits(),
+        shard_merges: sw.shard_merges(),
+        final_shards: sw.shard_count(),
+    }
+}
+
+/// Run the write grid on the Lognormal dataset: half the keys seed the
+/// structure, the other half arrive as concurrent inserts.
+pub fn run(cfg: &BenchConfig) -> Vec<WriteRow> {
+    let keyset = Dataset::Lognormal.generate(cfg.keys, cfg.seed);
+    let keys = keyset.keys();
+    // Even positions seed the structure; odd positions are the insert
+    // stream (shuffled order via stride so inserts hit every shard).
+    let initial: Vec<u64> = keys.iter().copied().step_by(2).collect();
+    let mut inserts: Vec<u64> = keys.iter().copied().skip(1).step_by(2).collect();
+    // Deterministic de-clustering: remap the sorted insert stream by a
+    // stride *coprime* with its length, so `i -> (i * stride) % n` is a
+    // permutation — every key inserted exactly once, in shuffled order.
+    let n = inserts.len();
+    if n > 1 {
+        let mut stride = (n / 2) | 1;
+        while gcd(stride, n) != 1 {
+            stride += 2;
+        }
+        inserts = (0..n).map(|i| inserts[(i * stride) % n]).collect();
+    }
+    let lookups = keyset.sample_existing(cfg.queries.clamp(1, 20_000), cfg.seed ^ 0x5712);
+
+    WRITE_SHARD_GRID
+        .iter()
+        .flat_map(|&shards| {
+            MERGE_THRESHOLDS
+                .iter()
+                .map(move |&mt| (shards, mt))
+                .collect::<Vec<_>>()
+        })
+        .map(|(shards, mt)| run_one(&initial, &inserts, &lookups, shards, mt))
+        .collect()
+}
+
+/// Render the write-path table.
+pub fn print(rows: &[WriteRow], keys: usize) {
+    let mut t = Table::new(
+        &format!("Write path — ShardedWritable on Lognormal ({keys} keys, half inserted live)"),
+        &[
+            "Shards",
+            "Merge thr.",
+            "Inserts/s",
+            "Lookup mean (ns)",
+            "Lookup p99 (ns)",
+            "Splits",
+            "Merges",
+            "Final shards",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.shards.to_string(),
+            r.merge_threshold.to_string(),
+            format!("{:.0}", r.inserts_per_sec),
+            format!("{:.0}", r.mean_lookup_ns),
+            format!("{:.0}", r.p99_lookup_ns),
+            r.splits.to_string(),
+            r.shard_merges.to_string(),
+            r.final_shards.to_string(),
+        ]);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    t.note(&format!(
+        "lookups sampled concurrently with the insert stream; host exposes {cores} core(s) — on 1 core the numbers measure interleaving, not parallel capacity"
+    ));
+    t.note("splits/merges = rebalance actions the load provoked (a shard splits at 1.5x its initial fair share; the keyset doubles over the run)");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_the_grid() {
+        let rows = run(&BenchConfig {
+            keys: 6_000,
+            queries: 500,
+            seed: 7,
+        });
+        assert_eq!(rows.len(), WRITE_SHARD_GRID.len() * MERGE_THRESHOLDS.len());
+        for r in &rows {
+            assert!(r.inserts_per_sec > 0.0, "{r:?}");
+            // No relationship asserted between mean and p99: the
+            // latency distribution is heavy-tailed (a lookup landing
+            // behind a whole-base retrain costs milliseconds), so the
+            // mean can legitimately exceed p99 on a loaded host.
+            assert!(r.mean_lookup_ns > 0.0 && r.p99_lookup_ns > 0.0, "{r:?}");
+            assert!(r.final_shards >= 1);
+        }
+    }
+
+    #[test]
+    fn declustering_stride_is_a_permutation() {
+        // Regression: n ≡ 2 (mod 4) made the old stride share a factor
+        // with n, collapsing the stream onto 2 distinct keys.
+        for n in [1usize, 2, 7, 50_002, 100_000, 99_999] {
+            let mut stride = (n / 2) | 1;
+            while gcd(stride, n) != 1 {
+                stride += 2;
+            }
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                seen[(i * stride) % n] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded() {
+        let mut s: Vec<u64> = (1..=100).rev().collect();
+        assert_eq!(percentile(&mut s.clone(), 0.0), 1.0);
+        assert_eq!(percentile(&mut s.clone(), 100.0), 100.0);
+        let p50 = percentile(&mut s.clone(), 50.0);
+        let p99 = percentile(&mut s, 99.0);
+        assert!(p50 <= p99);
+        assert_eq!(percentile(&mut [], 99.0), 0.0);
+    }
+}

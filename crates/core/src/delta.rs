@@ -61,9 +61,18 @@ impl DeltaIndex {
     /// Build over initial `data` (sorted, unique); buffer up to
     /// `merge_threshold` inserts between retrains.
     pub fn new(data: impl Into<KeyStore>, config: RmiConfig, merge_threshold: usize) -> Self {
+        Self::from_trained(Rmi::build(data, &config), config, merge_threshold)
+    }
+
+    /// Wrap an already-trained base RMI (no retraining) — for callers
+    /// that tune the model before handing it over, e.g. the sharded
+    /// write path's per-shard retune loop. `config` is what future
+    /// merge+retrain cycles rebuild with, so pass the configuration the
+    /// base was actually trained under.
+    pub fn from_trained(base: Rmi, config: RmiConfig, merge_threshold: usize) -> Self {
         assert!(merge_threshold > 0);
         Self {
-            base: Arc::new(Rmi::build(data, &config)),
+            base: Arc::new(base),
             config,
             delta: Vec::new(),
             merge_threshold,
@@ -71,24 +80,26 @@ impl DeltaIndex {
         }
     }
 
-    /// Insert a key. Duplicates (of base or buffered keys) are ignored,
-    /// keeping the unique-sorted-key invariant. Triggers a merge +
-    /// retrain when the buffer is full.
+    /// Insert a key, returning whether it was newly inserted (`false`
+    /// for duplicates of base or buffered keys, which are ignored to
+    /// keep the unique-sorted-key invariant). Triggers a merge + retrain
+    /// when the buffer is full.
     ///
     /// The duplicate check is split: the O(log pending) sorted-buffer
     /// probe runs first and short-circuits, so re-inserting a buffered
     /// key never pays the full learned lookup against the base — and the
     /// probe doubles as the insertion position, so bulk loads do one
     /// buffer search per insert, not two.
-    pub fn insert(&mut self, key: u64) {
+    pub fn insert(&mut self, key: u64) -> bool {
         let pos = self.delta.partition_point(|&k| k < key);
         if self.delta.get(pos).is_some_and(|&k| k == key) || self.base.lookup(key).is_some() {
-            return;
+            return false;
         }
         self.delta.insert(pos, key);
         if self.delta.len() >= self.merge_threshold {
             self.merge();
         }
+        true
     }
 
     /// Whether `key` exists (base or buffer). Probes the small sorted
@@ -154,6 +165,36 @@ impl DeltaIndex {
     /// Range scan over the merged view: all keys in `[lo, hi)`, sorted.
     pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
         range_keys_of(&self.base, &self.delta, lo, hi)
+    }
+
+    /// Export every key (base + buffer) as one sorted unique vector —
+    /// the hand-off a sharded write path uses when a shard splits and
+    /// gives half its keys to a sibling, or when two cold shards merge.
+    pub fn export_keys(&self) -> Vec<u64> {
+        merge_sorted(self.base.data(), &self.delta)
+    }
+
+    /// Split the full merged keyset at `pivot`: `(keys < pivot,
+    /// keys >= pivot)`, both sorted unique. The right half starts the
+    /// sibling shard whose ownership range begins at `pivot`.
+    pub fn split_keys(&self, pivot: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut all = self.export_keys();
+        let at = all.partition_point(|&k| k < pivot);
+        let right = all.split_off(at);
+        (all, right)
+    }
+
+    /// Error statistics of the trained base RMI (the per-shard retuning
+    /// and split-on-error signals). Buffered keys are not reflected
+    /// until the next merge — this reports the model actually serving
+    /// the base, which is what retuning decisions care about.
+    pub fn base_stats(&self) -> &crate::rmi::RmiStats {
+        self.base.stats()
+    }
+
+    /// The merge threshold this index was built with.
+    pub fn merge_threshold(&self) -> usize {
+        self.merge_threshold
     }
 }
 
@@ -252,12 +293,45 @@ mod tests {
     }
 
     #[test]
-    fn duplicates_are_ignored() {
+    fn duplicates_are_ignored_and_reported() {
         let mut idx = DeltaIndex::new(vec![1, 5, 9], cfg(), 100);
-        idx.insert(5);
-        idx.insert(7);
-        idx.insert(7);
+        assert!(!idx.insert(5), "base duplicate must report false");
+        assert!(idx.insert(7), "fresh key must report true");
+        assert!(!idx.insert(7), "buffered duplicate must report false");
         assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn export_and_split_round_trip() {
+        let mut idx = DeltaIndex::new(vec![10u64, 20, 30, 40], cfg(), 100);
+        idx.insert(25);
+        idx.insert(5);
+        assert_eq!(idx.export_keys(), vec![5, 10, 20, 25, 30, 40]);
+
+        let (left, right) = idx.split_keys(25);
+        assert_eq!(left, vec![5, 10, 20]);
+        assert_eq!(right, vec![25, 30, 40]);
+        // Pivot below/above everything: one side empty.
+        assert_eq!(idx.split_keys(0).0, Vec::<u64>::new());
+        assert_eq!(idx.split_keys(u64::MAX).1, Vec::<u64>::new());
+        // Export survives a merge unchanged.
+        idx.merge();
+        assert_eq!(idx.export_keys(), vec![5, 10, 20, 25, 30, 40]);
+    }
+
+    #[test]
+    fn base_stats_reflect_the_trained_base() {
+        let data: Vec<u64> = (0..2000u64).collect();
+        let mut idx = DeltaIndex::new(data, cfg(), 8);
+        // Linear data: the base model is near-exact.
+        assert!(idx.base_stats().max_abs_err <= 1);
+        assert_eq!(idx.merge_threshold(), 8);
+        // Stats follow the base across a retrain.
+        for k in 0..16u64 {
+            idx.insert(5000 + k * 3);
+        }
+        assert!(idx.merges() >= 1);
+        assert!(idx.base_stats().leaves > 0);
     }
 
     /// Regression for the duplicate-check split: duplicate inserts must

@@ -24,13 +24,41 @@ pub trait ShardBuilder: Send + Sync {
     fn name(&self) -> String;
 }
 
+/// Per-shard retuning policy: rebuild a shard at doubled leaf density
+/// while its error statistics stay hot.
+#[derive(Debug, Clone, Copy)]
+pub struct RetunePolicy {
+    /// Retrain while the shard's mean absolute error exceeds this.
+    pub max_mean_err: f64,
+    /// Retrain while the shard's max absolute error exceeds this
+    /// (`u64::MAX` disables the max-error trigger).
+    pub max_abs_err: u64,
+    /// Maximum rebuilds per shard.
+    pub max_rounds: usize,
+}
+
+impl Default for RetunePolicy {
+    fn default() -> Self {
+        Self {
+            max_mean_err: 32.0,
+            max_abs_err: u64::MAX,
+            max_rounds: 3,
+        }
+    }
+}
+
 /// Per-shard Recursive Model Index. The leaf count scales with the
 /// shard size (`leaf_fraction` models per key, min 1) so every shard
-/// gets the same model density regardless of shard count.
+/// gets the same model density regardless of shard count; an optional
+/// [`RetunePolicy`] densifies individual shards whose key region turns
+/// out hard to model (skewed regions get more leaves instead of one
+/// global density for everyone — the per-shard retuning the ROADMAP
+/// called for).
 #[derive(Debug, Clone)]
 pub struct RmiShardBuilder {
     top: TopModel,
     leaf_fraction: f64,
+    retune: Option<RetunePolicy>,
 }
 
 impl RmiShardBuilder {
@@ -40,6 +68,7 @@ impl RmiShardBuilder {
         Self {
             top: TopModel::Linear,
             leaf_fraction: 1.0 / 200.0,
+            retune: None,
         }
     }
 
@@ -49,6 +78,56 @@ impl RmiShardBuilder {
         self.leaf_fraction = fraction;
         self
     }
+
+    /// Enable per-shard retuning: shards whose trained error stats
+    /// exceed the policy's thresholds retrain at doubled leaf density,
+    /// up to `max_rounds` times.
+    pub fn with_retune(mut self, policy: RetunePolicy) -> Self {
+        assert!(
+            policy.max_mean_err >= 0.0 && policy.max_mean_err.is_finite(),
+            "max_mean_err must be finite and >= 0"
+        );
+        self.retune = Some(policy);
+        self
+    }
+
+    /// Build the concrete RMI for one shard, applying the retune loop.
+    fn build_rmi(&self, shard: KeyStore) -> Rmi {
+        retune_rmi(&shard, &self.top, self.leaf_fraction, self.retune.as_ref()).0
+    }
+}
+
+/// The one retune loop both the read path ([`RmiShardBuilder`]) and the
+/// write path (`ShardedWritable` shard rebuilds) share: train an RMI
+/// over `keys` at `leaf_fraction` density, doubling the density while
+/// the trained error stats exceed the policy's thresholds (up to
+/// `max_rounds` retries; leaf count saturates at one per key). Returns
+/// the trained RMI and the configuration it was built with, so callers
+/// that retrain later (delta merges) reuse the chosen density.
+pub(crate) fn retune_rmi(
+    keys: &KeyStore,
+    top: &TopModel,
+    leaf_fraction: f64,
+    policy: Option<&RetunePolicy>,
+) -> (Rmi, RmiConfig) {
+    let rounds = policy.map_or(0, |p| p.max_rounds);
+    let mut fraction = leaf_fraction;
+    let mut built = None;
+    for _ in 0..=rounds {
+        let leaves = ((keys.len() as f64 * fraction).round() as usize).clamp(1, keys.len().max(1));
+        let cfg = RmiConfig::two_stage(top.clone(), leaves);
+        let rmi = Rmi::build(keys.clone(), &cfg);
+        let hot = policy.is_some_and(|p| {
+            rmi.stats().mean_abs_err > p.max_mean_err || rmi.stats().max_abs_err > p.max_abs_err
+        });
+        let saturated = leaves >= keys.len().max(1);
+        built = Some((rmi, cfg));
+        if !hot || saturated {
+            break;
+        }
+        fraction *= 2.0;
+    }
+    built.expect("at least one build round")
 }
 
 impl Default for RmiShardBuilder {
@@ -59,13 +138,15 @@ impl Default for RmiShardBuilder {
 
 impl ShardBuilder for RmiShardBuilder {
     fn build(&self, shard: KeyStore) -> Box<dyn RangeIndex> {
-        let leaves = ((shard.len() as f64 * self.leaf_fraction).round() as usize).max(1);
-        let cfg = RmiConfig::two_stage(self.top.clone(), leaves);
-        Box::new(Rmi::build(shard, &cfg))
+        Box::new(self.build_rmi(shard))
     }
 
     fn name(&self) -> String {
-        format!("rmi(leaf_fraction={})", self.leaf_fraction)
+        format!(
+            "rmi(leaf_fraction={}{})",
+            self.leaf_fraction,
+            if self.retune.is_some() { ",retune" } else { "" }
+        )
     }
 }
 
@@ -152,6 +233,54 @@ mod tests {
             assert_eq!(idx.data().len(), 800, "{}", b.name());
             assert_eq!(idx.lower_bound(store[100]), 0, "{}", b.name());
         }
+    }
+
+    #[test]
+    fn retune_densifies_a_skewed_shard() {
+        // A skewed shard: dense linear run, then huge jumps — a coarse
+        // per-leaf linear fit mispredicts badly.
+        let mut keys: Vec<u64> = (0..3000u64).collect();
+        keys.extend((1..=3000u64).map(|i| 10_000_000 + i * i * 500));
+        let store = KeyStore::new(keys);
+
+        let coarse = RmiShardBuilder::new().with_leaf_fraction(1.0 / 3000.0);
+        let tuned = coarse.clone().with_retune(RetunePolicy {
+            max_mean_err: 8.0,
+            max_abs_err: u64::MAX,
+            max_rounds: 6,
+        });
+        let base = coarse.build_rmi(store.clone());
+        let dense = tuned.build_rmi(store.clone());
+        assert!(
+            base.stats().mean_abs_err > 8.0,
+            "precondition: the skewed shard must be hot at coarse density, got {}",
+            base.stats().mean_abs_err
+        );
+        assert!(
+            dense.stats().mean_abs_err < base.stats().mean_abs_err,
+            "retuned {} vs coarse {}",
+            dense.stats().mean_abs_err,
+            base.stats().mean_abs_err
+        );
+        assert!(dense.stats().leaves > base.stats().leaves);
+        // Retuning never changes answers, only error envelopes.
+        for q in (0..6000u64).step_by(97) {
+            assert_eq!(dense.lower_bound(q), base.lower_bound(q), "q={q}");
+        }
+        // Zero-copy preserved through the retune loop.
+        assert!(dense.key_store().ptr_eq(&store));
+    }
+
+    #[test]
+    fn retune_leaves_easy_shards_alone() {
+        // Near-linear keys are already under any sane threshold: the
+        // retuned build must match the plain build's density.
+        let store = KeyStore::new((0..5000u64).map(|i| i * 7).collect());
+        let plain = RmiShardBuilder::new();
+        let tuned = plain.clone().with_retune(RetunePolicy::default());
+        let a = plain.build_rmi(store.clone());
+        let b = tuned.build_rmi(store);
+        assert_eq!(a.stats().leaves, b.stats().leaves);
     }
 
     #[test]

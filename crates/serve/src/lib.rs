@@ -19,28 +19,41 @@
 //! * [`ShardedIndex::lower_bound_batch_parallel`] — the concurrent read
 //!   path: scoped threads fan contiguous sub-batches out, each running
 //!   the per-shard bucketed batch plan.
-//! * [`WritableShard`] — the write path: a `DeltaIndex` (Appendix D.1)
-//!   behind an `RwLock`; merges retrain and swap the whole base behind
-//!   an `Arc`, so readers on a [`DeltaSnapshot`] are never torn across
-//!   a retrain.
+//! * [`WritableShard`] — the single-shard write path: a `DeltaIndex`
+//!   (Appendix D.1) behind an `RwLock`; merges retrain and swap the
+//!   whole base behind an `Arc`, so readers on a [`DeltaSnapshot`] are
+//!   never torn across a retrain.
+//! * [`ShardedWritable`] — the *sharded* write path: N
+//!   [`WritableShard`]s behind an `Arc`-swapped topology (ownership
+//!   bounds + router + shards published as one unit), with concurrent
+//!   key-routed inserts, consistent cross-shard snapshots
+//!   ([`ShardedSnapshot`]), and a dynamic rebalancer
+//!   ([`rebalance`]) that splits hot shards, merges cold neighbors,
+//!   and retunes each rebuilt shard's model density to its keys.
 //!
-//! The partition arithmetic (balanced offsets, boundary keys, and the
-//! duplicates-safe routing proof) lives in `li_index::partition`, so
-//! any future partitioned structure shares the exact same semantics.
+//! The partition arithmetic (balanced offsets, boundary keys, the
+//! duplicates-safe routing proof, ownership routing and split points)
+//! lives in `li_index::partition`, so any future partitioned structure
+//! shares the exact same semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod rebalance;
 pub mod router;
 pub mod sharded;
+pub mod sharded_writable;
 pub mod writable;
 
 pub use builder::{
-    BTreeShardBuilder, FastShardBuilder, InterpShardBuilder, RmiShardBuilder, ShardBuilder,
+    BTreeShardBuilder, FastShardBuilder, InterpShardBuilder, RetunePolicy, RmiShardBuilder,
+    ShardBuilder,
 };
 pub use li_core::delta::DeltaSnapshot;
 pub use li_index::{KeyStore, Prediction, RangeIndex};
+pub use rebalance::{RebalanceAction, RebalanceConfig};
 pub use router::ShardRouter;
 pub use sharded::ShardedIndex;
+pub use sharded_writable::{ShardedSnapshot, ShardedWritable, ShardedWritableConfig};
 pub use writable::WritableShard;

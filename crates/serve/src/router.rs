@@ -10,7 +10,7 @@
 //! boundaries[r]`), the learned path can never return a wrong shard: a
 //! failed certificate falls back to full binary search.
 
-use li_index::partition::route_binary;
+use li_index::partition::{route_binary, route_owner_binary};
 
 /// Linear routing model over the boundary keys, with the validated
 /// window half-width that makes its answers certifiable.
@@ -46,11 +46,23 @@ pub struct ShardRouter {
 
 impl ShardRouter {
     /// Fit a router over the boundary keys (must be sorted; one entry
-    /// per shard beyond the first).
+    /// per shard beyond the first). Refitting after a topology change
+    /// (shard split/merge) is the same call over the updated boundary
+    /// vector — the model is cheap enough to rebuild from scratch.
     pub fn fit(boundaries: Vec<u64>) -> Self {
-        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "ShardRouter::fit: boundary keys must be sorted ascending"
+        );
         let model = Self::fit_linear(&boundaries);
         Self { boundaries, model }
+    }
+
+    /// The boundary keys this router was fitted over (one per shard
+    /// beyond the first — for a writable topology, the ownership-range
+    /// lower bounds of shards `1..N`).
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries
     }
 
     /// Least-squares line through `(boundary_i, i + 0.5)` — the center
@@ -140,6 +152,33 @@ impl ShardRouter {
         route_binary(&self.boundaries, key)
     }
 
+    /// The shard that *owns* `key` under half-open ownership ranges
+    /// (`[boundaries[s-1], boundaries[s])` — see
+    /// `li_index::partition::route_owner_binary`): the routing rule of
+    /// the writable sharded path, where every key must have exactly one
+    /// home shard. Same learned fast path as [`ShardRouter::route`],
+    /// with the certificate shifted to the ownership convention
+    /// (`boundaries[r-1] <= key < boundaries[r]`).
+    #[inline]
+    pub fn route_owner(&self, key: u64) -> usize {
+        let n = self.boundaries.len();
+        if let Some(m) = &self.model {
+            let p = m.predict(key);
+            if p.is_finite() {
+                let center = p.round().clamp(0.0, n as f64) as usize;
+                let lo = center.saturating_sub(m.err).min(n);
+                let hi = (center.saturating_add(m.err)).min(n);
+                let r = lo + self.boundaries[lo..hi].partition_point(|&b| b <= key);
+                // O(1) ownership certificate.
+                if (r == 0 || self.boundaries[r - 1] <= key) && (r == n || self.boundaries[r] > key)
+                {
+                    return r;
+                }
+            }
+        }
+        route_owner_binary(&self.boundaries, key)
+    }
+
     /// Router overhead in bytes (boundary keys + model).
     pub fn size_bytes(&self) -> usize {
         self.boundaries.len() * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
@@ -181,6 +220,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn learned_owner_route_always_matches_binary() {
+        let boundary_sets: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![100],
+            (1..50u64).map(|i| i * 1000).collect(),
+            (1..50u64).map(|i| i * i * 7919).collect(),
+            vec![5, 5, 5, 5],
+            vec![0, 1, u64::MAX - 1, u64::MAX],
+            (0..100u64).map(|i| i / 10).collect(),
+        ];
+        for bounds in boundary_sets {
+            let router = ShardRouter::fit(bounds.clone());
+            for q in probe_set(&bounds) {
+                assert_eq!(
+                    router.route_owner(q),
+                    route_owner_binary(&bounds, q),
+                    "bounds={bounds:?} q={q} learned={}",
+                    router.is_learned()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn owner_and_read_routes_differ_only_on_boundary_keys() {
+        let bounds: Vec<u64> = (1..32u64).map(|i| i * 500).collect();
+        let router = ShardRouter::fit(bounds.clone());
+        for q in probe_set(&bounds) {
+            let read = router.route(q);
+            let owner = router.route_owner(q);
+            if bounds.binary_search(&q).is_ok() {
+                assert_eq!(owner, read + 1, "boundary key q={q}");
+            } else {
+                assert_eq!(owner, read, "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_accessor_round_trips() {
+        let bounds = vec![3u64, 9, 27];
+        let router = ShardRouter::fit(bounds.clone());
+        assert_eq!(router.boundaries(), &bounds[..]);
     }
 
     #[test]

@@ -1,0 +1,753 @@
+//! The sharded concurrent write path: N [`WritableShard`]s behind an
+//! `Arc`-swapped topology, with dynamic rebalancing.
+//!
+//! # Architecture
+//!
+//! A [`ShardedWritable`] owns an immutable **topology** — the ownership
+//! boundary keys, a [`ShardRouter`] fitted over them, and one
+//! [`WritableShard`] per ownership range — behind
+//! `RwLock<Arc<Topology>>`:
+//!
+//! * **Inserts** take the topology *read* lock (so many writers run
+//!   concurrently), route the key to its owner shard with
+//!   [`ShardRouter::route_owner`], and insert there; each shard
+//!   serializes its own writes and runs its own Appendix-D.1
+//!   buffer-merge-retrain cycle independently.
+//! * **Snapshots** ([`ShardedWritable::snapshot`]) also take the read
+//!   lock, clone the router and capture one [`DeltaSnapshot`] per shard
+//!   — a consistent router + snapshot-vector *pair* from a single
+//!   topology. All subsequent reads on the [`ShardedSnapshot`] are
+//!   lock-free.
+//! * **Rebalancing** takes the topology *write* lock: with all inserts
+//!   excluded, a hot shard is split at its balanced
+//!   [`li_index::partition::split_point`] (handing the upper half of
+//!   its keys to a new sibling), or two cold neighbors are merged; the
+//!   boundary vector is updated, the router refitted, and the whole
+//!   topology published as one new `Arc`. A snapshot therefore always
+//!   observes a *pre-* or *post-*rebalance topology, never a torn
+//!   mixture — the property the stress and property suites pin down.
+//!
+//! # Ownership invariant
+//!
+//! Shard `s` holds exactly the keys in `[bounds[s-1], bounds[s])` (see
+//! `li_index::partition::route_owner_binary` for the composition
+//! proof). Inserts preserve it because routing picks the owner; splits
+//! and merges preserve it because they only subdivide or concatenate
+//! ownership ranges. It is what makes every global query — `contains`,
+//! `rank`, `range_keys` — a one-shard (plus O(1) bookkeeping) affair,
+//! and what keeps cross-shard concatenation globally sorted.
+//!
+//! # Per-shard retuning
+//!
+//! Every shard (re)build sizes its RMI leaf count from the shard's
+//! actual key count (`leaf_fraction`), then *retunes* through the same
+//! loop the read path's `RmiShardBuilder::with_retune` uses: while the
+//! trained base's error stats exceed the configured
+//! [`RetunePolicy`], the build retries with doubled leaf density — so
+//! a skewed key region gets a denser model instead of a permanently
+//! mispredicting one. Between rebuilds, a shard whose region turned
+//! hot anyway is caught by the error-triggered split in
+//! [`crate::rebalance::plan`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use li_core::delta::DeltaSnapshot;
+use li_core::rmi::TopModel;
+use li_index::partition::{boundaries, even_offsets, split_point};
+use li_index::KeyStore;
+
+use crate::builder::{retune_rmi, RetunePolicy};
+use crate::rebalance::{plan, RebalanceAction, RebalanceConfig};
+use crate::router::ShardRouter;
+use crate::writable::WritableShard;
+
+/// Configuration of a [`ShardedWritable`].
+#[derive(Debug, Clone)]
+pub struct ShardedWritableConfig {
+    /// Per-shard delta-buffer capacity between merge+retrain cycles.
+    pub merge_threshold: usize,
+    /// RMI leaf models per key when (re)building a shard (min 1 leaf).
+    pub leaf_fraction: f64,
+    /// Per-shard retuning on every shard (re)build — the same policy
+    /// vocabulary (and the same loop) as
+    /// [`crate::builder::RmiShardBuilder::with_retune`].
+    pub retune: RetunePolicy,
+    /// Run a full rebalance scan every this many successful inserts
+    /// (in addition to the immediate check when an insert pushes its
+    /// shard over the split threshold). `0` disables periodic scans.
+    pub check_interval: usize,
+    /// Split/merge thresholds.
+    pub rebalance: RebalanceConfig,
+}
+
+impl Default for ShardedWritableConfig {
+    fn default() -> Self {
+        Self {
+            merge_threshold: 1024,
+            leaf_fraction: 1.0 / 200.0,
+            retune: RetunePolicy::default(),
+            check_interval: 1024,
+            rebalance: RebalanceConfig::default(),
+        }
+    }
+}
+
+impl ShardedWritableConfig {
+    fn validate(&self) {
+        assert!(self.merge_threshold > 0, "merge_threshold must be > 0");
+        assert!(
+            self.leaf_fraction > 0.0 && self.leaf_fraction.is_finite(),
+            "leaf_fraction must be positive and finite"
+        );
+        assert!(
+            self.retune.max_mean_err >= 0.0 && self.retune.max_mean_err.is_finite(),
+            "retune.max_mean_err must be finite and >= 0"
+        );
+        self.rebalance.validate();
+    }
+}
+
+/// One immutable shard topology: ownership bounds, the router fitted
+/// over them, and the shard handles. Published atomically as a whole —
+/// readers and writers always see bounds, router and shards that agree.
+#[derive(Debug)]
+struct Topology {
+    /// Ownership-range lower bounds of shards `1..N` (sorted).
+    bounds: Vec<u64>,
+    router: ShardRouter,
+    shards: Vec<Arc<WritableShard>>,
+    /// Bumped on every rebalance publication.
+    generation: u64,
+}
+
+/// A fully sharded concurrent write path: concurrent inserts routed by
+/// key ownership, lock-free snapshot reads, and dynamic shard
+/// rebalancing with per-shard model retuning. See the module docs for
+/// the architecture.
+#[derive(Debug)]
+pub struct ShardedWritable {
+    topo: RwLock<Arc<Topology>>,
+    config: ShardedWritableConfig,
+    /// Successful (key-adding) inserts, for the periodic rebalance scan.
+    inserts: AtomicUsize,
+    splits: AtomicUsize,
+    shard_merges: AtomicUsize,
+}
+
+impl ShardedWritable {
+    /// Build over initial sorted unique `data`, range-partitioned into
+    /// `shards` balanced shards (clamped to at least 1 and at most one
+    /// shard per key; the rebalancer grows the topology as load
+    /// arrives). The initial partition is zero-copy: every shard's base
+    /// is a [`KeyStore::slice`] of the caller's allocation.
+    pub fn new(data: impl Into<KeyStore>, shards: usize, config: ShardedWritableConfig) -> Self {
+        config.validate();
+        let store: KeyStore = data.into();
+        let n = shards.clamp(1, store.len().max(1));
+        let offsets = even_offsets(store.len(), n);
+        let bounds = boundaries(&store, &offsets);
+        let shard_vec: Vec<Arc<WritableShard>> = offsets
+            .windows(2)
+            .map(|w| Arc::new(build_retuned_shard(store.slice(w[0]..w[1]), &config)))
+            .collect();
+        let router = ShardRouter::fit(bounds.clone());
+        Self {
+            topo: RwLock::new(Arc::new(Topology {
+                bounds,
+                router,
+                shards: shard_vec,
+                generation: 0,
+            })),
+            config,
+            inserts: AtomicUsize::new(0),
+            splits: AtomicUsize::new(0),
+            shard_merges: AtomicUsize::new(0),
+        }
+    }
+
+    /// Insert a key, returning whether it was newly inserted (`false`
+    /// for duplicates). Routes to the owner shard under the topology
+    /// read lock — concurrent inserts to different shards proceed in
+    /// parallel — and triggers a rebalance when the owner runs hot or
+    /// the periodic scan comes due.
+    pub fn insert(&self, key: u64) -> bool {
+        let (inserted, owner_hot) = {
+            // The read *guard* (not just the topology Arc) must live
+            // across the shard insert: it is what excludes a concurrent
+            // rebalance from exporting this shard's keys and publishing
+            // a replacement topology while the key lands in the old,
+            // about-to-be-discarded shard — a silently lost insert.
+            let guard = self.topo.read().expect("ShardedWritable topology poisoned");
+            let s = guard.router.route_owner(key);
+            let shard = &guard.shards[s];
+            let inserted = shard.insert(key);
+            (
+                inserted,
+                inserted && shard.len() > self.config.rebalance.max_shard_len,
+            )
+            // Guard drops here, before rebalance() takes the write lock.
+        };
+        if inserted {
+            let n = self.inserts.fetch_add(1, Ordering::Relaxed) + 1;
+            let periodic =
+                self.config.check_interval > 0 && n.is_multiple_of(self.config.check_interval);
+            if owner_hot || periodic {
+                self.rebalance();
+            }
+        }
+        inserted
+    }
+
+    /// Whether `key` currently exists (owner-shard probe).
+    pub fn contains(&self, key: u64) -> bool {
+        let topo = self.read_topo();
+        let s = topo.router.route_owner(key);
+        topo.shards[s].contains(key)
+    }
+
+    /// Total keys across all shards. Each shard's count is read
+    /// consistently; under concurrent inserts the sum is a moment-close
+    /// approximation — take a [`ShardedWritable::snapshot`] for a
+    /// single-topology consistent view.
+    pub fn len(&self) -> usize {
+        self.read_topo().shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the structure holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of keys `< key` (consistent snapshot rank).
+    pub fn rank(&self, key: u64) -> usize {
+        self.snapshot().rank(key)
+    }
+
+    /// All keys in `[lo, hi)`, sorted (consistent snapshot scan).
+    pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
+        self.snapshot().range_keys(lo, hi)
+    }
+
+    /// Current shard count.
+    pub fn shard_count(&self) -> usize {
+        self.read_topo().shards.len()
+    }
+
+    /// Current per-shard key counts (diagnostics and tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.read_topo().shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Current ownership boundary keys (one per shard beyond the
+    /// first).
+    pub fn bounds(&self) -> Vec<u64> {
+        self.read_topo().bounds.clone()
+    }
+
+    /// Topology generation: bumped on every published rebalance.
+    pub fn generation(&self) -> u64 {
+        self.read_topo().generation
+    }
+
+    /// How many shard splits have been applied.
+    pub fn splits(&self) -> usize {
+        self.splits.load(Ordering::Relaxed)
+    }
+
+    /// How many shard merges have been applied.
+    pub fn shard_merges(&self) -> usize {
+        self.shard_merges.load(Ordering::Relaxed)
+    }
+
+    /// Keys waiting in delta buffers across all shards.
+    pub fn pending(&self) -> usize {
+        self.read_topo().shards.iter().map(|s| s.pending()).sum()
+    }
+
+    /// Force a delta merge + retrain on every shard now.
+    pub fn merge_all(&self) {
+        for shard in self.read_topo().shards.iter() {
+            shard.merge();
+        }
+    }
+
+    /// A consistent point-in-time view: the router and one
+    /// [`DeltaSnapshot`] per shard, captured from a *single* topology
+    /// (the topology read lock is held across the capture, so a
+    /// concurrent rebalance can never hand this snapshot shards from
+    /// two generations). All reads on the returned snapshot are
+    /// lock-free.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        // Hold the read guard (not just the Arc) across the capture:
+        // it excludes a concurrent rebalance, so the shard views below
+        // all come from the topology the router describes.
+        let topo = self.topo.read().expect("ShardedWritable topology poisoned");
+        let snaps: Vec<DeltaSnapshot> = topo.shards.iter().map(|s| s.snapshot()).collect();
+        let mut prefix = Vec::with_capacity(snaps.len() + 1);
+        let mut at = 0usize;
+        prefix.push(0);
+        for s in &snaps {
+            at += s.len();
+            prefix.push(at);
+        }
+        ShardedSnapshot {
+            router: topo.router.clone(),
+            snaps,
+            prefix,
+            generation: topo.generation,
+        }
+    }
+
+    /// Run the rebalancer until the topology is stable: repeatedly ask
+    /// [`plan`] for the next action (split the hottest overloaded or
+    /// mispredicting shard / merge the coldest adjacent pair), apply it
+    /// under the topology write lock, and publish the new topology
+    /// atomically. Returns the actions applied (empty when already
+    /// stable).
+    ///
+    /// Safe to call from any thread at any time; inserts block only for
+    /// the duration of the shard rebuilds actually performed.
+    pub fn rebalance(&self) -> Vec<RebalanceAction> {
+        let mut guard = self
+            .topo
+            .write()
+            .expect("ShardedWritable topology poisoned");
+        let mut applied = Vec::new();
+        // The hysteresis in `plan` prevents oscillation; the explicit
+        // bound is a backstop so a policy bug cannot hold the write
+        // lock forever.
+        let budget = 2 * self.config.rebalance.max_shards + 4;
+        for _ in 0..budget {
+            let topo = &**guard;
+            let lens: Vec<usize> = topo.shards.iter().map(|s| s.len()).collect();
+            let err_hot: Vec<bool> = match self.config.rebalance.max_mean_err {
+                Some(t) => topo
+                    .shards
+                    .iter()
+                    .map(|s| s.base_stats().mean_abs_err > t)
+                    .collect(),
+                None => vec![false; lens.len()],
+            };
+            let Some(action) = plan(&lens, &err_hot, &self.config.rebalance) else {
+                break;
+            };
+            let Some(next) = (match action {
+                RebalanceAction::Split { shard } => self.apply_split(topo, shard),
+                RebalanceAction::Merge { left } => Some(self.apply_merge(topo, left)),
+            }) else {
+                // Unsplittable in practice (e.g. a single giant
+                // duplicate-free run shorter than 2 keys cannot occur,
+                // but stay defensive): stop rather than spin.
+                break;
+            };
+            *guard = Arc::new(next);
+            match action {
+                RebalanceAction::Split { .. } => self.splits.fetch_add(1, Ordering::Relaxed),
+                RebalanceAction::Merge { .. } => self.shard_merges.fetch_add(1, Ordering::Relaxed),
+            };
+            applied.push(action);
+        }
+        applied
+    }
+
+    /// Split shard `s` at its balanced split point: the upper half of
+    /// its keys becomes a new sibling shard whose ownership range
+    /// starts at the recomputed boundary key. `None` when the shard has
+    /// no valid split point (fewer than two distinct keys).
+    fn apply_split(&self, topo: &Topology, s: usize) -> Option<Topology> {
+        let mut keys = topo.shards[s].export_keys();
+        let m = split_point(&keys)?;
+        let right_keys = keys.split_off(m);
+        let boundary = right_keys[0];
+        let left = Arc::new(build_retuned_shard(keys, &self.config));
+        let right = Arc::new(build_retuned_shard(right_keys, &self.config));
+
+        let mut bounds = topo.bounds.clone();
+        bounds.insert(s, boundary);
+        let mut shards = topo.shards.clone();
+        shards[s] = left;
+        shards.insert(s + 1, right);
+        Some(Topology {
+            router: ShardRouter::fit(bounds.clone()),
+            bounds,
+            shards,
+            generation: topo.generation + 1,
+        })
+    }
+
+    /// Merge shards `left` and `left + 1`. Their ownership ranges are
+    /// adjacent, so concatenating their exports is already globally
+    /// sorted.
+    fn apply_merge(&self, topo: &Topology, left: usize) -> Topology {
+        let mut keys = topo.shards[left].export_keys();
+        keys.extend(topo.shards[left + 1].export_keys());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "merge tore order");
+        let merged = Arc::new(build_retuned_shard(keys, &self.config));
+
+        let mut bounds = topo.bounds.clone();
+        bounds.remove(left);
+        let mut shards = topo.shards.clone();
+        shards[left] = merged;
+        shards.remove(left + 1);
+        Topology {
+            router: ShardRouter::fit(bounds.clone()),
+            bounds,
+            shards,
+            generation: topo.generation + 1,
+        }
+    }
+
+    fn read_topo(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo.read().expect("ShardedWritable topology poisoned"))
+    }
+}
+
+/// Build a shard over `keys`: the shared [`crate::builder::retune_rmi`]
+/// loop sizes and densifies the model for this shard's actual keys,
+/// and the shard keeps the chosen configuration for its future delta
+/// merge retrains.
+fn build_retuned_shard(keys: impl Into<KeyStore>, config: &ShardedWritableConfig) -> WritableShard {
+    let keys: KeyStore = keys.into();
+    let (rmi, cfg) = retune_rmi(
+        &keys,
+        &TopModel::Linear,
+        config.leaf_fraction,
+        Some(&config.retune),
+    );
+    WritableShard::from_trained(rmi, cfg, config.merge_threshold)
+}
+
+/// A consistent, lock-free point-in-time view of a [`ShardedWritable`]:
+/// the router and one [`DeltaSnapshot`] per shard, all captured from
+/// one topology generation. Reads compose exactly like the live
+/// structure's (ownership routing + per-shard snapshot queries), with
+/// no lock taken.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    router: ShardRouter,
+    snaps: Vec<DeltaSnapshot>,
+    /// `prefix[s]` = keys in shards `0..s` at capture time;
+    /// `prefix[shard_count]` = total.
+    prefix: Vec<usize>,
+    generation: u64,
+}
+
+impl ShardedSnapshot {
+    /// Whether `key` existed when the snapshot was taken.
+    pub fn contains(&self, key: u64) -> bool {
+        self.snaps[self.router.route_owner(key)].contains(key)
+    }
+
+    /// Number of keys `< key` at capture time (global lower-bound
+    /// rank): the owner shard's local rank plus the lengths of every
+    /// shard below it (all of whose keys are `< key` by the ownership
+    /// invariant).
+    pub fn rank(&self, key: u64) -> usize {
+        let s = self.router.route_owner(key);
+        self.prefix[s] + self.snaps[s].rank(key)
+    }
+
+    /// Total keys at capture time.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        *self.prefix.last().expect("non-empty prefix")
+    }
+
+    /// Whether the snapshot holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards in the captured topology.
+    pub fn shard_count(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Topology generation this snapshot was captured from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The captured per-shard views (for cross-shard assertions in
+    /// tests: each shard's keys must lie inside its ownership range).
+    pub fn shard_snapshots(&self) -> &[DeltaSnapshot] {
+        &self.snaps
+    }
+
+    /// The captured router (its boundaries are the ownership bounds).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// All keys in `[lo, hi)` at capture time, sorted: per-shard scans
+    /// over the owner range of `lo..=hi`, concatenated (globally sorted
+    /// by the ownership invariant).
+    pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let s_lo = self.router.route_owner(lo);
+        let s_hi = self.router.route_owner(hi);
+        let mut out = Vec::new();
+        for s in s_lo..=s_hi {
+            out.extend(self.snaps[s].range_keys(lo, hi));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ShardedWritableConfig {
+        ShardedWritableConfig {
+            merge_threshold: 8,
+            leaf_fraction: 1.0 / 16.0,
+            check_interval: 16,
+            rebalance: RebalanceConfig {
+                max_shard_len: 64,
+                merge_max_len: 16,
+                max_mean_err: None,
+                max_shards: 16,
+            },
+            ..ShardedWritableConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_and_serves_like_the_oracle() {
+        let data: Vec<u64> = (0..200u64).map(|i| i * 3).collect();
+        let sw = ShardedWritable::new(data.clone(), 4, small_cfg());
+        assert_eq!(sw.shard_count(), 4);
+        assert_eq!(sw.len(), 200);
+        for q in [0u64, 1, 3, 299, 300, 597, 600, u64::MAX] {
+            assert_eq!(sw.contains(q), data.binary_search(&q).is_ok(), "q={q}");
+            assert_eq!(sw.rank(q), data.partition_point(|&k| k < q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn inserts_route_to_owner_shards_and_preserve_order() {
+        let data: Vec<u64> = (0..100u64).map(|i| i * 10).collect();
+        let sw = ShardedWritable::new(data, 5, small_cfg());
+        assert!(sw.insert(501));
+        assert!(!sw.insert(501), "duplicate reports false");
+        assert!(!sw.insert(500), "existing key reports false");
+        assert!(sw.contains(501));
+        // The full scan is globally sorted (ownership invariant).
+        let all = sw.range_keys(0, u64::MAX);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all.len(), 101);
+    }
+
+    #[test]
+    fn boundary_keys_have_exactly_one_home() {
+        let data: Vec<u64> = (0..90u64).collect();
+        let sw = ShardedWritable::new(data, 3, small_cfg());
+        for b in sw.bounds() {
+            assert!(!sw.insert(b), "boundary key {b} already owned exactly once");
+        }
+        assert_eq!(sw.len(), 90, "no duplicate slipped across a boundary");
+    }
+
+    #[test]
+    fn load_triggered_split_grows_the_topology() {
+        let cfg = small_cfg();
+        let sw = ShardedWritable::new(vec![0u64], 1, cfg.clone());
+        for k in 1..=300u64 {
+            sw.insert(k * 2);
+        }
+        assert!(sw.splits() >= 1, "expected at least one split");
+        assert!(sw.shard_count() > 1);
+        assert_eq!(
+            sw.generation(),
+            sw.splits() as u64 + sw.shard_merges() as u64
+        );
+        // Every shard within budget after rebalancing settles.
+        sw.rebalance();
+        for len in sw.shard_lens() {
+            assert!(len <= cfg.rebalance.max_shard_len, "shard len {len}");
+        }
+        assert_eq!(sw.len(), 301);
+        for k in (0..=300u64).step_by(13) {
+            assert!(sw.contains(k * 2), "lost key {}", k * 2);
+        }
+    }
+
+    #[test]
+    fn cold_neighbors_merge() {
+        // 8 tiny shards over 16 keys: every adjacent pair is far below
+        // merge_max_len, so rebalance collapses the topology.
+        let data: Vec<u64> = (0..16u64).map(|i| i * 5).collect();
+        let sw = ShardedWritable::new(data.clone(), 8, small_cfg());
+        assert_eq!(sw.shard_count(), 8);
+        let actions = sw.rebalance();
+        assert!(!actions.is_empty());
+        assert!(sw.shard_merges() >= 1);
+        assert!(sw.shard_count() < 8);
+        // Nothing lost or duplicated.
+        assert_eq!(sw.range_keys(0, u64::MAX), data);
+    }
+
+    #[test]
+    fn snapshots_are_consistent_across_rebalances() {
+        let data: Vec<u64> = (0..128u64).map(|i| i * 2).collect();
+        let sw = ShardedWritable::new(data, 2, small_cfg());
+        let before = sw.snapshot();
+        let gen_before = before.generation();
+        // Drive splits.
+        for k in 0..200u64 {
+            sw.insert(k * 2 + 1);
+        }
+        assert!(sw.splits() >= 1);
+        let after = sw.snapshot();
+        assert!(after.generation() > gen_before);
+        // The old snapshot still serves its pre-rebalance state.
+        assert_eq!(before.len(), 128);
+        assert!(!before.contains(1));
+        assert_eq!(before.rank(u64::MAX), 128);
+        // The new one sees everything.
+        assert_eq!(after.len(), 328);
+        assert!(after.contains(1));
+        // Shard/prefix bookkeeping agrees on both.
+        for snap in [&before, &after] {
+            let total = snap.rank(u64::MAX) + usize::from(snap.contains(u64::MAX));
+            assert_eq!(total, snap.len());
+            assert_eq!(snap.shard_count(), snap.shard_snapshots().len());
+        }
+    }
+
+    #[test]
+    fn error_triggered_split_fires_on_skewed_regions() {
+        // Two regimes: a dense linear run then huge steps — one linear
+        // leaf models it badly at coarse density.
+        let mut data: Vec<u64> = (0..600u64).collect();
+        data.extend((1..=600u64).map(|i| 1_000_000 + i * i * 1000));
+        let cfg = ShardedWritableConfig {
+            merge_threshold: 64,
+            leaf_fraction: 1.0 / 4096.0, // 1 leaf: forced mispredictions
+            retune: RetunePolicy {
+                max_rounds: 0, // retuning disabled: the error must stay hot
+                ..RetunePolicy::default()
+            },
+            check_interval: 0,
+            rebalance: RebalanceConfig {
+                max_shard_len: 1 << 20, // never length-split
+                merge_max_len: 8,
+                max_mean_err: Some(4.0),
+                max_shards: 32,
+            },
+        };
+        let sw = ShardedWritable::new(data.clone(), 1, cfg);
+        assert_eq!(sw.shard_count(), 1);
+        let actions = sw.rebalance();
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, RebalanceAction::Split { .. })),
+            "error-hot shard must split, got {actions:?}"
+        );
+        assert_eq!(sw.range_keys(0, u64::MAX), data);
+    }
+
+    #[test]
+    fn retuning_densifies_skewed_shards() {
+        // Step-heavy keys: at the base density the mean error is large;
+        // the retune loop must densify until under the threshold (or
+        // out of rounds) — asserted via the resulting error.
+        let mut data: Vec<u64> = Vec::new();
+        let mut v = 0u64;
+        for i in 0..4000u64 {
+            v += if (i / 100) % 2 == 0 { 1 } else { 100_000 };
+            data.push(v);
+        }
+        let loose = ShardedWritableConfig {
+            leaf_fraction: 1.0 / 2000.0,
+            retune: RetunePolicy {
+                max_mean_err: 4.0,
+                max_rounds: 0,
+                ..RetunePolicy::default()
+            },
+            ..ShardedWritableConfig::default()
+        };
+        let tuned = ShardedWritableConfig {
+            retune: RetunePolicy {
+                max_rounds: 6,
+                ..loose.retune
+            },
+            ..loose.clone()
+        };
+        let coarse = build_retuned_shard(data.clone(), &loose);
+        let dense = build_retuned_shard(data, &tuned);
+        assert!(
+            dense.base_stats().mean_abs_err < coarse.base_stats().mean_abs_err,
+            "retuned {} vs coarse {}",
+            dense.base_stats().mean_abs_err,
+            coarse.base_stats().mean_abs_err
+        );
+        assert!(dense.base_stats().leaves > coarse.base_stats().leaves);
+    }
+
+    #[test]
+    fn empty_and_tiny_initial_sets() {
+        let cfg = small_cfg();
+        let empty = ShardedWritable::new(Vec::<u64>::new(), 4, cfg.clone());
+        assert_eq!(empty.shard_count(), 1, "clamped");
+        assert!(empty.is_empty());
+        assert!(!empty.contains(0));
+        assert!(empty.insert(42));
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.rank(u64::MAX), 1);
+
+        let single = ShardedWritable::new(vec![9u64], 4, cfg);
+        assert_eq!(single.shard_count(), 1);
+        assert!(single.contains(9));
+        assert_eq!(single.rank(9), 0);
+        assert_eq!(single.rank(10), 1);
+    }
+
+    #[test]
+    fn max_key_round_trips() {
+        let sw = ShardedWritable::new(vec![0u64, 5, u64::MAX - 1], 3, small_cfg());
+        assert!(sw.insert(u64::MAX));
+        assert!(sw.contains(u64::MAX));
+        assert!(!sw.insert(u64::MAX));
+        let snap = sw.snapshot();
+        assert_eq!(snap.rank(u64::MAX), 3);
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.range_keys(u64::MAX - 1, u64::MAX), vec![u64::MAX - 1]);
+    }
+
+    #[test]
+    fn initial_partition_is_zero_copy() {
+        let store = KeyStore::new((0..1000u64).collect());
+        let sw = ShardedWritable::new(store.clone(), 8, ShardedWritableConfig::default());
+        // 1 caller handle + at least one per shard base.
+        assert!(store.strong_count() >= 9, "count {}", store.strong_count());
+        drop(sw);
+        assert_eq!(store.strong_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_across_threads_settle_exactly() {
+        let data: Vec<u64> = (0..2000u64).map(|i| i * 10).collect();
+        let sw = ShardedWritable::new(data, 4, small_cfg());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sw = &sw;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        sw.insert((t * 500 + i) * 10 + 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(sw.len(), 4000);
+        assert!(sw.splits() >= 1, "inserts must have driven splits");
+        let all = sw.range_keys(0, u64::MAX);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all.len(), 4000);
+    }
+}

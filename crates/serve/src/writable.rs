@@ -16,7 +16,7 @@
 use std::sync::RwLock;
 
 use li_core::delta::{DeltaIndex, DeltaSnapshot};
-use li_core::rmi::RmiConfig;
+use li_core::rmi::{Rmi, RmiConfig, RmiStats};
 use li_index::KeyStore;
 
 /// A concurrently writable shard: `DeltaIndex` behind an `RwLock`,
@@ -35,11 +35,20 @@ impl WritableShard {
         }
     }
 
-    /// Insert a key (duplicates are no-ops). May trigger a merge +
-    /// retrain, which swaps the shard's base wholesale; outstanding
-    /// snapshots are unaffected.
-    pub fn insert(&self, key: u64) {
-        self.write_lock().insert(key);
+    /// Wrap an already-trained base RMI (no retraining); `config` is
+    /// what future merge+retrain cycles rebuild with.
+    pub fn from_trained(base: Rmi, config: RmiConfig, merge_threshold: usize) -> Self {
+        Self {
+            inner: RwLock::new(DeltaIndex::from_trained(base, config, merge_threshold)),
+        }
+    }
+
+    /// Insert a key, returning whether it was newly inserted (`false`
+    /// for duplicates, which are no-ops). May trigger a merge + retrain,
+    /// which swaps the shard's base wholesale; outstanding snapshots are
+    /// unaffected.
+    pub fn insert(&self, key: u64) -> bool {
+        self.write_lock().insert(key)
     }
 
     /// Force a merge + retrain now.
@@ -79,6 +88,24 @@ impl WritableShard {
         self.read_lock().pending()
     }
 
+    /// Error statistics of the currently trained base RMI (clone of the
+    /// cached stats — the rebalancer's split-on-error signal).
+    pub fn base_stats(&self) -> RmiStats {
+        self.read_lock().base_stats().clone()
+    }
+
+    /// Export every key (base + buffer) as one sorted unique vector —
+    /// the hand-off when this shard splits or merges with a sibling.
+    pub fn export_keys(&self) -> Vec<u64> {
+        self.read_lock().export_keys()
+    }
+
+    /// Split the merged keyset at `pivot`: `(keys < pivot, keys >=
+    /// pivot)`, both sorted unique.
+    pub fn split_keys(&self, pivot: u64) -> (Vec<u64>, Vec<u64>) {
+        self.read_lock().split_keys(pivot)
+    }
+
     fn read_lock(&self) -> std::sync::RwLockReadGuard<'_, DeltaIndex> {
         self.inner.read().expect("WritableShard lock poisoned")
     }
@@ -101,10 +128,23 @@ mod tests {
     fn shared_reference_inserts_and_reads() {
         let shard = WritableShard::new((0..100u64).map(|i| i * 2).collect::<Vec<_>>(), cfg(), 16);
         assert_eq!(shard.len(), 100);
-        shard.insert(1);
-        shard.insert(1); // duplicate no-op
+        assert!(shard.insert(1));
+        assert!(!shard.insert(1), "duplicate insert must report false");
         assert!(shard.contains(1));
         assert_eq!(shard.len(), 101);
+    }
+
+    #[test]
+    fn stats_and_export_pass_through() {
+        let shard = WritableShard::new((0..500u64).collect::<Vec<_>>(), cfg(), 8);
+        assert!(shard.base_stats().max_abs_err <= 1, "linear base is tight");
+        shard.insert(1000);
+        let all = shard.export_keys();
+        assert_eq!(all.len(), 501);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        let (left, right) = shard.split_keys(250);
+        assert_eq!(left.len(), 250);
+        assert_eq!(right.first(), Some(&250));
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!
 //! The [`serve`] module is the production-facing layer on top: a
 //! sharded, concurrently readable and writable serving index
-//! ([`serve::ShardedIndex`], [`serve::WritableShard`]) over the same
-//! `RangeIndex` vocabulary.
+//! ([`serve::ShardedIndex`], [`serve::WritableShard`], and the fully
+//! sharded write path [`serve::ShardedWritable`] with dynamic shard
+//! rebalancing) over the same `RangeIndex` vocabulary.
 
 pub mod scale;
 

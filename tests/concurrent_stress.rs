@@ -14,11 +14,21 @@
 //!    held: ranks monotone in the key, no torn rank (base swapped
 //!    mid-read would break `rank(∞) == len`), and the initial keyset
 //!    permanently visible.
+//! 3. **Sharded write path** — concurrent writers drive a
+//!    `ShardedWritable` through at least one shard *merge* and one
+//!    shard *split* while readers take cross-shard snapshots and
+//!    verify they are never torn: router and shard vector always pair
+//!    (each shard's keys inside its ownership range), lengths
+//!    monotone, the initial keyset permanently visible, and every
+//!    snapshot's bookkeeping exactly self-consistent.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use learned_indexes::rmi::{RmiConfig, TopModel};
-use learned_indexes::serve::{RmiShardBuilder, ShardedIndex, WritableShard};
+use learned_indexes::serve::{
+    RebalanceConfig, RmiShardBuilder, ShardedIndex, ShardedWritable, ShardedWritableConfig,
+    WritableShard,
+};
 use learned_indexes::{KeyStore, RangeIndex};
 
 fn cfg() -> RmiConfig {
@@ -178,6 +188,161 @@ fn writer_through_merge_cycles_never_tears_reader_snapshots() {
     for &k in distinct_odd.iter().step_by(97) {
         assert!(shard.contains(k), "lost inserted key {k}");
     }
+}
+
+/// The sharded write path under concurrent writers + snapshot readers,
+/// across at least one shard merge cycle and at least one shard split
+/// cycle. Readers validate every snapshot with no lock held; any torn
+/// topology (router from one generation, shards from another) would
+/// break the per-shard ownership checks or the length bookkeeping.
+#[test]
+fn sharded_writers_through_split_and_merge_cycles_never_tear_snapshots() {
+    // Start with a deliberately cold 8-shard topology (4 keys per
+    // shard, adjacent pairs inside the merge budget) so the first
+    // rebalance *merges*; then concurrent writers push the keyspace
+    // past the split threshold so later rebalances *split*.
+    let initial: Vec<u64> = (0..32u64).map(|i| i * 1024).collect();
+    let writers = 4u64;
+    let per_writer = 600u64;
+    let config = ShardedWritableConfig {
+        merge_threshold: 32,
+        leaf_fraction: 1.0 / 32.0,
+        check_interval: 64,
+        rebalance: RebalanceConfig {
+            max_shard_len: 256,
+            merge_max_len: 16,
+            max_mean_err: None,
+            max_shards: 24,
+        },
+        ..ShardedWritableConfig::default()
+    };
+    let sw = ShardedWritable::new(initial.clone(), 8, config);
+    assert_eq!(sw.shard_count(), 8);
+
+    // Provoke the merge cycle before the writers heat the topology up.
+    sw.rebalance();
+    assert!(sw.shard_merges() >= 1, "cold topology must merge first");
+
+    let done = AtomicBool::new(false);
+    let snapshots_checked = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let sw_ref = &sw;
+        let done_ref = &done;
+        let checked_ref = &snapshots_checked;
+        let initial_ref = &initial;
+
+        // Readers: take a cross-shard snapshot, validate it lock-free.
+        for t in 0..3 {
+            scope.spawn(move || {
+                let mut last_len = 0usize;
+                loop {
+                    let finished = done_ref.load(Ordering::Acquire);
+                    let snap = sw_ref.snapshot();
+
+                    // Router ↔ shard-vector pairing from one topology.
+                    let bounds = snap.router().boundaries();
+                    assert_eq!(
+                        snap.shard_count(),
+                        bounds.len() + 1,
+                        "t={t}: router paired with a different shard vector"
+                    );
+                    assert!(
+                        bounds.windows(2).all(|w| w[0] <= w[1]),
+                        "t={t}: unsorted bounds"
+                    );
+
+                    // No torn length: per-shard sums, prefix
+                    // bookkeeping and rank(∞) must all agree.
+                    let per_shard: usize = snap.shard_snapshots().iter().map(|s| s.len()).sum();
+                    assert_eq!(per_shard, snap.len(), "t={t}: torn shard lengths");
+                    let total = snap.rank(u64::MAX) + usize::from(snap.contains(u64::MAX));
+                    assert_eq!(total, snap.len(), "t={t}: torn rank bookkeeping");
+
+                    // Ownership: every shard's keys inside its range —
+                    // a mixed-generation snapshot would misplace whole
+                    // key runs.
+                    for (s, shard) in snap.shard_snapshots().iter().enumerate() {
+                        let lo = if s == 0 { 0 } else { bounds[s - 1] };
+                        assert_eq!(
+                            shard.rank(lo),
+                            0,
+                            "t={t}: shard {s} holds keys below its range"
+                        );
+                        if s < bounds.len() {
+                            assert_eq!(
+                                shard.rank(bounds[s]),
+                                shard.len(),
+                                "t={t}: shard {s} holds keys above its range"
+                            );
+                        }
+                    }
+
+                    // Monotone growth, initial keys permanently there.
+                    assert!(
+                        snap.len() >= last_len,
+                        "t={t}: len went backwards {last_len} -> {}",
+                        snap.len()
+                    );
+                    last_len = snap.len();
+                    for &k in initial_ref.iter().step_by(7) {
+                        assert!(snap.contains(k), "t={t}: lost initial key {k}");
+                    }
+
+                    // Scans sorted, in-bounds, rank-consistent.
+                    let scan = snap.range_keys(1000, 20_000);
+                    assert!(scan.windows(2).all(|w| w[0] < w[1]), "t={t}: bad scan");
+                    assert!(scan.iter().all(|&k| (1000..20_000).contains(&k)));
+                    assert_eq!(scan.len(), snap.rank(20_000) - snap.rank(1000));
+
+                    checked_ref.fetch_add(1, Ordering::Relaxed);
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Writers: disjoint key stripes spread over (and past) the
+        // initial domain, enough to force splits.
+        scope.spawn(move || {
+            std::thread::scope(|inner| {
+                for w in 0..writers {
+                    inner.spawn(move || {
+                        for i in 0..per_writer {
+                            sw_ref.insert((w * per_writer + i) * 37 + 1);
+                        }
+                    });
+                }
+            });
+            done_ref.store(true, Ordering::Release);
+        });
+    });
+
+    assert!(
+        sw.splits() >= 1,
+        "writer load must run through at least one split cycle, got {}",
+        sw.splits()
+    );
+    assert!(
+        snapshots_checked.load(Ordering::Relaxed) > 0,
+        "readers must have validated at least one snapshot"
+    );
+
+    // Final exact state: initial keys + every distinct insert.
+    let mut expect: std::collections::BTreeSet<u64> = initial.into_iter().collect();
+    for w in 0..writers {
+        for i in 0..per_writer {
+            expect.insert((w * per_writer + i) * 37 + 1);
+        }
+    }
+    assert_eq!(sw.len(), expect.len());
+    let dump = sw.range_keys(0, u64::MAX);
+    assert_eq!(dump.len(), expect.len());
+    assert!(dump.iter().eq(expect.iter()), "final contents diverged");
+    // The generation trail accounts for every topology publication.
+    assert_eq!(sw.generation(), (sw.splits() + sw.shard_merges()) as u64);
 }
 
 #[test]
