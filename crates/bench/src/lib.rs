@@ -18,7 +18,7 @@
 //! | [`appendix_a`] | Appendix A — O(√N) error scaling |
 //! | [`appendix_e`] | Appendix E — model-hash Bloom filter |
 //! | [`scaling`]  | beyond the paper — sharded serving under multi-thread batched load |
-//! | [`write`]    | beyond the paper — sharded write path: inserts/sec + lookup-under-writes |
+//! | [`mod@write`] | beyond the paper — sharded write path: scalar/batched/background inserts/sec + lookup-under-writes |
 //!
 //! Scale: every experiment takes a key count; the defaults target a
 //! laptop (≈2M keys, seconds per experiment). The paper's absolute

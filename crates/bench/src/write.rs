@@ -1,27 +1,38 @@
 //! Write-path throughput: the sharded concurrent write path under
-//! insert load, with lookup latency measured *while the writes run*.
+//! insert load, with lookup latency measured *while the writes run* —
+//! across three write strategies per configuration:
+//!
+//! * **Scalar / inline** — one [`ShardedWritable::insert`] per key;
+//!   the inserting thread rebalances inline (the PR-4 baseline).
+//! * **Batched / inline** — [`ShardedWritable::insert_batch`] in
+//!   [`INSERT_BATCH`]-key chunks: one topology-lock acquisition and one
+//!   per-shard lock handoff per chunk instead of per key.
+//! * **Scalar / background** — scalar inserts with a
+//!   [`RebalanceWorker`] attached: inserts only record pressure; shard
+//!   rebuilds happen on the worker thread, off the insert path.
 //!
 //! The paper's Appendix D.1 sketches the buffer-and-retrain insert
 //! strategy; "Learned Indexes for a Google-scale Disk-based Database"
 //! shows that sustaining it under concurrent traffic is where the
-//! engineering lives. This experiment drives a
-//! [`ShardedWritable`] with a writer thread flooding fresh keys while
-//! the measuring thread samples point-lookup latency, for every
-//! configuration in [`WRITE_SHARD_GRID`] × [`MERGE_THRESHOLDS`]:
-//! inserts per second, mean and p99 lookup-under-writes latency, and
-//! the rebalance activity (splits/merges) the load provoked.
+//! engineering lives. For every configuration in [`WRITE_SHARD_GRID`] ×
+//! [`MERGE_THRESHOLDS`] a writer thread floods fresh keys while the
+//! measuring thread samples point-lookup latency: inserts per second,
+//! p99 lookup-under-writes latency, and the rebalance activity the
+//! load provoked.
 //!
-//! On a single-core host the writer and the measuring reader contend
-//! for the same CPU, so the absolute numbers measure interleaving, not
-//! parallel capacity — the table prints `available_parallelism` so the
-//! reader can judge (EXPERIMENTS.md records the caveat).
+//! On a single-core host the writer, the measuring reader and (in the
+//! background rows) the worker contend for the same CPU, so the
+//! absolute numbers measure interleaving, not parallel capacity — the
+//! table prints `available_parallelism` so the reader can judge
+//! (EXPERIMENTS.md records the caveat).
 
 use crate::harness::BenchConfig;
 use crate::table::Table;
 use li_data::Dataset;
-use li_serve::{RebalanceConfig, ShardedWritable, ShardedWritableConfig};
+use li_serve::{RebalanceConfig, RebalanceWorker, ShardedWritable, ShardedWritableConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Initial shard counts measured.
 pub const WRITE_SHARD_GRID: [usize; 3] = [1, 4, 8];
@@ -29,13 +40,32 @@ pub const WRITE_SHARD_GRID: [usize; 3] = [1, 4, 8];
 /// Per-shard delta merge thresholds measured.
 pub const MERGE_THRESHOLDS: [usize; 2] = [1_000, 16_000];
 
-/// One measured write configuration.
+/// Chunk size for the batched write mode. Sized like the read path's
+/// batch experiments: big enough to amortize the topology lock and to
+/// give the per-shard phase-split base probes real memory-level
+/// parallelism, small enough to stay cache-resident.
+pub const INSERT_BATCH: usize = 4096;
+
+/// How the writer drives its inserts for one measured sub-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// One `insert` per key; inline rebalancing.
+    Scalar,
+    /// `insert_batch` in [`INSERT_BATCH`]-key chunks; inline
+    /// rebalancing.
+    Batched,
+    /// One `insert` per key; a background [`RebalanceWorker`] owns
+    /// rebalancing.
+    Background,
+}
+
+/// Stats of one measured (configuration, mode) sub-run.
 #[derive(Debug, Clone)]
-pub struct WriteRow {
-    /// Initial shard count.
-    pub shards: usize,
-    /// Per-shard delta merge threshold.
-    pub merge_threshold: usize,
+pub struct ModeStats {
+    /// Distinct keys the writer newly inserted (mode-independent: all
+    /// three modes drive the same stream, so this must agree across
+    /// them — the smoke test asserts it).
+    pub inserted: usize,
     /// Newly inserted keys per second sustained by the writer.
     pub inserts_per_sec: f64,
     /// Mean point-lookup ns while the writer ran.
@@ -48,6 +78,21 @@ pub struct WriteRow {
     pub shard_merges: usize,
     /// Final shard count after the load.
     pub final_shards: usize,
+}
+
+/// One measured write configuration: the three modes side by side.
+#[derive(Debug, Clone)]
+pub struct WriteRow {
+    /// Initial shard count.
+    pub shards: usize,
+    /// Per-shard delta merge threshold.
+    pub merge_threshold: usize,
+    /// Scalar inserts, inline rebalancing (the baseline).
+    pub scalar: ModeStats,
+    /// Batched inserts, inline rebalancing.
+    pub batched: ModeStats,
+    /// Scalar inserts, background rebalance worker.
+    pub background: ModeStats,
 }
 
 /// Greatest common divisor (for choosing a permutation stride).
@@ -68,15 +113,18 @@ fn percentile(samples: &mut [u64], p: f64) -> f64 {
     samples[rank] as f64
 }
 
-/// Run one configuration: writer floods `inserts` fresh keys while the
-/// measuring thread samples lookups; returns the row.
+/// Run one (configuration, mode) sub-run: the writer floods `inserts`
+/// fresh keys (scalar or batched) while the measuring thread samples
+/// lookups; in background mode a worker owns rebalancing for the
+/// duration.
 fn run_one(
     initial: &[u64],
     inserts: &[u64],
     lookups: &[u64],
     shards: usize,
     merge_threshold: usize,
-) -> WriteRow {
+    mode: WriteMode,
+) -> ModeStats {
     // Split pressure scaled so the grid provokes real rebalancing:
     // the keyset doubles over the run, and a shard splits once it
     // outgrows its initial fair share by 1.5x — so every configuration
@@ -91,7 +139,8 @@ fn run_one(
         },
         ..ShardedWritableConfig::default()
     };
-    let sw = ShardedWritable::new(initial.to_vec(), shards, config);
+    let sw = Arc::new(ShardedWritable::new(initial.to_vec(), shards, config));
+    let worker = (mode == WriteMode::Background).then(|| RebalanceWorker::spawn(Arc::clone(&sw)));
 
     let done = AtomicBool::new(false);
     let mut samples: Vec<u64> = Vec::with_capacity(lookups.len());
@@ -99,13 +148,22 @@ fn run_one(
     let mut inserted = 0usize;
 
     std::thread::scope(|scope| {
-        let sw_ref = &sw;
+        let sw_ref = &*sw;
         let done_ref = &done;
         let writer = scope.spawn(move || {
             let t0 = Instant::now();
             let mut n = 0usize;
-            for &k in inserts {
-                n += usize::from(sw_ref.insert(k));
+            match mode {
+                WriteMode::Scalar | WriteMode::Background => {
+                    for &k in inserts {
+                        n += usize::from(sw_ref.insert(k));
+                    }
+                }
+                WriteMode::Batched => {
+                    for chunk in inserts.chunks(INSERT_BATCH) {
+                        n += sw_ref.insert_batch(chunk).iter().filter(|&&f| f).count();
+                    }
+                }
             }
             let secs = t0.elapsed().as_secs_f64();
             done_ref.store(true, Ordering::Release);
@@ -136,11 +194,17 @@ fn run_one(
         write_secs = secs;
     });
 
+    if let Some(worker) = &worker {
+        // Let the worker finish any in-flight rebuild so the final
+        // split/merge counters are settled before we read them.
+        worker.wait_until_stable(Duration::from_secs(30));
+    }
+    drop(worker);
+
     let mean = samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64;
     let p99 = percentile(&mut samples, 99.0);
-    WriteRow {
-        shards,
-        merge_threshold,
+    ModeStats {
+        inserted,
         inserts_per_sec: inserted as f64 / write_secs.max(1e-9),
         mean_lookup_ns: mean,
         p99_lookup_ns: p99,
@@ -151,7 +215,8 @@ fn run_one(
 }
 
 /// Run the write grid on the Lognormal dataset: half the keys seed the
-/// structure, the other half arrive as concurrent inserts.
+/// structure, the other half arrive as concurrent inserts — three
+/// write modes per configuration.
 pub fn run(cfg: &BenchConfig) -> Vec<WriteRow> {
     let keyset = Dataset::Lognormal.generate(cfg.keys, cfg.seed);
     let keys = keyset.keys();
@@ -180,22 +245,39 @@ pub fn run(cfg: &BenchConfig) -> Vec<WriteRow> {
                 .map(move |&mt| (shards, mt))
                 .collect::<Vec<_>>()
         })
-        .map(|(shards, mt)| run_one(&initial, &inserts, &lookups, shards, mt))
+        .map(|(shards, mt)| WriteRow {
+            shards,
+            merge_threshold: mt,
+            scalar: run_one(&initial, &inserts, &lookups, shards, mt, WriteMode::Scalar),
+            batched: run_one(&initial, &inserts, &lookups, shards, mt, WriteMode::Batched),
+            background: run_one(
+                &initial,
+                &inserts,
+                &lookups,
+                shards,
+                mt,
+                WriteMode::Background,
+            ),
+        })
         .collect()
 }
 
 /// Render the write-path table.
 pub fn print(rows: &[WriteRow], keys: usize) {
     let mut t = Table::new(
-        &format!("Write path — ShardedWritable on Lognormal ({keys} keys, half inserted live)"),
+        &format!(
+            "Write path — ShardedWritable on Lognormal ({keys} keys, half inserted live; batch = {INSERT_BATCH})"
+        ),
         &[
             "Shards",
             "Merge thr.",
-            "Inserts/s",
-            "Lookup mean (ns)",
-            "Lookup p99 (ns)",
-            "Splits",
-            "Merges",
+            "Scalar ins/s",
+            "Batched ins/s",
+            "Batch x",
+            "BG ins/s",
+            "p99 inline (ns)",
+            "p99 BG (ns)",
+            "Rebal (s/m, BG)",
             "Final shards",
         ],
     );
@@ -203,12 +285,17 @@ pub fn print(rows: &[WriteRow], keys: usize) {
         t.row(&[
             r.shards.to_string(),
             r.merge_threshold.to_string(),
-            format!("{:.0}", r.inserts_per_sec),
-            format!("{:.0}", r.mean_lookup_ns),
-            format!("{:.0}", r.p99_lookup_ns),
-            r.splits.to_string(),
-            r.shard_merges.to_string(),
-            r.final_shards.to_string(),
+            format!("{:.0}", r.scalar.inserts_per_sec),
+            format!("{:.0}", r.batched.inserts_per_sec),
+            format!(
+                "{:.2}",
+                r.batched.inserts_per_sec / r.scalar.inserts_per_sec.max(1e-9)
+            ),
+            format!("{:.0}", r.background.inserts_per_sec),
+            format!("{:.0}", r.scalar.p99_lookup_ns),
+            format!("{:.0}", r.background.p99_lookup_ns),
+            format!("{}/{}", r.background.splits, r.background.shard_merges),
+            r.background.final_shards.to_string(),
         ]);
     }
     let cores = std::thread::available_parallelism()
@@ -217,6 +304,7 @@ pub fn print(rows: &[WriteRow], keys: usize) {
     t.note(&format!(
         "lookups sampled concurrently with the insert stream; host exposes {cores} core(s) — on 1 core the numbers measure interleaving, not parallel capacity"
     ));
+    t.note("Scalar/Batched rebalance inline on the inserting thread; BG rows attach a RebalanceWorker (rebuilds off the insert path, published with a straggler drain)");
     t.note("splits/merges = rebalance actions the load provoked (a shard splits at 1.5x its initial fair share; the keyset doubles over the run)");
     t.print();
     println!();
@@ -227,7 +315,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_run_covers_the_grid() {
+    fn smoke_run_covers_the_grid_and_modes() {
         let rows = run(&BenchConfig {
             keys: 6_000,
             queries: 500,
@@ -235,13 +323,27 @@ mod tests {
         });
         assert_eq!(rows.len(), WRITE_SHARD_GRID.len() * MERGE_THRESHOLDS.len());
         for r in &rows {
-            assert!(r.inserts_per_sec > 0.0, "{r:?}");
-            // No relationship asserted between mean and p99: the
-            // latency distribution is heavy-tailed (a lookup landing
-            // behind a whole-base retrain costs milliseconds), so the
-            // mean can legitimately exceed p99 on a loaded host.
-            assert!(r.mean_lookup_ns > 0.0 && r.p99_lookup_ns > 0.0, "{r:?}");
-            assert!(r.final_shards >= 1);
+            for (label, m) in [
+                ("scalar", &r.scalar),
+                ("batched", &r.batched),
+                ("background", &r.background),
+            ] {
+                assert!(m.inserts_per_sec > 0.0, "{label}: {m:?}");
+                // No relationship asserted between mean and p99: the
+                // latency distribution is heavy-tailed (a lookup landing
+                // behind a whole-base retrain costs milliseconds), so the
+                // mean can legitimately exceed p99 on a loaded host.
+                assert!(m.mean_lookup_ns > 0.0 && m.p99_lookup_ns > 0.0, "{label}");
+                assert!(m.final_shards >= 1, "{label}");
+            }
+            // All three modes drive the same insert stream, so they
+            // must agree on how many keys were newly inserted
+            // (throughput differs, semantics must not — a batched or
+            // background mode that dropped or double-counted keys
+            // fails here).
+            assert!(r.scalar.inserted > 0, "{r:?}");
+            assert_eq!(r.scalar.inserted, r.batched.inserted, "{r:?}");
+            assert_eq!(r.scalar.inserted, r.background.inserted, "{r:?}");
         }
     }
 

@@ -4,11 +4,11 @@
 //! classification task … we can turn the model into an existence index
 //! by choosing a threshold τ above which we will assume that the key
 //! exists … In order to preserve the no false negatives constraint, we
-//! create an overflow Bloom filter [over] the set of false negatives
+//! create an overflow Bloom filter \[over\] the set of false negatives
 //! from f … The overall FPR of our system therefore is
 //! FPR_O = FPR_τ + (1 − FPR_τ)·FPR_B. For simplicity, we set
 //! FPR_τ = FPR_B = p*/2 so that FPR_O ≤ p*. We tune τ to achieve this
-//! FPR on [the held-out non-key set] Ũ."
+//! FPR on \[the held-out non-key set\] Ũ."
 //!
 //! [`LearnedBloom::build`] does exactly that: scores the validation
 //! non-keys, picks τ as the `(1 − p*/2)`-quantile of those scores,

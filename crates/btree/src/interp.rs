@@ -1,9 +1,9 @@
 //! Fixed-size B-Tree with interpolation search (Figure 5 baseline).
 //!
-//! §3.7.1: *"as proposed in a recent blog post [1] we created a
+//! §3.7.1: *"as proposed in a recent blog post \[1\] we created a
 //! fixed-height B-Tree with interpolation search. The B-Tree height is
 //! set, so that the total size of the tree is 1.5MB, similar to our
-//! learned model."* (Reference [1] is the "database architects" blog's
+//! learned model."* (Reference \[1\] is the "database architects" blog's
 //! reply to the learned-index paper.)
 //!
 //! Given a byte budget, we choose the page size so that the separator

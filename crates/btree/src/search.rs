@@ -8,7 +8,7 @@
 //! `li-core::search`; they are built on these.
 
 /// Position of the first element `>= key` in `data[lo..hi]`, returned as
-/// an absolute index. Plain binary search (the paper's note [8]: "binary
+/// an absolute index. Plain binary search (the paper's note \[8\]: "binary
 /// search … usually the fastest strategy … for small payloads").
 #[inline]
 pub fn lower_bound(data: &[u64], key: u64, lo: usize, hi: usize) -> usize {
@@ -19,7 +19,7 @@ pub fn lower_bound(data: &[u64], key: u64, lo: usize, hi: usize) -> usize {
 /// Branchless binary search over the whole slice: the comparison feeds an
 /// arithmetic select instead of a branch, trading mispredictions for a
 /// fixed instruction stream (the technique behind "AVX search" baselines;
-/// reference [14] of the paper).
+/// reference \[14\] of the paper).
 #[inline]
 pub fn branchless_lower_bound(data: &[u64], key: u64) -> usize {
     let mut base = 0usize;
@@ -81,7 +81,7 @@ pub fn exponential_search(data: &[u64], key: u64, hint: usize) -> usize {
 /// `data[lo..hi]`. Falls back to binary search when the interpolation
 /// stops making progress (skewed regions), so worst case stays
 /// O(log n). Used by [`crate::InterpBTree`] (Figure 5's baseline from
-/// reference [1]).
+/// reference \[1\]).
 pub fn interpolation_search(data: &[u64], key: u64, mut lo: usize, mut hi: usize) -> usize {
     debug_assert!(lo <= hi && hi <= data.len());
     // Invariant: answer is in [lo, hi]; data[lo-1] < key <= data[hi].

@@ -1,7 +1,7 @@
 //! Delta-buffered inserts for learned indexes (Appendix D.1).
 //!
 //! "There always exists a much simpler alternative to handling inserts
-//! by building a delta-index [60]. All inserts are kept in buffer and
+//! by building a delta-index \[60\]. All inserts are kept in buffer and
 //! from time to time merged with a potential retraining of the model.
 //! This approach is already widely used, for example in Bigtable."
 //!
@@ -89,7 +89,13 @@ impl DeltaIndex {
     /// probe runs first and short-circuits, so re-inserting a buffered
     /// key never pays the full learned lookup against the base — and the
     /// probe doubles as the insertion position, so bulk loads do one
-    /// buffer search per insert, not two.
+    /// buffer search per insert, not two. The buffer-before-base order
+    /// is safe because base and buffer are disjoint at all times: a key
+    /// only enters the buffer after missing *both* probes, and a merge
+    /// moves the whole buffer into the base atomically (under `&mut
+    /// self`), so neither side can ever hold a key the other has.
+    /// [`DeltaIndex::merge`] re-checks the invariant with a strict
+    /// sortedness assertion on the merged array in debug builds.
     pub fn insert(&mut self, key: u64) -> bool {
         let pos = self.delta.partition_point(|&k| k < key);
         if self.delta.get(pos).is_some_and(|&k| k == key) || self.base.lookup(key).is_some() {
@@ -100,6 +106,77 @@ impl DeltaIndex {
             self.merge();
         }
         true
+    }
+
+    /// Insert a whole batch of keys in one pass over the sorted buffer,
+    /// returning one newly-inserted flag per key *in input order*
+    /// (`false` for keys already present in base or buffer, and for the
+    /// second and later occurrences of a key duplicated within the
+    /// batch).
+    ///
+    /// Observationally identical to calling [`DeltaIndex::insert`] once
+    /// per key in input order — same final contents, same flags — but
+    /// the buffer is rebuilt with a single linear merge instead of one
+    /// `Vec::insert` memmove per key, and the merge+retrain check runs
+    /// once at the end instead of per key, so a batch triggers at most
+    /// one retrain (the keyset after it is identical either way).
+    ///
+    /// # Examples
+    /// ```
+    /// use li_core::delta::DeltaIndex;
+    /// use li_core::rmi::RmiConfig;
+    ///
+    /// let mut idx = DeltaIndex::new(vec![10u64, 20, 30], RmiConfig::default(), 64);
+    /// // 20 is in the base, the second 15 duplicates the first.
+    /// let flags = idx.insert_batch(&[15, 20, 15, 7]);
+    /// assert_eq!(flags, vec![true, false, false, true]);
+    /// assert_eq!(idx.len(), 5);
+    /// ```
+    pub fn insert_batch(&mut self, keys: &[u64]) -> Vec<bool> {
+        let mut flags = vec![false; keys.len()];
+        if keys.is_empty() {
+            return flags;
+        }
+        // Stable sort by key: equal keys keep input order, so for
+        // intra-batch duplicates the FIRST occurrence is the one
+        // reported as inserted — matching the scalar loop.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        // Candidates: not an intra-batch duplicate, not in the buffer.
+        // Base membership is resolved below with the RMI's phase-split
+        // batched lookup, so the model/search cache misses of distinct
+        // candidates overlap instead of serializing per key.
+        let mut cand_keys: Vec<u64> = Vec::with_capacity(keys.len());
+        let mut cand_slots: Vec<usize> = Vec::with_capacity(keys.len());
+        for &i in &order {
+            let k = keys[i];
+            if cand_keys.last() == Some(&k) {
+                continue; // intra-batch duplicate (equal keys are adjacent)
+            }
+            if self.delta.binary_search(&k).is_ok() {
+                continue; // already buffered
+            }
+            cand_keys.push(k);
+            cand_slots.push(i);
+        }
+        let mut lbs = vec![0usize; cand_keys.len()];
+        self.base.lower_bound_batch(&cand_keys, &mut lbs);
+        let data = self.base.data();
+        let mut fresh: Vec<u64> = Vec::with_capacity(cand_keys.len());
+        for ((&k, &slot), &lb) in cand_keys.iter().zip(&cand_slots).zip(&lbs) {
+            if lb < data.len() && data[lb] == k {
+                continue; // already in the base
+            }
+            fresh.push(k);
+            flags[slot] = true;
+        }
+        if !fresh.is_empty() {
+            self.delta = merge_sorted(&self.delta, &fresh);
+            if self.delta.len() >= self.merge_threshold {
+                self.merge();
+            }
+        }
+        flags
     }
 
     /// Whether `key` exists (base or buffer). Probes the small sorted
@@ -156,6 +233,14 @@ impl DeltaIndex {
             return;
         }
         let merged = merge_sorted(self.base.data(), &self.delta);
+        // Base and buffer must be disjoint (the insert-path duplicate
+        // probe checks buffer first, then base — see `insert`); any
+        // overlap would double-count in `len`/`rank` and show up here
+        // as an equal adjacent pair.
+        debug_assert!(
+            merged.windows(2).all(|w| w[0] < w[1]),
+            "base ∩ buffer must be empty"
+        );
         self.delta.clear();
         // Whole-base swap: snapshots holding the old Arc stay valid.
         self.base = Arc::new(Rmi::build(merged, &self.config));
@@ -361,6 +446,112 @@ mod tests {
         assert_eq!(idx.merges(), 2, "pending={}", idx.pending());
         assert_eq!(idx.pending(), 0);
         assert_eq!(idx.len(), 3 + 16);
+    }
+
+    /// The duplicate probe checks the buffer before the base. That
+    /// order is only sound if base ∩ buffer == ∅ at all times — a key
+    /// living on both sides would be reported "duplicate" correctly but
+    /// would double-count in `len`/`rank`. This test drives keys through
+    /// every membership transition (fresh → buffered → merged-to-base →
+    /// re-inserted) and checks the bookkeeping that any overlap would
+    /// break; `merge` additionally debug_asserts strict sortedness of
+    /// the merged array, which an overlap would violate.
+    #[test]
+    fn base_and_buffer_stay_disjoint_across_merge_cycles() {
+        let threshold = 4usize;
+        let mut idx = DeltaIndex::new(vec![100u64, 200, 300], cfg(), threshold);
+        let mut oracle: std::collections::BTreeSet<u64> = [100u64, 200, 300].into();
+
+        for round in 0..6u64 {
+            // Fresh keys — land in the buffer.
+            for k in 0..3u64 {
+                let key = round * 10 + k;
+                assert_eq!(
+                    idx.insert(key),
+                    oracle.insert(key),
+                    "round {round} key {key}"
+                );
+            }
+            // Re-insert keys that earlier rounds already pushed through
+            // a merge (now in the base): the base probe must catch them
+            // even though the buffer probe no longer can.
+            for k in 0..3u64 {
+                let key = round.saturating_sub(1) * 10 + k;
+                assert!(
+                    !idx.insert(key),
+                    "round {round}: merged key {key} re-entered"
+                );
+            }
+            idx.merge();
+            assert_eq!(idx.pending(), 0);
+            // Any base/buffer overlap double-counts here.
+            assert_eq!(idx.len(), oracle.len(), "round {round}");
+            assert_eq!(idx.rank(u64::MAX), oracle.len(), "round {round}");
+        }
+        // Re-run the whole history once more: every key is now in the
+        // base, nothing may enter the buffer.
+        for round in 0..6u64 {
+            for k in 0..3u64 {
+                assert!(!idx.insert(round * 10 + k));
+            }
+        }
+        assert_eq!(idx.pending(), 0);
+        assert_eq!(idx.len(), oracle.len());
+    }
+
+    #[test]
+    fn insert_batch_matches_scalar_inserts() {
+        // Same stream applied batched and scalar must agree on flags,
+        // contents, and rank bookkeeping — through multiple merges.
+        let base: Vec<u64> = (0..200u64).map(|i| i * 5).collect();
+        let mut batched = DeltaIndex::new(base.clone(), cfg(), 16);
+        let mut scalar = DeltaIndex::new(base, cfg(), 16);
+        let stream: Vec<u64> = (0..300u64).map(|i| (i * 37) % 1100).collect();
+        for chunk in stream.chunks(23) {
+            let got = batched.insert_batch(chunk);
+            let want: Vec<bool> = chunk.iter().map(|&k| scalar.insert(k)).collect();
+            assert_eq!(got, want);
+        }
+        assert_eq!(batched.len(), scalar.len());
+        assert_eq!(
+            batched.range_keys(0, u64::MAX),
+            scalar.range_keys(0, u64::MAX)
+        );
+        for q in (0..1200u64).step_by(7) {
+            assert_eq!(batched.rank(q), scalar.rank(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn insert_batch_intra_batch_duplicates_first_occurrence_wins() {
+        let mut idx = DeltaIndex::new(vec![50u64], cfg(), 100);
+        let flags = idx.insert_batch(&[7, 7, 50, 9, 7, 9]);
+        assert_eq!(flags, vec![true, false, false, true, false, false]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.pending(), 2);
+    }
+
+    #[test]
+    fn insert_batch_triggers_at_most_one_merge() {
+        let mut idx = DeltaIndex::new(vec![1_000u64], cfg(), 8);
+        // 20 fresh keys at threshold 8: scalar would merge twice,
+        // batched merges exactly once at the end — same final keyset.
+        let keys: Vec<u64> = (0..20u64).collect();
+        let flags = idx.insert_batch(&keys);
+        assert!(flags.iter().all(|&f| f));
+        assert_eq!(idx.merges(), 1);
+        assert_eq!(idx.pending(), 0);
+        assert_eq!(idx.len(), 21);
+    }
+
+    #[test]
+    fn insert_batch_empty_and_all_duplicates() {
+        let mut idx = DeltaIndex::new(vec![1u64, 2, 3], cfg(), 4);
+        assert_eq!(idx.insert_batch(&[]), Vec::<bool>::new());
+        let flags = idx.insert_batch(&[1, 2, 3, 1]);
+        assert_eq!(flags, vec![false; 4]);
+        assert_eq!(idx.pending(), 0, "duplicates must not occupy buffer slots");
+        assert_eq!(idx.merges(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Bucketized cuckoo hashing (Appendix C baselines).
 //!
 //! The paper compares learned point indexes against "an AVX optimized
-//! Cuckoo Hash-map from [7]" (the Stanford DAWN index-baselines repo)
+//! Cuckoo Hash-map from \[7\]" (the Stanford DAWN index-baselines repo)
 //! and "a commercially used Cuckoo Hash-map". Both are two-choice,
 //! bucketized designs: each key has two candidate buckets of
 //! [`BUCKET_SLOTS`] slots; inserts displace ("kick") a random victim to

@@ -26,6 +26,21 @@ pub trait ShardBuilder: Send + Sync {
 
 /// Per-shard retuning policy: rebuild a shard at doubled leaf density
 /// while its error statistics stay hot.
+///
+/// # Examples
+/// ```
+/// use li_serve::{RetunePolicy, RmiShardBuilder, ShardBuilder};
+///
+/// // Densify any shard whose mean absolute error exceeds 8 positions,
+/// // doubling the leaf count up to 4 times.
+/// let builder = RmiShardBuilder::new().with_retune(RetunePolicy {
+///     max_mean_err: 8.0,
+///     max_abs_err: u64::MAX, // max-error trigger disabled
+///     max_rounds: 4,
+/// });
+/// let idx = builder.build((0..5_000u64).map(|i| i * 3).collect::<Vec<_>>().into());
+/// assert_eq!(idx.lower_bound(3 * 1234), 1234);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct RetunePolicy {
     /// Retrain while the shard's mean absolute error exceeds this.

@@ -26,21 +26,31 @@
 //! * [`ShardedWritable`] — the *sharded* write path: N
 //!   [`WritableShard`]s behind an `Arc`-swapped topology (ownership
 //!   bounds + router + shards published as one unit), with concurrent
-//!   key-routed inserts, consistent cross-shard snapshots
-//!   ([`ShardedSnapshot`]), and a dynamic rebalancer
+//!   key-routed inserts (scalar and batched —
+//!   [`ShardedWritable::insert_batch`] takes the topology lock once and
+//!   hands each touched shard its whole bucket), consistent cross-shard
+//!   snapshots ([`ShardedSnapshot`]), and a dynamic rebalancer
 //!   ([`rebalance`]) that splits hot shards, merges cold neighbors,
 //!   and retunes each rebuilt shard's model density to its keys.
+//! * [`RebalanceWorker`] — background rebalancing: a dedicated thread
+//!   that owns split/merge execution while attached, so inserts only
+//!   record pressure into lock-free counters and signal over a channel;
+//!   rebuilds happen off the insert path and are published with an
+//!   incremental straggler hand-off ([`rebalance_worker`]).
 //!
 //! The partition arithmetic (balanced offsets, boundary keys, the
 //! duplicates-safe routing proof, ownership routing and split points)
 //! lives in `li_index::partition`, so any future partitioned structure
-//! shares the exact same semantics.
+//! shares the exact same semantics. The full read-path / write-path /
+//! rebalance-lifecycle walkthrough lives in `ARCHITECTURE.md` at the
+//! repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod rebalance;
+pub mod rebalance_worker;
 pub mod router;
 pub mod sharded;
 pub mod sharded_writable;
@@ -53,6 +63,7 @@ pub use builder::{
 pub use li_core::delta::DeltaSnapshot;
 pub use li_index::{KeyStore, Prediction, RangeIndex};
 pub use rebalance::{RebalanceAction, RebalanceConfig};
+pub use rebalance_worker::RebalanceWorker;
 pub use router::ShardRouter;
 pub use sharded::ShardedIndex;
 pub use sharded_writable::{ShardedSnapshot, ShardedWritable, ShardedWritableConfig};

@@ -22,6 +22,27 @@
 //!   qualifies as a cold merge candidate, oscillating forever.
 
 /// Thresholds driving shard splits and merges.
+///
+/// # Examples
+/// ```
+/// use li_serve::rebalance::{plan, RebalanceAction, RebalanceConfig};
+///
+/// let cfg = RebalanceConfig {
+///     max_shard_len: 100, // split beyond 100 keys
+///     merge_max_len: 40,  // merge pairs holding <= 40 keys combined
+///     max_mean_err: None, // no error-triggered splits
+///     max_shards: 8,
+/// };
+/// cfg.validate(); // merge_max_len < max_shard_len: no oscillation
+///
+/// // An overloaded shard splits before a cold pair merges…
+/// assert_eq!(
+///     plan(&[150, 10, 5], &[false; 3], &cfg),
+///     Some(RebalanceAction::Split { shard: 0 })
+/// );
+/// // …and a balanced topology plans nothing.
+/// assert_eq!(plan(&[60, 70], &[false; 2], &cfg), None);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RebalanceConfig {
     /// Split a shard when its key count exceeds this.
@@ -91,6 +112,30 @@ pub enum RebalanceAction {
 /// query routed to it; a cold pair only wastes a little memory). Among
 /// split candidates the longest shard wins; among merge candidates the
 /// coldest adjacent pair wins.
+///
+/// # Examples
+/// ```
+/// use li_serve::rebalance::{plan, RebalanceAction, RebalanceConfig};
+///
+/// let cfg = RebalanceConfig {
+///     max_shard_len: 100,
+///     merge_max_len: 40,
+///     max_mean_err: Some(8.0),
+///     max_shards: 8,
+/// };
+/// // The coldest adjacent pair merges once nothing needs splitting.
+/// assert_eq!(
+///     plan(&[10, 5, 90], &[false; 3], &cfg),
+///     Some(RebalanceAction::Merge { left: 0 })
+/// );
+/// // An error-hot shard splits only above the merge budget (the
+/// // "error-split floor" — its halves must not immediately re-merge).
+/// assert_eq!(plan(&[30, 90], &[true, false], &cfg), None);
+/// assert_eq!(
+///     plan(&[70, 90], &[true, false], &cfg),
+///     Some(RebalanceAction::Split { shard: 0 })
+/// );
+/// ```
 pub fn plan(lens: &[usize], err_hot: &[bool], cfg: &RebalanceConfig) -> Option<RebalanceAction> {
     assert_eq!(lens.len(), err_hot.len(), "observation arity mismatch");
     let n = lens.len();

@@ -1,0 +1,533 @@
+//! Background rebalancing: shard rebuilds off the insert path.
+//!
+//! PR 4's rebalancer ran **inline**: the insert that pushed a shard
+//! over its threshold executed the split — export, retrain, router
+//! refit — under the topology *write* lock, stalling every concurrent
+//! insert and snapshot for the duration of the rebuild. Both
+//! *Benchmarking Learned Indexes* (Marcus et al.) and Google's
+//! disk-based learned-index deployment report exactly this shape of
+//! problem: background reorganization, not steady-state lookup, is
+//! where write-heavy deployments spend their tail latency.
+//!
+//! [`RebalanceWorker`] moves that work to a dedicated thread:
+//!
+//! ```text
+//!  insert(k) ──▶ owner shard           (topology READ lock only)
+//!      │
+//!      ├─ record(len watermark, hot)──▶ WorkerLink   (lock-free atomics)
+//!      └─ hot or periodic? ──────────▶ signal()      (mpsc wake, collapsed
+//!                                          │          to one in-flight msg)
+//!                                          ▼
+//!                                   rebalance worker thread
+//!                                   loop per pass:
+//!                                     1. observe + plan      (read lock)
+//!                                     2. export + retrain    (NO lock —
+//!                                        inserts keep flowing into the
+//!                                        old shards)
+//!                                     3. publish + drain     (brief write
+//!                                        lock: re-route the writes that
+//!                                        raced in by the NEW bounds, swap
+//!                                        the Arc<Topology>)
+//! ```
+//!
+//! The worker owns [`crate::rebalance::plan`] execution while attached:
+//! inserts never rebalance inline, they only record pressure into the
+//! link's lock-free counters and (rarely — when a shard runs hot or the
+//! periodic cadence is crossed) send one wake message. Dropping the
+//! worker detaches the link, joins the thread, and returns the
+//! structure to inline rebalancing.
+//!
+//! Snapshot consistency is unchanged from the inline path: a topology
+//! is still published as one `Arc` swap under the write lock, so a
+//! reader observes a pre- or post-rebalance topology, never a torn
+//! mixture. What changes is *who waits*: the expensive rebuild happens
+//! with no topology lock held, and the write lock is held only for the
+//! straggler drain — O(1) length checks when nothing raced in (the
+//! common case), a linear diff of the touched shard otherwise — never
+//! for the retrain.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::rebalance::RebalanceAction;
+use crate::sharded_writable::{BackgroundStep, ShardedWritable};
+
+/// Wake-channel message from inserters (or the handle) to the worker.
+enum Wake {
+    /// Pressure was recorded; run a rebalance pass.
+    Work,
+    /// The handle is shutting down; exit the loop.
+    Shutdown,
+}
+
+/// The lock-free pressure board + wake channel linking a
+/// [`ShardedWritable`]'s inserters to the background worker.
+///
+/// Inserters touch only atomics on the hot path ([`WorkerLink::record`])
+/// and send at most one wake message per worker pass
+/// ([`WorkerLink::signal`] collapses signal storms with a flag swap).
+#[derive(Debug)]
+pub(crate) struct WorkerLink {
+    /// Set when an inserter observes its owner shard above the split
+    /// threshold; cleared when the worker begins a pass.
+    hot: AtomicBool,
+    /// Successful (key-adding) inserts since the worker's last pass.
+    since_pass: AtomicUsize,
+    /// Shard-length high-watermark observed by inserters since the
+    /// worker's last pass.
+    max_len_seen: AtomicUsize,
+    /// Whether a wake message is already in flight (collapses storms).
+    signaled: AtomicBool,
+    tx: Sender<Wake>,
+    /// Worker idleness: true iff the worker finished a pass and no new
+    /// signal has arrived since. Guarded by `idle`'s mutex together
+    /// with the `signaled` flag (see `signal`/`finish_pass`).
+    idle: Mutex<bool>,
+    idle_cv: Condvar,
+}
+
+impl WorkerLink {
+    fn new(tx: Sender<Wake>) -> Self {
+        Self {
+            hot: AtomicBool::new(false),
+            since_pass: AtomicUsize::new(0),
+            max_len_seen: AtomicUsize::new(0),
+            signaled: AtomicBool::new(false),
+            tx,
+            idle: Mutex::new(true),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    /// Record insert pressure — called on every successful insert (or
+    /// batch) while a worker is attached. Lock-free: three atomic ops.
+    pub(crate) fn record(&self, newly: usize, owner_len: usize, owner_hot: bool) {
+        self.since_pass.fetch_add(newly, Ordering::Relaxed);
+        self.max_len_seen.fetch_max(owner_len, Ordering::Relaxed);
+        if owner_hot {
+            self.hot.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Wake the worker. At most one message is in flight at a time: the
+    /// first signaler after a pass starts sends, the rest see the flag
+    /// already set and return immediately.
+    pub(crate) fn signal(&self) {
+        if !self.signaled.swap(true, Ordering::AcqRel) {
+            // Order matters: mark not-idle BEFORE sending, so a
+            // `wait_until_stable` caller can never observe idle=true
+            // while a wake message is queued.
+            *self.idle.lock().expect("WorkerLink idle flag poisoned") = false;
+            // A send error means the worker already exited (handle
+            // dropped mid-signal); pressure is then simply dropped —
+            // the structure is back in inline mode for future inserts.
+            let _ = self.tx.send(Wake::Work);
+        }
+    }
+
+    /// Worker-side: start a pass. Re-arms the signal flag (signals
+    /// arriving from here on send a fresh wake message, so pressure
+    /// recorded *during* the pass is never lost) and drains the board.
+    fn begin_pass(&self) -> Pressure {
+        self.signaled.store(false, Ordering::Release);
+        Pressure {
+            hot: self.hot.swap(false, Ordering::Relaxed),
+            inserts: self.since_pass.swap(0, Ordering::Relaxed),
+            max_len_seen: self.max_len_seen.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Worker-side: end a pass. Marks the link idle unless a new signal
+    /// arrived while the pass ran (checked under the idle mutex, which
+    /// `signal` also takes — so the flag and the mutex agree).
+    fn finish_pass(&self) {
+        let mut idle = self.idle.lock().expect("WorkerLink idle flag poisoned");
+        if !self.signaled.load(Ordering::Acquire) {
+            *idle = true;
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Block until the worker is idle (pass finished, no signal
+    /// pending) or the deadline passes. Returns whether it became idle.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut idle = self.idle.lock().expect("WorkerLink idle flag poisoned");
+        while !*idle {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .idle_cv
+                .wait_timeout(idle, deadline - now)
+                .expect("WorkerLink idle flag poisoned");
+            idle = guard;
+        }
+        true
+    }
+}
+
+/// Pressure drained from the board at the start of a worker pass
+/// (diagnostics; the worker re-observes exact lens itself).
+#[derive(Debug, Clone, Copy)]
+struct Pressure {
+    hot: bool,
+    inserts: usize,
+    max_len_seen: usize,
+}
+
+/// Counters the worker thread publishes for the handle (and tests).
+#[derive(Debug, Default)]
+struct WorkerStats {
+    splits: AtomicUsize,
+    merges: AtomicUsize,
+    passes: AtomicUsize,
+    races: AtomicUsize,
+    /// Cumulative inserts drained off the pressure board.
+    pressure_inserts: AtomicUsize,
+    /// Passes whose drained pressure included a hot-shard observation.
+    hot_wakes: AtomicUsize,
+    /// High-watermark of shard lengths reported by inserters.
+    max_len_seen: AtomicUsize,
+}
+
+/// A dedicated background rebalance thread for a [`ShardedWritable`].
+///
+/// While the worker is attached, it **owns** rebalancing: inserts only
+/// record pressure into lock-free counters and signal the worker over
+/// a channel; the worker rebuilds split/merge topologies *off* the
+/// insert path and publishes them with an incremental hand-off (writes
+/// that raced into a shard mid-rebuild are re-routed by the new
+/// topology's ownership bounds). Dropping the handle shuts the thread
+/// down, joins it, and re-enables inline rebalancing.
+///
+/// # Examples
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use li_serve::{RebalanceWorker, ShardedWritable, ShardedWritableConfig};
+///
+/// let sw = Arc::new(ShardedWritable::new(
+///     (0..256u64).collect::<Vec<_>>(),
+///     2,
+///     ShardedWritableConfig::default(),
+/// ));
+/// let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+/// assert!(sw.has_background_worker());
+///
+/// for k in 256..1024u64 {
+///     sw.insert(k); // records pressure; signals the worker as needed
+/// }
+/// worker.kick(); // force a scan now rather than waiting for a trigger
+/// assert!(worker.wait_until_stable(Duration::from_secs(10)));
+///
+/// drop(worker); // detach: rebalancing is inline again
+/// assert!(!sw.has_background_worker());
+/// ```
+#[derive(Debug)]
+pub struct RebalanceWorker {
+    sw: Arc<ShardedWritable>,
+    link: Arc<WorkerLink>,
+    stats: Arc<WorkerStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RebalanceWorker {
+    /// Spawn the worker thread and attach it to `sw`. From this moment
+    /// until the handle is dropped, inserts on `sw` never rebalance
+    /// inline.
+    ///
+    /// # Panics
+    /// If another worker is already attached to `sw`.
+    pub fn spawn(sw: Arc<ShardedWritable>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let link = Arc::new(WorkerLink::new(tx));
+        sw.attach_worker(Arc::clone(&link));
+        let stats = Arc::new(WorkerStats::default());
+        let spawned = {
+            let sw = Arc::clone(&sw);
+            let link = Arc::clone(&link);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("li-rebalance".into())
+                .spawn(move || worker_loop(&sw, &link, &rx, &stats))
+        };
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Detach before unwinding: otherwise the structure
+                // would signal a worker that never existed and neither
+                // rebalance mode would ever run again.
+                sw.detach_worker();
+                panic!("failed to spawn the rebalance worker thread: {e}");
+            }
+        };
+        Self {
+            sw,
+            link,
+            stats,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the worker to run a pass now, without waiting for an
+    /// insert to trigger one (e.g. to drain a cold initial topology).
+    pub fn kick(&self) {
+        self.link.signal();
+    }
+
+    /// Block until the worker has finished a pass with no signal
+    /// pending (the topology was stable when it last looked), or the
+    /// timeout expires. Returns whether it quiesced in time.
+    pub fn wait_until_stable(&self, timeout: Duration) -> bool {
+        self.link.wait_idle(timeout)
+    }
+
+    /// Shard splits this worker has applied.
+    pub fn splits(&self) -> usize {
+        self.stats.splits.load(Ordering::Relaxed)
+    }
+
+    /// Shard merges this worker has applied.
+    pub fn merges(&self) -> usize {
+        self.stats.merges.load(Ordering::Relaxed)
+    }
+
+    /// Rebalance passes the worker has completed (one per wake).
+    pub fn passes(&self) -> usize {
+        self.stats.passes.load(Ordering::Relaxed)
+    }
+
+    /// Rebuilds discarded because the topology changed between observe
+    /// and publish (another publisher won the race; the worker
+    /// re-planned from the fresh topology).
+    pub fn races(&self) -> usize {
+        self.stats.races.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative successful inserts drained off the pressure board
+    /// (how much write traffic the worker has accounted for).
+    pub fn pressure_inserts(&self) -> usize {
+        self.stats.pressure_inserts.load(Ordering::Relaxed)
+    }
+
+    /// Passes that began with a hot-shard observation on the board
+    /// (as opposed to periodic-cadence or manual kicks).
+    pub fn hot_wakes(&self) -> usize {
+        self.stats.hot_wakes.load(Ordering::Relaxed)
+    }
+
+    /// High-watermark of owner-shard lengths reported by inserters
+    /// since the worker started.
+    pub fn max_len_seen(&self) -> usize {
+        self.stats.max_len_seen.load(Ordering::Relaxed)
+    }
+
+    /// The structure this worker rebalances.
+    pub fn target(&self) -> &Arc<ShardedWritable> {
+        &self.sw
+    }
+}
+
+impl Drop for RebalanceWorker {
+    fn drop(&mut self) {
+        // Detach first: inserts fall back to inline rebalancing and no
+        // new Work messages are produced; then unblock the thread.
+        self.sw.detach_worker();
+        let _ = self.link.tx.send(Wake::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker thread body: sleep on the channel, and per wake run
+/// rebalance steps until the topology is stable (bounded by the same
+/// backstop budget as the inline loop).
+fn worker_loop(sw: &ShardedWritable, link: &WorkerLink, rx: &Receiver<Wake>, stats: &WorkerStats) {
+    while let Ok(Wake::Work) = rx.recv() {
+        let pressure = link.begin_pass();
+        stats
+            .pressure_inserts
+            .fetch_add(pressure.inserts, Ordering::Relaxed);
+        if pressure.hot {
+            stats.hot_wakes.fetch_add(1, Ordering::Relaxed);
+        }
+        // The watermark is diagnostic; the pass below re-observes exact
+        // lens under the read lock before planning.
+        stats
+            .max_len_seen
+            .fetch_max(pressure.max_len_seen, Ordering::Relaxed);
+        // Run steps until the topology is stable. The per-round budget
+        // is the same backstop as the inline loop; a round that
+        // exhausts it with work remaining (a giant backlog, or a storm
+        // of publish races) gets a few more bounded rounds instead of
+        // stranding an unstable topology as "idle".
+        let budget = sw.rebalance_budget();
+        let mut stable = false;
+        'pass: for _round in 0..4 {
+            for _ in 0..budget {
+                match sw.rebalance_step_background() {
+                    BackgroundStep::Applied(RebalanceAction::Split { .. }) => {
+                        stats.splits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    BackgroundStep::Applied(RebalanceAction::Merge { .. }) => {
+                        stats.merges.fetch_add(1, Ordering::Relaxed);
+                    }
+                    BackgroundStep::Raced => {
+                        stats.races.fetch_add(1, Ordering::Relaxed);
+                    }
+                    BackgroundStep::Stable => {
+                        stable = true;
+                        break 'pass;
+                    }
+                }
+            }
+        }
+        stats.passes.fetch_add(1, Ordering::Relaxed);
+        if !stable {
+            // Even the extra rounds ran out with work remaining: re-
+            // signal ourselves so the backlog resumes on the next wake
+            // instead of stranding an over-budget topology as "idle"
+            // until some future insert happens to signal. Each resumed
+            // pass applies real actions (or observes a newer
+            // generation), so this converges — it is a continuation,
+            // not a spin.
+            link.signal();
+        }
+        link.finish_pass();
+    }
+    // Shutdown (or every sender gone): fall off and let the thread end.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rebalance::RebalanceConfig;
+    use crate::sharded_writable::ShardedWritableConfig;
+
+    fn small_cfg() -> ShardedWritableConfig {
+        ShardedWritableConfig {
+            merge_threshold: 8,
+            leaf_fraction: 1.0 / 16.0,
+            check_interval: 16,
+            rebalance: RebalanceConfig {
+                max_shard_len: 64,
+                merge_max_len: 16,
+                max_mean_err: None,
+                max_shards: 16,
+            },
+            ..ShardedWritableConfig::default()
+        }
+    }
+
+    #[test]
+    fn worker_splits_hot_shards_off_the_insert_path() {
+        let sw = Arc::new(ShardedWritable::new(vec![0u64], 1, small_cfg()));
+        let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+        for k in 1..=400u64 {
+            sw.insert(k * 3);
+        }
+        assert!(worker.wait_until_stable(Duration::from_secs(30)));
+        assert!(worker.splits() >= 1, "worker must have split");
+        // In background mode ONLY the worker rebalances: the global
+        // counters are exactly the worker's.
+        assert_eq!(worker.splits(), sw.splits());
+        assert_eq!(worker.merges(), sw.shard_merges());
+        // Stability means every shard is within budget.
+        for len in sw.shard_lens() {
+            assert!(len <= small_cfg().rebalance.max_shard_len, "len {len}");
+        }
+        assert_eq!(sw.len(), 401);
+    }
+
+    #[test]
+    fn worker_merges_cold_topologies_on_kick() {
+        let data: Vec<u64> = (0..16u64).map(|i| i * 7).collect();
+        let sw = Arc::new(ShardedWritable::new(data.clone(), 8, small_cfg()));
+        let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+        worker.kick();
+        assert!(worker.wait_until_stable(Duration::from_secs(30)));
+        assert!(worker.merges() >= 1, "cold neighbors must merge");
+        assert!(sw.shard_count() < 8);
+        assert_eq!(sw.range_keys(0, u64::MAX), data);
+    }
+
+    #[test]
+    fn drop_detaches_and_restores_inline_rebalancing() {
+        let sw = Arc::new(ShardedWritable::new(vec![0u64], 1, small_cfg()));
+        {
+            let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+            assert!(sw.has_background_worker());
+            worker.kick();
+            assert!(worker.wait_until_stable(Duration::from_secs(30)));
+        }
+        assert!(!sw.has_background_worker());
+        // Inline mode again: this load rebalances on the inserting
+        // thread, exactly like PR 4.
+        for k in 1..=300u64 {
+            sw.insert(k * 2);
+        }
+        assert!(sw.splits() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let sw = Arc::new(ShardedWritable::new(vec![0u64], 1, small_cfg()));
+        let _a = RebalanceWorker::spawn(Arc::clone(&sw));
+        let _b = RebalanceWorker::spawn(Arc::clone(&sw));
+    }
+
+    #[test]
+    fn manual_rebalance_races_are_absorbed() {
+        // A manual rebalance() call while the worker runs can win the
+        // publish race; the worker must discard its stale rebuild and
+        // re-plan, never publish over the newer topology.
+        let sw = Arc::new(ShardedWritable::new(vec![0u64], 1, small_cfg()));
+        let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+        std::thread::scope(|scope| {
+            let sw_ref = &sw;
+            scope.spawn(move || {
+                for k in 1..=500u64 {
+                    sw_ref.insert(k * 5);
+                    if k.is_multiple_of(100) {
+                        // Deliberately compete with the worker.
+                        sw_ref.rebalance();
+                    }
+                }
+            });
+        });
+        assert!(worker.wait_until_stable(Duration::from_secs(30)));
+        // Exact contents survived the races.
+        assert_eq!(sw.len(), 501);
+        let all = sw.range_keys(0, u64::MAX);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all.len(), 501);
+        // Every publication is accounted for exactly once.
+        assert_eq!(
+            sw.generation(),
+            (sw.splits() + sw.shard_merges()) as u64,
+            "torn generation accounting"
+        );
+    }
+
+    #[test]
+    fn pressure_board_records_and_drains() {
+        let (tx, _rx) = mpsc::channel();
+        let link = WorkerLink::new(tx);
+        link.record(3, 100, false);
+        link.record(2, 400, true);
+        let p = link.begin_pass();
+        assert_eq!(p.inserts, 5);
+        assert_eq!(p.max_len_seen, 400);
+        assert!(p.hot);
+        let p2 = link.begin_pass();
+        assert_eq!(p2.inserts, 0);
+        assert!(!p2.hot);
+    }
+}

@@ -38,6 +38,34 @@ impl LinearRoute {
 /// linear model when the boundaries support one (monotone, finite fit),
 /// binary search otherwise — and *always* verifies the learned answer
 /// with the O(1) certificate before trusting it.
+///
+/// Two routing rules share the machinery:
+///
+/// * [`ShardRouter::route`] — the *read* rule: the shard whose position
+///   range contains `lower_bound(key)` (certificate
+///   `boundaries[r-1] < key <= boundaries[r]`).
+/// * [`ShardRouter::route_owner`] — the *ownership* rule of the
+///   writable path: the unique shard whose half-open range
+///   `[boundaries[s-1], boundaries[s])` contains the key (certificate
+///   `boundaries[r-1] <= key < boundaries[r]`), so every key has
+///   exactly one home to insert into.
+///
+/// # Examples
+/// ```
+/// use li_serve::ShardRouter;
+///
+/// // Three shards: [0, 100), [100, 200), [200, u64::MAX].
+/// let router = ShardRouter::fit(vec![100, 200]);
+/// assert_eq!(router.shards(), 3);
+/// assert_eq!(router.route_owner(99), 0);
+/// // A boundary key is OWNED by the shard it opens…
+/// assert_eq!(router.route_owner(100), 1);
+/// // …while the read rule sends lower_bound(100) to the shard that
+/// // precedes it (the first stored key >= 100 could sit at the end of
+/// // shard 0's position range).
+/// assert_eq!(router.route(100), 0);
+/// assert_eq!(router.route_owner(u64::MAX), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ShardRouter {
     boundaries: Vec<u64>,

@@ -59,10 +59,29 @@ use li_index::KeyStore;
 
 use crate::builder::{retune_rmi, RetunePolicy};
 use crate::rebalance::{plan, RebalanceAction, RebalanceConfig};
+use crate::rebalance_worker::WorkerLink;
 use crate::router::ShardRouter;
 use crate::writable::WritableShard;
 
 /// Configuration of a [`ShardedWritable`].
+///
+/// # Examples
+/// ```
+/// use li_serve::{RebalanceConfig, ShardedWritable, ShardedWritableConfig};
+///
+/// let config = ShardedWritableConfig {
+///     merge_threshold: 256, // buffered inserts per shard between retrains
+///     check_interval: 512,  // periodic rebalance scan cadence
+///     rebalance: RebalanceConfig {
+///         max_shard_len: 4096, // split a shard beyond this
+///         merge_max_len: 1024, // merge neighbors at/below this combined
+///         ..RebalanceConfig::default()
+///     },
+///     ..ShardedWritableConfig::default()
+/// };
+/// let sw = ShardedWritable::new((0..10_000u64).collect::<Vec<_>>(), 4, config);
+/// assert_eq!(sw.shard_count(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ShardedWritableConfig {
     /// Per-shard delta-buffer capacity between merge+retrain cycles.
@@ -123,8 +142,40 @@ struct Topology {
 
 /// A fully sharded concurrent write path: concurrent inserts routed by
 /// key ownership, lock-free snapshot reads, and dynamic shard
-/// rebalancing with per-shard model retuning. See the module docs for
-/// the architecture.
+/// rebalancing with per-shard model retuning. See the module docs (and
+/// `ARCHITECTURE.md` at the repository root) for the architecture.
+///
+/// Rebalancing runs in one of two modes:
+///
+/// * **Inline** (the default): the insert that pushes a shard over its
+///   threshold — or that crosses the periodic scan cadence — runs
+///   [`ShardedWritable::rebalance`] itself, paying the shard-rebuild
+///   latency under the topology write lock.
+/// * **Background**: with a [`crate::RebalanceWorker`] attached,
+///   inserts only record pressure into lock-free counters and signal
+///   the worker; splits and merges are rebuilt *off* the insert path
+///   and published under a brief write lock (see
+///   `rebalance_step_background`).
+///
+/// # Examples
+/// ```
+/// use li_serve::{ShardedWritable, ShardedWritableConfig};
+///
+/// let data: Vec<u64> = (0..1000u64).collect();
+/// let sw = ShardedWritable::new(data, 4, ShardedWritableConfig::default());
+/// assert!(sw.insert(5000));
+///
+/// // The batched write path: one topology-lock acquisition, one lock
+/// // handoff per touched shard, per-key newly-inserted flags back.
+/// let flags = sw.insert_batch(&[5000, 6000, 6000]);
+/// assert_eq!(flags, vec![false, true, false]);
+///
+/// // Reads compose over a consistent lock-free snapshot.
+/// let snap = sw.snapshot();
+/// assert_eq!(snap.len(), 1002);
+/// assert!(snap.contains(6000));
+/// assert_eq!(snap.rank(1000), 1000);
+/// ```
 #[derive(Debug)]
 pub struct ShardedWritable {
     topo: RwLock<Arc<Topology>>,
@@ -133,6 +184,10 @@ pub struct ShardedWritable {
     inserts: AtomicUsize,
     splits: AtomicUsize,
     shard_merges: AtomicUsize,
+    /// Link to an attached background rebalance worker. `None` (the
+    /// default) means inserts rebalance inline; `Some` means inserts
+    /// only record pressure and signal — the worker owns rebalancing.
+    worker: RwLock<Option<Arc<WorkerLink>>>,
 }
 
 impl ShardedWritable {
@@ -163,16 +218,19 @@ impl ShardedWritable {
             inserts: AtomicUsize::new(0),
             splits: AtomicUsize::new(0),
             shard_merges: AtomicUsize::new(0),
+            worker: RwLock::new(None),
         }
     }
 
     /// Insert a key, returning whether it was newly inserted (`false`
     /// for duplicates). Routes to the owner shard under the topology
     /// read lock — concurrent inserts to different shards proceed in
-    /// parallel — and triggers a rebalance when the owner runs hot or
-    /// the periodic scan comes due.
+    /// parallel. When the owner runs hot or the periodic scan comes
+    /// due, either rebalances inline or (with a
+    /// [`crate::RebalanceWorker`] attached) signals the background
+    /// worker.
     pub fn insert(&self, key: u64) -> bool {
-        let (inserted, owner_hot) = {
+        let (inserted, owner_len) = {
             // The read *guard* (not just the topology Arc) must live
             // across the shard insert: it is what excludes a concurrent
             // rebalance from exporting this shard's keys and publishing
@@ -182,21 +240,153 @@ impl ShardedWritable {
             let s = guard.router.route_owner(key);
             let shard = &guard.shards[s];
             let inserted = shard.insert(key);
-            (
-                inserted,
-                inserted && shard.len() > self.config.rebalance.max_shard_len,
-            )
-            // Guard drops here, before rebalance() takes the write lock.
+            (inserted, if inserted { shard.len() } else { 0 })
+            // Guard drops here, before any inline rebalance takes the
+            // write lock.
         };
         if inserted {
-            let n = self.inserts.fetch_add(1, Ordering::Relaxed) + 1;
-            let periodic =
-                self.config.check_interval > 0 && n.is_multiple_of(self.config.check_interval);
-            if owner_hot || periodic {
-                self.rebalance();
-            }
+            self.note_inserts(1, owner_len);
         }
         inserted
+    }
+
+    /// Insert a whole batch, returning one newly-inserted flag per key
+    /// in input order (`false` for keys already present and for the
+    /// second and later occurrences of a key duplicated within the
+    /// batch — exactly the flags N scalar [`ShardedWritable::insert`]
+    /// calls would return).
+    ///
+    /// The batch is bucketed per owner shard (mirroring the read path's
+    /// `lower_bound_batch` plan): the topology read lock is taken
+    /// **once** for the whole batch, and each touched shard gets **one**
+    /// write-lock handoff and at most one merge+retrain, instead of one
+    /// of each per key. Rebalance pressure is accounted once at the
+    /// end, so a batch triggers at most one inline rebalance (or one
+    /// worker signal).
+    ///
+    /// # Examples
+    /// ```
+    /// use li_serve::{ShardedWritable, ShardedWritableConfig};
+    ///
+    /// let sw = ShardedWritable::new(vec![10u64, 20, 30], 2, ShardedWritableConfig::default());
+    /// let flags = sw.insert_batch(&[5, 20, 25, 5]);
+    /// assert_eq!(flags, vec![true, false, true, false]);
+    /// assert_eq!(sw.len(), 5);
+    /// ```
+    pub fn insert_batch(&self, keys: &[u64]) -> Vec<bool> {
+        let mut flags = vec![false; keys.len()];
+        if keys.is_empty() {
+            return flags;
+        }
+        let (newly, max_owner_len) = {
+            // Same guard discipline as `insert`: hold the read lock
+            // across every shard handoff so no rebalance can swap the
+            // topology mid-batch.
+            let guard = self.topo.read().expect("ShardedWritable topology poisoned");
+            let n = guard.shards.len();
+            let mut newly = 0usize;
+            let mut max_owner_len = 0usize;
+            if n == 1 {
+                flags = guard.shards[0].insert_batch(keys);
+                newly = flags.iter().filter(|&&f| f).count();
+                if newly > 0 {
+                    max_owner_len = guard.shards[0].len();
+                }
+            } else {
+                // Bucket per owner shard, remembering each key's slot
+                // so the flags scatter back in input order.
+                let mut bucket_keys: Vec<Vec<u64>> = vec![Vec::new(); n];
+                let mut bucket_slots: Vec<Vec<usize>> = vec![Vec::new(); n];
+                for (slot, &k) in keys.iter().enumerate() {
+                    let s = guard.router.route_owner(k);
+                    bucket_keys[s].push(k);
+                    bucket_slots[s].push(slot);
+                }
+                for ((bkeys, bslots), shard) in bucket_keys
+                    .iter()
+                    .zip(&bucket_slots)
+                    .zip(guard.shards.iter())
+                {
+                    if bkeys.is_empty() {
+                        continue;
+                    }
+                    let shard_flags = shard.insert_batch(bkeys);
+                    let added = shard_flags.iter().filter(|&&f| f).count();
+                    if added > 0 {
+                        newly += added;
+                        max_owner_len = max_owner_len.max(shard.len());
+                    }
+                    for (&slot, &f) in bslots.iter().zip(&shard_flags) {
+                        flags[slot] = f;
+                    }
+                }
+            }
+            (newly, max_owner_len)
+        };
+        if newly > 0 {
+            self.note_inserts(newly, max_owner_len);
+        }
+        flags
+    }
+
+    /// Shared post-insert accounting for the scalar and batched write
+    /// paths: bump the global insert counter, then either record
+    /// pressure on the attached background worker's lock-free board
+    /// (signaling it when a shard ran hot or the periodic scan cadence
+    /// was crossed) or run the inline rebalancer for the same triggers.
+    fn note_inserts(&self, newly: usize, max_owner_len: usize) {
+        let before = self.inserts.fetch_add(newly, Ordering::Relaxed);
+        let after = before + newly;
+        let owner_hot = max_owner_len > self.config.rebalance.max_shard_len;
+        let periodic = self.config.check_interval > 0
+            && before / self.config.check_interval != after / self.config.check_interval;
+        // Poison-tolerant: the slot is a plain Option pointer, valid
+        // even if a panicking thread died while holding the lock.
+        if let Some(link) = self
+            .worker
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            link.record(newly, max_owner_len, owner_hot);
+            if owner_hot || periodic {
+                link.signal();
+            }
+            return;
+        }
+        if owner_hot || periodic {
+            self.rebalance();
+        }
+    }
+
+    /// Attach a background worker's link: from now on inserts record
+    /// pressure and signal instead of rebalancing inline. Panics if a
+    /// worker is already attached.
+    pub(crate) fn attach_worker(&self, link: Arc<WorkerLink>) {
+        let mut slot = self.worker.write().unwrap_or_else(|e| e.into_inner());
+        if slot.is_some() {
+            // Release (don't poison) the lock before panicking, so the
+            // existing worker's Drop can still detach cleanly.
+            drop(slot);
+            panic!("a RebalanceWorker is already attached to this ShardedWritable");
+        }
+        *slot = Some(link);
+    }
+
+    /// Detach the background worker's link: inserts rebalance inline
+    /// again. Runs from `RebalanceWorker::drop`, so it must never
+    /// panic (poison-tolerant).
+    pub(crate) fn detach_worker(&self) {
+        *self.worker.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Whether a background rebalance worker currently owns
+    /// rebalancing (inserts then only record pressure and signal).
+    pub fn has_background_worker(&self) -> bool {
+        self.worker
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
     }
 
     /// Whether `key` currently exists (owner-shard probe).
@@ -317,18 +507,10 @@ impl ShardedWritable {
         // The hysteresis in `plan` prevents oscillation; the explicit
         // bound is a backstop so a policy bug cannot hold the write
         // lock forever.
-        let budget = 2 * self.config.rebalance.max_shards + 4;
+        let budget = self.rebalance_budget();
         for _ in 0..budget {
             let topo = &**guard;
-            let lens: Vec<usize> = topo.shards.iter().map(|s| s.len()).collect();
-            let err_hot: Vec<bool> = match self.config.rebalance.max_mean_err {
-                Some(t) => topo
-                    .shards
-                    .iter()
-                    .map(|s| s.base_stats().mean_abs_err > t)
-                    .collect(),
-                None => vec![false; lens.len()],
-            };
+            let (lens, err_hot) = self.observe(topo);
             let Some(action) = plan(&lens, &err_hot, &self.config.rebalance) else {
                 break;
             };
@@ -351,10 +533,145 @@ impl ShardedWritable {
         applied
     }
 
+    /// One **background** rebalance step, designed to be driven by a
+    /// [`crate::RebalanceWorker`] so that inserts never pay shard
+    /// rebuild latency:
+    ///
+    /// 1. **Observe** under the read lock: snapshot lens/error stats,
+    ///    ask [`plan`] for the next action, remember the topology
+    ///    generation. Inserts keep flowing.
+    /// 2. **Rebuild off-lock**: export the affected shard(s) and
+    ///    retrain the replacement(s) with *no* topology lock held —
+    ///    writes racing into the old shard(s) keep landing there.
+    /// 3. **Publish + drain** under a brief write lock: if the
+    ///    generation still matches (else [`BackgroundStep::Raced`] —
+    ///    the caller re-plans), diff each rebuilt shard's current
+    ///    contents against its export and re-route the stragglers into
+    ///    the replacement shards by the *new* topology's ownership
+    ///    bounds, then swap in the new `Arc<Topology>`.
+    ///
+    /// The write lock is never held for the rebuild — that is the
+    /// whole point of the background mode. When no writes raced in
+    /// (shard lengths unchanged — the common case), the drain is a
+    /// pair of O(1) length checks; otherwise it re-exports the touched
+    /// shard for a linear diff plus the buffered straggler re-inserts.
+    pub(crate) fn rebalance_step_background(&self) -> BackgroundStep {
+        // Phase 1 — observe (read lock, released immediately).
+        let topo = self.read_topo();
+        let (lens, err_hot) = self.observe(&topo);
+        let Some(action) = plan(&lens, &err_hot, &self.config.rebalance) else {
+            return BackgroundStep::Stable;
+        };
+        let gen0 = topo.generation;
+
+        match action {
+            RebalanceAction::Split { shard: s } => {
+                // Phase 2 — rebuild off-lock. The export is kept (as a
+                // zero-copy KeyStore the two halves slice) for the
+                // phase-3 straggler diff.
+                let exported = KeyStore::new(topo.shards[s].export_keys());
+                let Some(m) = split_point(exported.as_slice()) else {
+                    // Fewer than two distinct keys: nothing to split.
+                    return BackgroundStep::Stable;
+                };
+                let boundary = exported[m];
+                let left = build_retuned_shard(exported.slice(0..m), &self.config);
+                let right = build_retuned_shard(exported.slice(m..exported.len()), &self.config);
+
+                // Phase 3 — publish + drain.
+                let mut guard = self
+                    .topo
+                    .write()
+                    .expect("ShardedWritable topology poisoned");
+                if guard.generation != gen0 {
+                    return BackgroundStep::Raced;
+                }
+                // Writers are excluded now: whatever raced into the old
+                // shard since the export is re-routed by the NEW
+                // boundary (left owns [old_lo, boundary), right owns
+                // [boundary, old_hi) — both subsets of the old range,
+                // so every straggler has exactly one home). Keys are
+                // never removed, so an unchanged length means nothing
+                // raced in and the O(shard) re-export is skipped.
+                if guard.shards[s].len() > exported.len() {
+                    for k in straggler_diff(&guard.shards[s].export_keys(), exported.as_slice()) {
+                        let target = if k < boundary { &left } else { &right };
+                        target.insert(k);
+                    }
+                }
+                let next = split_topology(&guard, s, boundary, Arc::new(left), Arc::new(right));
+                *guard = Arc::new(next);
+                self.splits.fetch_add(1, Ordering::Relaxed);
+                BackgroundStep::Applied(action)
+            }
+            RebalanceAction::Merge { left: l } => {
+                // Phase 2 — rebuild off-lock. Adjacent ownership ranges:
+                // the concatenated exports are already globally sorted.
+                let mut keys = topo.shards[l].export_keys();
+                let left_len = keys.len();
+                keys.extend(topo.shards[l + 1].export_keys());
+                let exported = KeyStore::new(keys);
+                let merged = build_retuned_shard(exported.clone(), &self.config);
+
+                // Phase 3 — publish + drain.
+                let mut guard = self
+                    .topo
+                    .write()
+                    .expect("ShardedWritable topology poisoned");
+                if guard.generation != gen0 {
+                    return BackgroundStep::Raced;
+                }
+                // Stragglers from either old shard belong to the merged
+                // shard's (concatenated) ownership range. Same O(1)
+                // unchanged-length skip as the split path, per shard.
+                let (left_exp, right_exp) = exported.as_slice().split_at(left_len);
+                if guard.shards[l].len() > left_exp.len() {
+                    for k in straggler_diff(&guard.shards[l].export_keys(), left_exp) {
+                        merged.insert(k);
+                    }
+                }
+                if guard.shards[l + 1].len() > right_exp.len() {
+                    for k in straggler_diff(&guard.shards[l + 1].export_keys(), right_exp) {
+                        merged.insert(k);
+                    }
+                }
+                let next = merge_topology(&guard, l, Arc::new(merged));
+                *guard = Arc::new(next);
+                self.shard_merges.fetch_add(1, Ordering::Relaxed);
+                BackgroundStep::Applied(action)
+            }
+        }
+    }
+
+    /// Per-shard observations the planner consumes: current lengths
+    /// and the error-hot flags (when error splits are enabled).
+    fn observe(&self, topo: &Topology) -> (Vec<usize>, Vec<bool>) {
+        let lens: Vec<usize> = topo.shards.iter().map(|s| s.len()).collect();
+        let err_hot: Vec<bool> = match self.config.rebalance.max_mean_err {
+            Some(t) => topo
+                .shards
+                .iter()
+                .map(|s| s.base_stats().mean_abs_err > t)
+                .collect(),
+            None => vec![false; lens.len()],
+        };
+        (lens, err_hot)
+    }
+
+    /// Backstop iteration bound for a rebalance pass (inline loop or
+    /// one background worker pass): generous enough for any cascade the
+    /// hysteresis admits, small enough that a policy bug cannot spin
+    /// forever.
+    pub(crate) fn rebalance_budget(&self) -> usize {
+        2 * self.config.rebalance.max_shards + 4
+    }
+
     /// Split shard `s` at its balanced split point: the upper half of
     /// its keys becomes a new sibling shard whose ownership range
     /// starts at the recomputed boundary key. `None` when the shard has
-    /// no valid split point (fewer than two distinct keys).
+    /// no valid split point (fewer than two distinct keys). Runs under
+    /// the topology write lock (the inline path — the background path
+    /// rebuilds off-lock in `rebalance_step_background`).
     fn apply_split(&self, topo: &Topology, s: usize) -> Option<Topology> {
         let mut keys = topo.shards[s].export_keys();
         let m = split_point(&keys)?;
@@ -362,44 +679,91 @@ impl ShardedWritable {
         let boundary = right_keys[0];
         let left = Arc::new(build_retuned_shard(keys, &self.config));
         let right = Arc::new(build_retuned_shard(right_keys, &self.config));
-
-        let mut bounds = topo.bounds.clone();
-        bounds.insert(s, boundary);
-        let mut shards = topo.shards.clone();
-        shards[s] = left;
-        shards.insert(s + 1, right);
-        Some(Topology {
-            router: ShardRouter::fit(bounds.clone()),
-            bounds,
-            shards,
-            generation: topo.generation + 1,
-        })
+        Some(split_topology(topo, s, boundary, left, right))
     }
 
     /// Merge shards `left` and `left + 1`. Their ownership ranges are
     /// adjacent, so concatenating their exports is already globally
-    /// sorted.
+    /// sorted. Runs under the topology write lock (the inline path).
     fn apply_merge(&self, topo: &Topology, left: usize) -> Topology {
         let mut keys = topo.shards[left].export_keys();
         keys.extend(topo.shards[left + 1].export_keys());
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "merge tore order");
         let merged = Arc::new(build_retuned_shard(keys, &self.config));
-
-        let mut bounds = topo.bounds.clone();
-        bounds.remove(left);
-        let mut shards = topo.shards.clone();
-        shards[left] = merged;
-        shards.remove(left + 1);
-        Topology {
-            router: ShardRouter::fit(bounds.clone()),
-            bounds,
-            shards,
-            generation: topo.generation + 1,
-        }
+        merge_topology(topo, left, merged)
     }
 
     fn read_topo(&self) -> Arc<Topology> {
         Arc::clone(&self.topo.read().expect("ShardedWritable topology poisoned"))
+    }
+}
+
+/// Outcome of one [`ShardedWritable::rebalance_step_background`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BackgroundStep {
+    /// An action was applied and a new topology published.
+    Applied(RebalanceAction),
+    /// The topology generation changed between observe and publish
+    /// (e.g. a manual [`ShardedWritable::rebalance`] call won the
+    /// race); the rebuild was discarded — observe again and re-plan.
+    Raced,
+    /// The policy proposes nothing: the topology is stable.
+    Stable,
+}
+
+/// Keys in `now` but not in `then` — the writes that raced into a shard
+/// while the background path was rebuilding it. Both inputs are sorted
+/// unique, and `then ⊆ now` because inserts only ever add keys.
+fn straggler_diff(now: &[u64], then: &[u64]) -> Vec<u64> {
+    debug_assert!(now.len() >= then.len(), "shards never shrink mid-rebuild");
+    let mut out = Vec::with_capacity(now.len() - then.len());
+    let mut j = 0usize;
+    for &k in now {
+        if j < then.len() && then[j] == k {
+            j += 1;
+        } else {
+            out.push(k);
+        }
+    }
+    debug_assert_eq!(j, then.len(), "exported keys must persist in the shard");
+    out
+}
+
+/// The topology after splitting shard `s` at `boundary` into `left` and
+/// `right`: boundary vector grown, router refitted, generation bumped.
+fn split_topology(
+    topo: &Topology,
+    s: usize,
+    boundary: u64,
+    left: Arc<WritableShard>,
+    right: Arc<WritableShard>,
+) -> Topology {
+    let mut bounds = topo.bounds.clone();
+    bounds.insert(s, boundary);
+    let mut shards = topo.shards.clone();
+    shards[s] = left;
+    shards.insert(s + 1, right);
+    Topology {
+        router: ShardRouter::fit(bounds.clone()),
+        bounds,
+        shards,
+        generation: topo.generation + 1,
+    }
+}
+
+/// The topology after merging shards `left_idx` and `left_idx + 1` into
+/// `merged`: boundary removed, router refitted, generation bumped.
+fn merge_topology(topo: &Topology, left_idx: usize, merged: Arc<WritableShard>) -> Topology {
+    let mut bounds = topo.bounds.clone();
+    bounds.remove(left_idx);
+    let mut shards = topo.shards.clone();
+    shards[left_idx] = merged;
+    shards.remove(left_idx + 1);
+    Topology {
+        router: ShardRouter::fit(bounds.clone()),
+        bounds,
+        shards,
+        generation: topo.generation + 1,
     }
 }
 

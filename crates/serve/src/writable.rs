@@ -51,6 +51,27 @@ impl WritableShard {
         self.write_lock().insert(key)
     }
 
+    /// Insert a whole batch under **one** write-lock acquisition,
+    /// returning one newly-inserted flag per key in input order (see
+    /// [`DeltaIndex::insert_batch`](li_core::delta::DeltaIndex::insert_batch)
+    /// for the flag semantics). One lock handoff and at most one
+    /// merge+retrain for the whole batch, instead of one of each per
+    /// key.
+    ///
+    /// # Examples
+    /// ```
+    /// use li_core::rmi::RmiConfig;
+    /// use li_serve::WritableShard;
+    ///
+    /// let shard = WritableShard::new(vec![10u64, 20], RmiConfig::default(), 64);
+    /// let flags = shard.insert_batch(&[15, 20, 15]);
+    /// assert_eq!(flags, vec![true, false, false]);
+    /// assert_eq!(shard.len(), 3);
+    /// ```
+    pub fn insert_batch(&self, keys: &[u64]) -> Vec<bool> {
+        self.write_lock().insert_batch(keys)
+    }
+
     /// Force a merge + retrain now.
     pub fn merge(&self) {
         self.write_lock().merge();

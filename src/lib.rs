@@ -13,7 +13,7 @@
 //!
 //! * **Range indexes** (§2–3): [`rmi::Rmi`] — the Recursive Model Index —
 //!   plus baselines in [`btree`].
-//! * **Point indexes** (§4): [`hash::CdfHash`] learned hash functions and
+//! * **Point indexes** (§4): [`hash::CdfHasher`] learned hash functions and
 //!   the hash-map architectures of Appendices B/C.
 //! * **Existence indexes** (§5): [`bloom::LearnedBloom`] and friends.
 //!

@@ -23,11 +23,13 @@
 //!    snapshot's bookkeeping exactly self-consistent.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use learned_indexes::rmi::{RmiConfig, TopModel};
 use learned_indexes::serve::{
-    RebalanceConfig, RmiShardBuilder, ShardedIndex, ShardedWritable, ShardedWritableConfig,
-    WritableShard,
+    RebalanceConfig, RebalanceWorker, RmiShardBuilder, ShardedIndex, ShardedWritable,
+    ShardedWritableConfig, WritableShard,
 };
 use learned_indexes::{KeyStore, RangeIndex};
 
@@ -343,6 +345,177 @@ fn sharded_writers_through_split_and_merge_cycles_never_tear_snapshots() {
     assert!(dump.iter().eq(expect.iter()), "final contents diverged");
     // The generation trail accounts for every topology publication.
     assert_eq!(sw.generation(), (sw.splits() + sw.shard_merges()) as u64);
+}
+
+/// The writer-storm scenario for **background** rebalancing: with a
+/// `RebalanceWorker` attached, inserting threads never rebalance — they
+/// record pressure and signal. The storm must drive at least one shard
+/// *merge* and at least one shard *split*, and both must be executed by
+/// the worker thread (asserted by matching the worker's counters
+/// against the structure's — in background mode nobody else may
+/// publish a topology). Readers validate cross-shard snapshots
+/// lock-free throughout: a torn topology — or a key lost in the
+/// worker's off-lock rebuild / straggler hand-off — fails loudly.
+#[test]
+fn writer_storm_is_rebalanced_by_the_background_worker_only() {
+    // Cold 12-shard start (3-ish keys per shard, adjacent pairs inside
+    // the merge budget) so the worker's first pass merges; the storm
+    // then pushes the keyspace far past the split threshold.
+    let initial: Vec<u64> = (0..40u64).map(|i| i * 1024).collect();
+    let writers = 4u64;
+    let per_writer = 700u64;
+    let config = ShardedWritableConfig {
+        merge_threshold: 32,
+        leaf_fraction: 1.0 / 32.0,
+        check_interval: 64,
+        rebalance: RebalanceConfig {
+            max_shard_len: 256,
+            merge_max_len: 16,
+            max_mean_err: None,
+            max_shards: 24,
+        },
+        ..ShardedWritableConfig::default()
+    };
+    let sw = Arc::new(ShardedWritable::new(initial.clone(), 12, config));
+    assert_eq!(sw.shard_count(), 12);
+    let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+
+    // Drain the cold topology first: merges happen on the worker
+    // thread (nothing else is allowed to rebalance in this mode).
+    worker.kick();
+    assert!(
+        worker.wait_until_stable(Duration::from_secs(60)),
+        "worker failed to quiesce the cold topology"
+    );
+    assert!(worker.merges() >= 1, "cold neighbors must merge");
+
+    let done = AtomicBool::new(false);
+    let snapshots_checked = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let sw_ref = &*sw;
+        let done_ref = &done;
+        let checked_ref = &snapshots_checked;
+        let initial_ref = &initial;
+
+        // Readers: cross-shard snapshots validated with no lock held,
+        // racing the writers AND the worker's topology publications.
+        for t in 0..2 {
+            scope.spawn(move || {
+                let mut last_len = 0usize;
+                loop {
+                    let finished = done_ref.load(Ordering::Acquire);
+                    let snap = sw_ref.snapshot();
+
+                    // Router ↔ shard vector pairing from one topology.
+                    let bounds = snap.router().boundaries();
+                    assert_eq!(snap.shard_count(), bounds.len() + 1, "t={t}: torn topology");
+
+                    // Length bookkeeping: per-shard sums, prefix and
+                    // rank(∞) must all agree.
+                    let per_shard: usize = snap.shard_snapshots().iter().map(|s| s.len()).sum();
+                    assert_eq!(per_shard, snap.len(), "t={t}: torn shard lengths");
+                    let total = snap.rank(u64::MAX) + usize::from(snap.contains(u64::MAX));
+                    assert_eq!(total, snap.len(), "t={t}: torn rank bookkeeping");
+
+                    // Ownership: every shard's keys inside its range.
+                    for (s, shard) in snap.shard_snapshots().iter().enumerate() {
+                        let lo = if s == 0 { 0 } else { bounds[s - 1] };
+                        assert_eq!(shard.rank(lo), 0, "t={t}: shard {s} leaks low");
+                        if s < bounds.len() {
+                            assert_eq!(
+                                shard.rank(bounds[s]),
+                                shard.len(),
+                                "t={t}: shard {s} leaks high"
+                            );
+                        }
+                    }
+
+                    // Monotone growth; the initial keys never vanish
+                    // (an off-lock rebuild that dropped stragglers or
+                    // lost a racing insert would break these).
+                    assert!(snap.len() >= last_len, "t={t}: len went backwards");
+                    last_len = snap.len();
+                    for &k in initial_ref.iter().step_by(7) {
+                        assert!(snap.contains(k), "t={t}: lost initial key {k}");
+                    }
+
+                    checked_ref.fetch_add(1, Ordering::Relaxed);
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // The storm: disjoint writer stripes spread over (and past) the
+        // initial domain — with scalar AND batched inserts in the mix,
+        // both of which only signal the worker in background mode.
+        // Stripe keys are odd by construction (74k + 1) while the
+        // initial keys are even (i * 1024), so every stripe key is
+        // fresh — the all-true flag assertion below relies on it.
+        scope.spawn(move || {
+            std::thread::scope(|inner| {
+                for w in 0..writers {
+                    inner.spawn(move || {
+                        let keys: Vec<u64> = (0..per_writer)
+                            .map(|i| (w * per_writer + i) * 74 + 1)
+                            .collect();
+                        // Half the stripe scalar, half batched.
+                        let half = keys.len() / 2;
+                        for &k in &keys[..half] {
+                            sw_ref.insert(k);
+                        }
+                        for chunk in keys[half..].chunks(64) {
+                            let flags = sw_ref.insert_batch(chunk);
+                            assert!(flags.iter().all(|&f| f), "w={w}: stripe keys are fresh");
+                        }
+                    });
+                }
+            });
+            done_ref.store(true, Ordering::Release);
+        });
+    });
+
+    assert!(
+        worker.wait_until_stable(Duration::from_secs(60)),
+        "worker failed to quiesce after the storm"
+    );
+    assert!(
+        worker.splits() >= 1,
+        "storm must drive at least one background split, got {}",
+        worker.splits()
+    );
+    assert!(snapshots_checked.load(Ordering::Relaxed) > 0);
+
+    // EVERY topology change was executed by the worker thread: the
+    // inserting threads recorded pressure only. (Any inline rebalance
+    // would make the structure's counters exceed the worker's.)
+    assert_eq!(worker.splits(), sw.splits(), "a non-worker thread split");
+    assert_eq!(
+        worker.merges(),
+        sw.shard_merges(),
+        "a non-worker thread merged"
+    );
+    assert_eq!(sw.generation(), (sw.splits() + sw.shard_merges()) as u64);
+
+    // Quiesced means within budget.
+    for len in sw.shard_lens() {
+        assert!(len <= 256, "unsplit hot shard survived: len {len}");
+    }
+
+    // Exact final contents: initial keys + every distinct storm key.
+    let mut expect: std::collections::BTreeSet<u64> = initial.into_iter().collect();
+    for w in 0..writers {
+        for i in 0..per_writer {
+            expect.insert((w * per_writer + i) * 74 + 1);
+        }
+    }
+    assert_eq!(sw.len(), expect.len());
+    let dump = sw.range_keys(0, u64::MAX);
+    assert_eq!(dump.len(), expect.len());
+    assert!(dump.iter().eq(expect.iter()), "final contents diverged");
 }
 
 #[test]

@@ -176,6 +176,65 @@ proptest! {
         }
     }
 
+    /// `insert_batch` must be observationally identical to N scalar
+    /// `insert` calls in input order: the same per-key newly-inserted
+    /// flags, and the same final snapshot — across shard counts, with
+    /// the aggressive configuration keeping rebalance triggers routine
+    /// mid-stream (batches land before, between, and after splits and
+    /// merges). Intra-batch duplicates and cross-batch duplicates are
+    /// both exercised by the small key domain.
+    #[test]
+    fn insert_batch_equals_scalar_inserts(
+        initial in prop::collection::vec(0u64..400, 0..48),
+        batches in prop::collection::vec(
+            prop::collection::vec(0u64..400, 0..40), 1..12),
+    ) {
+        let init = sorted_unique(initial);
+        for shards in SHARD_COUNTS {
+            let batched = ShardedWritable::new(init.clone(), shards, aggressive_cfg());
+            let scalar = ShardedWritable::new(init.clone(), shards, aggressive_cfg());
+            for batch in &batches {
+                let got = batched.insert_batch(batch);
+                let want: Vec<bool> = batch.iter().map(|&k| scalar.insert(k)).collect();
+                prop_assert_eq!(got, want, "shards={}", shards);
+            }
+            // Same final snapshot, bit for bit.
+            let bs = batched.snapshot();
+            let ss = scalar.snapshot();
+            prop_assert_eq!(bs.len(), ss.len());
+            prop_assert_eq!(
+                bs.range_keys(0, u64::MAX),
+                ss.range_keys(0, u64::MAX)
+            );
+            prop_assert_eq!(bs.contains(u64::MAX), ss.contains(u64::MAX));
+            assert_snapshot_internally_consistent(&bs)?;
+            assert_snapshot_internally_consistent(&ss)?;
+        }
+    }
+
+    /// Full-domain batch ≡ scalar (extreme spreads, `u64::MAX`
+    /// neighborhoods, huge ownership gaps).
+    #[test]
+    fn insert_batch_equals_scalar_inserts_full_domain(
+        initial in prop::collection::vec(any::<u64>(), 0..32),
+        batches in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..24), 1..8),
+    ) {
+        let init = sorted_unique(initial);
+        let batched = ShardedWritable::new(init.clone(), 3, aggressive_cfg());
+        let scalar = ShardedWritable::new(init, 3, aggressive_cfg());
+        for batch in &batches {
+            let got = batched.insert_batch(batch);
+            let want: Vec<bool> = batch.iter().map(|&k| scalar.insert(k)).collect();
+            prop_assert_eq!(got, want);
+        }
+        let bs = batched.snapshot();
+        let ss = scalar.snapshot();
+        prop_assert_eq!(bs.len(), ss.len());
+        prop_assert_eq!(bs.range_keys(0, u64::MAX), ss.range_keys(0, u64::MAX));
+        prop_assert_eq!(bs.contains(u64::MAX), ss.contains(u64::MAX));
+    }
+
     /// Explicit rebalance calls interleaved with ops never change
     /// semantics, and the topology stays within its configured budget.
     #[test]
@@ -228,6 +287,23 @@ fn equivalence_through_a_split_and_a_merge() {
         (sw.splits() + sw.shard_merges()) as u64,
         "every rebalance action published exactly one topology"
     );
+}
+
+/// One oversized batch must drive the topology through splits (the
+/// post-batch rebalance loops until stable) and still agree with the
+/// oracle key for key — the batched path's per-shard bucketing and the
+/// rebalancer compose.
+#[test]
+fn one_big_batch_drives_splits_and_matches_the_oracle() {
+    let init: Vec<u64> = (0..16u64).map(|i| i * 100).collect();
+    let sw = ShardedWritable::new(init.clone(), 2, aggressive_cfg());
+    let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+    let batch: Vec<u64> = (0..500u64).map(|i| (i * 7) % 1600).collect();
+    let flags = sw.insert_batch(&batch);
+    let want: Vec<bool> = batch.iter().map(|&k| oracle.insert(k)).collect();
+    assert_eq!(flags, want);
+    assert!(sw.splits() >= 1, "an oversized batch must split");
+    assert_oracle_equivalence(&sw, &oracle).unwrap();
 }
 
 #[test]
