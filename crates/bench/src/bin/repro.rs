@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
-//!              appendix-a appendix-e scaling write all   (default: all)
+//!              appendix-a appendix-e scaling write persist all   (default: all)
 //! ```
 //!
 //! Run release builds for meaningful numbers:
@@ -65,6 +65,7 @@ fn main() {
             "appendix-e",
             "scaling",
             "write",
+            "persist",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -125,6 +126,16 @@ fn main() {
                 };
                 write::print(&write::run(&wcfg), wcfg.keys);
             }
+            "persist" => {
+                // Training dominates the cold side, so the warm-load
+                // advantage is already unambiguous at 1M keys; cap to
+                // keep the snapshot files small.
+                let pcfg = BenchConfig {
+                    keys: cfg.keys.min(1_000_000),
+                    ..cfg.clone()
+                };
+                persist::print(&persist::run(&pcfg), pcfg.keys);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
     }
@@ -133,7 +144,7 @@ fn main() {
 fn print_usage() {
     println!(
         "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write all"
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist all"
     );
 }
 

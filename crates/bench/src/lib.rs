@@ -19,6 +19,7 @@
 //! | [`appendix_e`] | Appendix E — model-hash Bloom filter |
 //! | [`scaling`]  | beyond the paper — sharded serving under multi-thread batched load |
 //! | [`mod@write`] | beyond the paper — sharded write path: scalar/batched/background inserts/sec + lookup-under-writes |
+//! | [`persist`]  | beyond the paper — warm restart: cold build vs mapped snapshot load, with lookup parity |
 //!
 //! Scale: every experiment takes a key count; the defaults target a
 //! laptop (≈2M keys, seconds per experiment). The paper's absolute
@@ -39,6 +40,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod harness;
 pub mod naive;
+pub mod persist;
 pub mod scaling;
 pub mod table;
 pub mod table1;

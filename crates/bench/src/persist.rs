@@ -1,0 +1,226 @@
+//! Warm-restart economics: cold build (train every model) vs warm load
+//! (map the key file, deserialize coefficients) — beyond the paper.
+//!
+//! The paper's learned indexes are expensive to *train* and cheap to
+//! *evaluate*; this experiment measures the operational consequence: a
+//! serving snapshot on disk turns restart cost from "retrain the world"
+//! into "map one file". For each structure the harness:
+//!
+//! 1. cold-builds over the keyset (every model trained from scratch),
+//! 2. saves a snapshot (atomic tmp + rename publish),
+//! 3. loads it back into a fresh structure, and
+//! 4. verifies lookup parity between the original and the loaded copy
+//!    on a sampled probe set (plus a full range sweep for the write
+//!    path).
+//!
+//! [`li_core::train_count`] is read across the load to certify that the
+//! warm path trained **zero** models — the speedup is structural, not a
+//! cache artifact.
+
+use crate::harness::BenchConfig;
+use crate::table::Table;
+use li_data::Dataset;
+use li_serve::{RangeIndex, RmiShardBuilder, ShardedIndex, ShardedWritable, ShardedWritableConfig};
+use std::time::Instant;
+
+/// Shard count for both measured structures.
+pub const PERSIST_SHARDS: usize = 8;
+
+/// One structure's cold-vs-warm measurement.
+#[derive(Debug, Clone)]
+pub struct PersistRow {
+    /// Which structure ("sharded-index" or "sharded-writable").
+    pub structure: &'static str,
+    /// Keys in the snapshot.
+    pub keys: usize,
+    /// Wall-clock ms to cold-build (train all models).
+    pub cold_build_ms: f64,
+    /// Wall-clock ms to save the snapshot.
+    pub save_ms: f64,
+    /// Snapshot file size in MiB.
+    pub file_mib: f64,
+    /// Wall-clock ms to warm-load the snapshot.
+    pub warm_load_ms: f64,
+    /// `cold_build_ms / warm_load_ms`.
+    pub speedup: f64,
+    /// Models trained during the load (must be 0).
+    pub loads_trained: u64,
+    /// Probes whose answers matched between original and loaded copy.
+    pub parity_checked: usize,
+    /// Whether the loaded key payload is served zero-copy from the
+    /// mapped file (read tier; the write tier maps per-shard bases the
+    /// same way).
+    pub mapped: bool,
+}
+
+fn tmp_snapshot(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "li-bench-persist-{}-{tag}.lidx",
+        std::process::id()
+    ))
+}
+
+fn file_mib(path: &std::path::Path) -> f64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0) as f64 / (1024.0 * 1024.0)
+}
+
+/// Measure the read tier: [`ShardedIndex`] over the full keyset.
+fn run_sharded_index(keys: &[u64], probes: &[u64]) -> PersistRow {
+    let path = tmp_snapshot("index");
+
+    let t0 = Instant::now();
+    let cold = ShardedIndex::build(keys.to_vec(), PERSIST_SHARDS, &RmiShardBuilder::new());
+    let cold_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    cold.save(&path).expect("save failed");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let trained_before = li_core::train_count();
+    let t0 = Instant::now();
+    let warm = ShardedIndex::load(&path).expect("load failed");
+    let warm_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let loads_trained = li_core::train_count() - trained_before;
+
+    let mut parity_checked = 0usize;
+    for &q in probes {
+        assert_eq!(warm.lower_bound(q), cold.lower_bound(q), "parity q={q}");
+        parity_checked += 1;
+    }
+    let row = PersistRow {
+        structure: "sharded-index",
+        keys: keys.len(),
+        cold_build_ms,
+        save_ms,
+        file_mib: file_mib(&path),
+        warm_load_ms,
+        speedup: cold_build_ms / warm_load_ms.max(1e-9),
+        loads_trained,
+        parity_checked,
+        mapped: warm.key_store().is_mapped(),
+    };
+    let _ = std::fs::remove_file(&path);
+    row
+}
+
+/// Measure the write tier: [`ShardedWritable`] over the full keyset
+/// with a slice of fresh keys left *pending* in the delta buffers, so
+/// the snapshot carries live write-path state, not just trained bases.
+fn run_sharded_writable(keys: &[u64], probes: &[u64]) -> PersistRow {
+    let path = tmp_snapshot("writable");
+
+    let t0 = Instant::now();
+    let cold = ShardedWritable::new(
+        keys.to_vec(),
+        PERSIST_SHARDS,
+        ShardedWritableConfig::default(),
+    );
+    let cold_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Park some inserts below the merge threshold: they must survive
+    // the round trip as *pending* keys, without a merge.
+    for &k in keys.iter().step_by(keys.len().max(1) / 64 + 1) {
+        cold.insert(k | 1);
+    }
+
+    let t0 = Instant::now();
+    cold.save(&path).expect("save failed");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let trained_before = li_core::train_count();
+    let t0 = Instant::now();
+    let warm = ShardedWritable::load(&path).expect("load failed");
+    let warm_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let loads_trained = li_core::train_count() - trained_before;
+
+    let mut parity_checked = 0usize;
+    for &q in probes {
+        assert_eq!(warm.contains(q), cold.contains(q), "parity q={q}");
+        assert_eq!(warm.contains(q | 1), cold.contains(q | 1), "parity q={q}|1");
+        parity_checked += 2;
+    }
+    assert_eq!(warm.len(), cold.len(), "cardinality parity");
+    let row = PersistRow {
+        structure: "sharded-writable",
+        keys: warm.len(),
+        cold_build_ms,
+        save_ms,
+        file_mib: file_mib(&path),
+        warm_load_ms,
+        speedup: cold_build_ms / warm_load_ms.max(1e-9),
+        loads_trained,
+        parity_checked,
+        mapped: true, // per-shard bases map the same region (see li-serve tests)
+    };
+    let _ = std::fs::remove_file(&path);
+    row
+}
+
+/// Run the persistence experiment on the Lognormal dataset.
+pub fn run(cfg: &BenchConfig) -> Vec<PersistRow> {
+    let keyset = Dataset::Lognormal.generate(cfg.keys, cfg.seed);
+    let probes = keyset.sample_existing(cfg.queries.clamp(1, 20_000), cfg.seed ^ 0x9e37);
+    vec![
+        run_sharded_index(keyset.keys(), &probes),
+        run_sharded_writable(keyset.keys(), &probes),
+    ]
+}
+
+/// Render the persistence table.
+pub fn print(rows: &[PersistRow], keys: usize) {
+    let mut t = Table::new(
+        &format!("Persistence — cold build vs warm load on Lognormal ({keys} keys, {PERSIST_SHARDS} shards)"),
+        &[
+            "Structure",
+            "Keys",
+            "Cold build (ms)",
+            "Save (ms)",
+            "File (MiB)",
+            "Warm load (ms)",
+            "Speedup",
+            "Trained on load",
+            "Parity probes",
+            "Mapped",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.structure.to_string(),
+            r.keys.to_string(),
+            format!("{:.1}", r.cold_build_ms),
+            format!("{:.1}", r.save_ms),
+            format!("{:.2}", r.file_mib),
+            format!("{:.1}", r.warm_load_ms),
+            format!("{:.1}x", r.speedup),
+            r.loads_trained.to_string(),
+            r.parity_checked.to_string(),
+            if r.mapped { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t.note("warm load maps the page-aligned key payload (zero-copy on 64-bit LE unix) and rebuilds every model from saved coefficients — 'Trained on load' counts Rmi::build calls during the load and must be 0");
+    t.note("parity probes compare the loaded copy's answers against the original, per structure; the write tier also round-trips its pending delta buffers");
+    t.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_round_trips_both_structures() {
+        let rows = run(&BenchConfig {
+            keys: 20_000,
+            queries: 500,
+            seed: 11,
+        });
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.cold_build_ms > 0.0, "{r:?}");
+            assert!(r.warm_load_ms > 0.0, "{r:?}");
+            assert!(r.file_mib > 0.0, "{r:?}");
+            assert!(r.parity_checked > 0, "{r:?}");
+            assert_eq!(r.loads_trained, 0, "warm load must train nothing: {r:?}");
+        }
+        assert!(rows[0].mapped, "read tier must map the payload");
+    }
+}

@@ -241,9 +241,16 @@ impl DeltaIndex {
             merged.windows(2).all(|w| w[0] < w[1]),
             "base ∩ buffer must be empty"
         );
+        // Retrain BEFORE touching any field: `Rmi::build` is the one
+        // call here that can panic (allocation, model fitting), and at
+        // that point the index must still be exactly its pre-merge self
+        // — the serving layer recovers poisoned locks with
+        // `into_inner`, which is only sound if every panic leaves the
+        // guarded value valid. The whole-base Arc swap afterwards also
+        // keeps outstanding snapshots of the old base intact.
+        let rebuilt = Rmi::build(merged, &self.config);
+        self.base = Arc::new(rebuilt);
         self.delta.clear();
-        // Whole-base swap: snapshots holding the old Arc stay valid.
-        self.base = Arc::new(Rmi::build(merged, &self.config));
         self.merges += 1;
     }
 
@@ -280,6 +287,50 @@ impl DeltaIndex {
     /// The merge threshold this index was built with.
     pub fn merge_threshold(&self) -> usize {
         self.merge_threshold
+    }
+
+    /// The configuration merge+retrain cycles rebuild with.
+    pub fn config(&self) -> &RmiConfig {
+        &self.config
+    }
+
+    /// Restore an index from persisted state: an already-trained base
+    /// plus the delta buffer exactly as it was saved — the warm-restart
+    /// "replay deltas on load" path. Nothing is retrained: `pending` is
+    /// installed as the buffer verbatim, and because every saved buffer
+    /// satisfies `pending.len() < merge_threshold` (a merge fires *at*
+    /// the threshold, so a live index never holds more), installing it
+    /// cannot trigger a merge either.
+    ///
+    /// # Panics
+    /// If `merge_threshold == 0`, `pending.len() >= merge_threshold`,
+    /// or `pending` is not sorted, unique and disjoint from the base.
+    pub fn with_pending(
+        base: Rmi,
+        config: RmiConfig,
+        merge_threshold: usize,
+        pending: Vec<u64>,
+    ) -> Self {
+        assert!(merge_threshold > 0);
+        assert!(
+            pending.len() < merge_threshold,
+            "a saved delta buffer is always below the merge threshold"
+        );
+        assert!(
+            pending.windows(2).all(|w| w[0] < w[1]),
+            "pending must be sorted unique"
+        );
+        assert!(
+            pending.iter().all(|&k| base.lookup(k).is_none()),
+            "pending must be disjoint from the base"
+        );
+        Self {
+            base: Arc::new(base),
+            config,
+            delta: pending,
+            merge_threshold,
+            merges: 0,
+        }
     }
 }
 
@@ -328,6 +379,19 @@ impl DeltaSnapshot {
     /// live index currently holds, one taken after shares it exactly).
     pub fn base_store(&self) -> &KeyStore {
         self.base.key_store()
+    }
+
+    /// The snapshot's trained base index (the persistence layer reads
+    /// its coefficients and key array from here at save time).
+    pub fn base_index(&self) -> &Rmi {
+        &self.base
+    }
+
+    /// The keys that were pending in the buffer at snapshot time
+    /// (sorted, unique, disjoint from the base — what a snapshot file
+    /// records for replay on load).
+    pub fn delta_keys(&self) -> &[u64] {
+        &self.delta
     }
 }
 

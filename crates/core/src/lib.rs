@@ -46,7 +46,10 @@ pub use lif::{Lif, LifCandidate, LifReport, LifSpec};
 pub use li_index::{KeyStore, Prediction, RangeIndex};
 pub use multidim::ZOrderRmi;
 pub use paging::{PagedRmi, PagedStore};
-pub use rmi::{Leaf, LeafKind, Rmi, RmiConfig, RmiStats, TopModel};
+pub use rmi::{
+    train_count, Leaf, LeafKind, LeafModelParams, LeafParams, Rmi, RmiConfig, RmiParams, RmiStats,
+    TopModel,
+};
 pub use search::SearchStrategy;
 pub use sort::learned_sort;
 pub use string_rmi::{tokenize, StringRmi, StringRmiConfig};

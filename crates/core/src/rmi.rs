@@ -232,11 +232,84 @@ pub struct RmiStats {
     pub op_count: usize,
 }
 
+/// The serializable parameters of one trained leaf (see [`RmiParams`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafParams {
+    /// The leaf model.
+    pub model: LeafModelParams,
+    /// Worst under-prediction recorded at training time.
+    pub min_err: i64,
+    /// Worst over-prediction recorded at training time.
+    pub max_err: i64,
+    /// Standard deviation of the prediction error.
+    pub std_err: f64,
+    /// Keys routed to this leaf at training time.
+    pub n_keys: u64,
+}
+
+/// The serializable model of one leaf (see [`RmiParams`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafModelParams {
+    /// A linear leaf: `position ≈ slope · key + intercept`.
+    Linear {
+        /// Fitted slope.
+        slope: f64,
+        /// Fitted intercept.
+        intercept: f64,
+    },
+    /// A hybrid B-Tree leaf over `data[offset .. offset + len]`. The
+    /// tree itself is *structure*, not learned parameters — it is
+    /// rebuilt from the mapped key slice on load (no training).
+    BTree {
+        /// Global position of the first covered key.
+        offset: u64,
+        /// Number of covered keys.
+        len: u64,
+        /// Page size the tree was built with.
+        page_size: u64,
+    },
+}
+
+/// Everything a trained [`Rmi`] knows beyond the key array itself: the
+/// fitted coefficients of every stage plus per-leaf error envelopes.
+/// This is what the persistence layer writes into a snapshot manifest —
+/// warm restart is "map the key file, deserialize these, rebuild
+/// structure" with **no retraining** ([`Rmi::from_params`] never fits a
+/// model; [`train_count`] witnesses that).
+///
+/// Format v1 covers linear-top RMIs (the workspace's serving default);
+/// [`Rmi::to_params`] returns `None` for multivariate/MLP tops, which
+/// save paths surface as an unsupported-backend error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmiParams {
+    /// Stage-0 linear model as `(slope, intercept)`.
+    pub top: (f64, f64),
+    /// Intermediate linear stages as `(slope, intercept)` lists.
+    pub mids: Vec<Vec<(f64, f64)>>,
+    /// Per-leaf parameters.
+    pub leaves: Vec<LeafParams>,
+    /// Last-mile search strategy.
+    pub search: SearchStrategy,
+}
+
 /// Deployment bytes accounted per linear leaf: two f32 parameters, the
 /// error pair packed as two i16s, and an f32 σ — the compact form a LIF
 /// code generator emits. (10k leaves ≈ 0.16MB, matching Figure 4's
 /// "2nd stage models: 10k → 0.15MB" row.)
 const LEAF_DEPLOY_BYTES: usize = 4 + 4 + 2 + 2 + 4;
+
+/// Process-wide count of RMI training runs ([`Rmi::build`] calls).
+/// Exists so persistence tests can *prove* that a warm load rebuilds
+/// structure without retraining: take the count, load, take it again,
+/// assert equal.
+static TRAIN_EVENTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The number of RMI training runs ([`Rmi::build`] calls) this process
+/// has executed so far. [`Rmi::from_params`] does not bump it — that is
+/// the warm-restart guarantee the persistence suite asserts.
+pub fn train_count() -> u64 {
+    TRAIN_EVENTS.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// The Recursive Model Index over a sorted `u64` array.
 #[derive(Debug, Clone)]
@@ -257,6 +330,7 @@ impl Rmi {
     /// clone to train over an array shared with other indexes at zero
     /// copy.
     pub fn build(data: impl Into<KeyStore>, config: &RmiConfig) -> Self {
+        TRAIN_EVENTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let data: KeyStore = data.into();
         assert!(
             !config.stages.is_empty(),
@@ -463,6 +537,118 @@ impl Rmi {
             op_count: self.top.op_count() + 2 + self.mids.len() * 4,
         }
     }
+
+    /// Extract the serializable parameters of this trained index (for
+    /// the persistence layer). Returns `None` when the stage-0 model is
+    /// not linear — format v1 does not encode multivariate/MLP tops.
+    pub fn to_params(&self) -> Option<RmiParams> {
+        let top = match &self.top {
+            TrainedTop::Linear(m) => (m.slope(), m.intercept()),
+            _ => return None,
+        };
+        let mids = self
+            .mids
+            .iter()
+            .map(|stage| stage.iter().map(|m| (m.slope(), m.intercept())).collect())
+            .collect();
+        let leaves = self
+            .leaves
+            .iter()
+            .map(|leaf| LeafParams {
+                model: match &leaf.kind {
+                    LeafKind::Linear(m) => LeafModelParams::Linear {
+                        slope: m.slope(),
+                        intercept: m.intercept(),
+                    },
+                    LeafKind::BTree { offset, tree } => LeafModelParams::BTree {
+                        offset: *offset as u64,
+                        len: tree.key_store().len() as u64,
+                        page_size: tree.page_size() as u64,
+                    },
+                },
+                min_err: leaf.min_err,
+                max_err: leaf.max_err,
+                std_err: leaf.std_err,
+                n_keys: leaf.n_keys as u64,
+            })
+            .collect();
+        Some(RmiParams {
+            top,
+            mids,
+            leaves,
+            search: self.search,
+        })
+    }
+
+    /// Reassemble a trained index from its serialized parameters and
+    /// the key array it was trained over — the warm-restart path. No
+    /// model is fitted (the process [`train_count`] does not move);
+    /// hybrid B-Tree leaves are rebuilt *structurally* over zero-copy
+    /// slices of `data`, exactly as training left them.
+    ///
+    /// Returns `None` when the parameters cannot describe a valid index
+    /// over `data`: no leaves, a B-Tree leaf range out of bounds, or a
+    /// `page_size < 2`.
+    pub fn from_params(data: impl Into<KeyStore>, params: &RmiParams) -> Option<Self> {
+        let data: KeyStore = data.into();
+        let n = data.len();
+        if params.leaves.is_empty() {
+            return None;
+        }
+        let mut leaves = Vec::with_capacity(params.leaves.len());
+        for lp in &params.leaves {
+            let kind = match lp.model {
+                LeafModelParams::Linear { slope, intercept } => {
+                    LeafKind::Linear(LinearModel::new(slope, intercept))
+                }
+                LeafModelParams::BTree {
+                    offset,
+                    len,
+                    page_size,
+                } => {
+                    let offset = usize::try_from(offset).ok()?;
+                    let len = usize::try_from(len).ok()?;
+                    let page_size = usize::try_from(page_size).ok()?;
+                    if page_size < 2 || offset.checked_add(len)? > n {
+                        return None;
+                    }
+                    let tree = BTreeIndex::new(data.slice(offset..offset + len), page_size);
+                    LeafKind::BTree {
+                        offset,
+                        tree: Box::new(tree),
+                    }
+                }
+            };
+            leaves.push(Leaf {
+                kind,
+                min_err: lp.min_err,
+                max_err: lp.max_err,
+                std_err: lp.std_err,
+                n_keys: usize::try_from(lp.n_keys).ok()?,
+            });
+        }
+        let mut rmi = Self {
+            data,
+            top: TrainedTop::Linear(LinearModel::new(params.top.0, params.top.1)),
+            mids: params
+                .mids
+                .iter()
+                .map(|stage| stage.iter().map(|&(s, i)| LinearModel::new(s, i)).collect())
+                .collect(),
+            leaves,
+            search: params.search,
+            stats_cache: RmiStats {
+                leaves: 0,
+                btree_leaves: 0,
+                mean_abs_err: 0.0,
+                max_abs_err: 0,
+                size_bytes: 0,
+                op_count: 0,
+            },
+        };
+        rmi.stats_cache = rmi.compute_stats();
+        Some(rmi)
+    }
 }
 
 /// Run the trained model cascade down to (but excluding) the leaf stage.
@@ -558,6 +744,10 @@ impl RangeIndex for Rmi {
             self.leaves.len(),
             self.search.name(),
         )
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -825,5 +1015,60 @@ mod tests {
         let rmi = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, 8));
         let leaf = rmi.leaf_for(data[0]);
         assert!(leaf.n_keys > 0);
+    }
+
+    #[test]
+    fn params_round_trip_is_exact_and_trains_nothing() {
+        // Hybrid config so the round trip covers B-Tree leaves too.
+        let data = quadratic_data(3000);
+        let cfg = RmiConfig::two_stage(TopModel::Linear, 32).with_hybrid(8);
+        let store = KeyStore::new(data.clone());
+        let rmi = Rmi::build(store.clone(), &cfg);
+        let params = rmi.to_params().expect("linear top is serializable");
+
+        let before = crate::rmi::train_count();
+        let back = Rmi::from_params(store.clone(), &params).expect("valid params");
+        assert_eq!(
+            crate::rmi::train_count(),
+            before,
+            "from_params must not train"
+        );
+        assert!(back.key_store().ptr_eq(&store), "rebuild shares the store");
+        assert_eq!(back.to_params().as_ref(), Some(&params), "exact round trip");
+        assert_eq!(back.stats().btree_leaves, rmi.stats().btree_leaves);
+        for q in data.iter().flat_map(|&k| [k - 1, k, k + 1]) {
+            assert_eq!(back.lower_bound(q), rmi.lower_bound(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn params_reject_non_linear_tops_and_bad_ranges() {
+        let data = linear_data(500);
+        let mlp = Rmi::build(
+            data.clone(),
+            &RmiConfig::two_stage(
+                TopModel::Mlp {
+                    hidden: 1,
+                    width: 4,
+                },
+                8,
+            ),
+        );
+        assert!(mlp.to_params().is_none(), "v1 cannot encode an MLP top");
+
+        let rmi = Rmi::build(data.clone(), &RmiConfig::two_stage(TopModel::Linear, 8));
+        let mut params = rmi.to_params().unwrap();
+        params.leaves[0].model = LeafModelParams::BTree {
+            offset: 400,
+            len: 200, // out of bounds for 500 keys
+            page_size: 16,
+        };
+        assert!(Rmi::from_params(data.clone(), &params).is_none());
+        params.leaves[0].model = LeafModelParams::BTree {
+            offset: 0,
+            len: 10,
+            page_size: 1, // BTreeIndex requires >= 2
+        };
+        assert!(Rmi::from_params(data, &params).is_none());
     }
 }

@@ -57,6 +57,29 @@ impl SearchStrategy {
         }
     }
 
+    /// Stable on-disk tag for the persistence format (v1). Tags are
+    /// append-only: existing values never change meaning.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            SearchStrategy::ModelBiasedBinary => 0,
+            SearchStrategy::BiasedQuaternary => 1,
+            SearchStrategy::Exponential => 2,
+            SearchStrategy::FullBinary => 3,
+        }
+    }
+
+    /// Inverse of [`SearchStrategy::to_tag`]; `None` for unknown tags
+    /// (a newer writer or a corrupt manifest).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SearchStrategy::ModelBiasedBinary),
+            1 => Some(SearchStrategy::BiasedQuaternary),
+            2 => Some(SearchStrategy::Exponential),
+            3 => Some(SearchStrategy::FullBinary),
+            _ => None,
+        }
+    }
+
     /// Find the lower bound of `key` within `data[lo..hi]`, exploiting
     /// the model's position estimate `pos` and error std `sigma`.
     /// Result is only locally correct; callers use

@@ -5,26 +5,88 @@
 //! matter how many candidate indexes are built on it (LIF grid search
 //! builds dozens). SOSD-style benchmarking makes the same demand: fair
 //! comparison requires every structure to read the *same* memory.
-//! [`KeyStore`] delivers that: an `Arc<[T]>` plus a sub-range, so clones
+//! [`KeyStore`] delivers that: a shared backing (an `Arc<[T]>`, or a
+//! mapped file region for warm restarts) plus a sub-range, so clones
 //! and slices are O(1) pointer bumps and `ptr_eq` can assert that two
 //! indexes really do share one allocation.
 
 use std::ops::{Deref, Range};
 use std::sync::Arc;
 
+use crate::mapped::{MappedFile, MappedSlice};
+
+/// The shared storage behind a [`KeyStore`] view: a heap allocation, or
+/// a zero-copy window into a loaded snapshot file. Both are immutable
+/// and refcounted; `KeyStore` never branches on which one it holds
+/// outside this enum.
+enum Backing<T> {
+    /// The in-memory case: one `Arc<[T]>` shared by every clone/slice.
+    Owned(Arc<[T]>),
+    /// The warm-restart case: a typed view into an `Arc<MappedFile>`
+    /// region (see `KeyStore::from_mapped`). Sharing is witnessed by
+    /// the region handle instead of the slice allocation.
+    Mapped(MappedSlice<T>),
+}
+
+impl<T> Backing<T> {
+    #[inline]
+    fn full_slice(&self) -> &[T] {
+        match self {
+            Backing::Owned(data) => data,
+            Backing::Mapped(view) => view.as_slice(),
+        }
+    }
+
+    fn ptr_eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Backing::Owned(a), Backing::Owned(b)) => Arc::ptr_eq(a, b),
+            (Backing::Mapped(a), Backing::Mapped(b)) => Arc::ptr_eq(a.region(), b.region()),
+            _ => false,
+        }
+    }
+
+    fn strong_count(&self) -> usize {
+        match self {
+            Backing::Owned(data) => Arc::strong_count(data),
+            Backing::Mapped(view) => Arc::strong_count(view.region()),
+        }
+    }
+}
+
+impl<T> Clone for Backing<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Backing::Owned(data) => Backing::Owned(Arc::clone(data)),
+            Backing::Mapped(view) => Backing::Mapped(view.clone()),
+        }
+    }
+}
+
 /// A cheaply clonable, read-only view over a shared sorted key array.
 ///
 /// Defaults to `u64` keys (the workspace's common case); string indexes
 /// use `KeyStore<String>`. Cloning never copies key data; [`slice`]
 /// produces a narrowed view over the *same* allocation (used by hybrid
-/// B-Tree leaves, which index a sub-range of the full array).
+/// B-Tree leaves, which index a sub-range of the full array). The
+/// backing is either an owned heap allocation or — after a warm restart
+/// via [`KeyStore::from_mapped`] — a window into a mapped snapshot
+/// file; every operation behaves identically over both.
 ///
 /// [`slice`]: KeyStore::slice
-#[derive(Clone)]
 pub struct KeyStore<T = u64> {
-    data: Arc<[T]>,
+    data: Backing<T>,
     start: usize,
     end: usize,
+}
+
+impl<T> Clone for KeyStore<T> {
+    fn clone(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.end,
+        }
+    }
 }
 
 impl<T> KeyStore<T> {
@@ -34,7 +96,7 @@ impl<T> KeyStore<T> {
         let data: Arc<[T]> = data.into();
         let end = data.len();
         Self {
-            data,
+            data: Backing::Owned(data),
             start: 0,
             end,
         }
@@ -43,7 +105,7 @@ impl<T> KeyStore<T> {
     /// The keys this view addresses.
     #[inline]
     pub fn as_slice(&self) -> &[T] {
-        &self.data[self.start..self.end]
+        &self.data.full_slice()[self.start..self.end]
     }
 
     /// Number of keys in this view.
@@ -67,7 +129,7 @@ impl<T> KeyStore<T> {
             self.len()
         );
         Self {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + range.start,
             end: self.start + range.end,
         }
@@ -81,14 +143,72 @@ impl<T> KeyStore<T> {
 
     /// Whether two stores share the same underlying allocation (views
     /// over different ranges of one array still compare equal here —
-    /// this is the zero-copy witness, not value equality).
+    /// this is the zero-copy witness, not value equality). For mapped
+    /// stores, "same allocation" means the same file region; an owned
+    /// store never compares equal to a mapped one.
     pub fn ptr_eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.data, &other.data)
+        self.data.ptr_eq(&other.data)
     }
 
-    /// Number of `KeyStore` handles sharing this allocation.
+    /// Number of `KeyStore` handles sharing this allocation (for mapped
+    /// stores: handles on the shared file region, including any the
+    /// caller holds directly).
     pub fn strong_count(&self) -> usize {
-        Arc::strong_count(&self.data)
+        self.data.strong_count()
+    }
+
+    /// Whether this view is backed by a mapped snapshot file rather
+    /// than an owned heap allocation.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Backing::Mapped(_))
+    }
+}
+
+impl KeyStore<u64> {
+    /// A zero-copy view of `len` little-endian `u64` keys starting at
+    /// `byte_offset` in a loaded snapshot region — the warm-restart
+    /// constructor: no key is copied; the view reads the file's pages
+    /// directly and keeps the region alive via its `Arc`.
+    ///
+    /// Falls back to decoding an owned copy only when in-place
+    /// reinterpretation would be unsound or wrong (misaligned offset,
+    /// big-endian host) — never silently misreads bytes.
+    ///
+    /// # Errors
+    /// If `[byte_offset, byte_offset + len * 8)` does not lie within
+    /// the region.
+    pub fn from_mapped(
+        region: &Arc<MappedFile>,
+        byte_offset: usize,
+        len: usize,
+    ) -> std::io::Result<Self> {
+        let nbytes = len
+            .checked_mul(std::mem::size_of::<u64>())
+            .and_then(|n| n.checked_add(byte_offset))
+            .filter(|&end| end <= region.len())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "key range [{byte_offset}, +{len}*8) out of bounds for region of {} bytes",
+                        region.len()
+                    ),
+                )
+            })?;
+        if let Some(view) = MappedSlice::try_new(region, byte_offset, len) {
+            return Ok(Self {
+                data: Backing::Mapped(view),
+                start: 0,
+                end: len,
+            });
+        }
+        // Misaligned or big-endian: decode a faithful owned copy.
+        let bytes = &region.bytes()[byte_offset..nbytes];
+        let keys: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Ok(Self::new(keys))
     }
 }
 
@@ -111,7 +231,7 @@ impl<T> From<Arc<[T]>> for KeyStore<T> {
     fn from(data: Arc<[T]>) -> Self {
         let end = data.len();
         Self {
-            data,
+            data: Backing::Owned(data),
             start: 0,
             end,
         }
@@ -142,6 +262,14 @@ impl<T: std::fmt::Debug> std::fmt::Debug for KeyStore<T> {
             .field("len", &self.len())
             .field("start", &self.start)
             .field("shared_handles", &self.strong_count())
+            .field(
+                "backing",
+                if self.is_mapped() {
+                    &"mapped"
+                } else {
+                    &"owned"
+                },
+            )
             .finish_non_exhaustive()
     }
 }
@@ -213,5 +341,65 @@ mod tests {
         assert_eq!(store.partition_point(|&k| k < 4), 2);
         assert!(!store.is_empty());
         assert_eq!(store.len(), 3);
+    }
+
+    fn write_keys(name: &str, keys: &[u64], lead_pad: usize) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("li-index-keystore-{}-{name}", std::process::id()));
+        let mut bytes = vec![0u8; lead_pad];
+        for k in keys {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        std::fs::write(&p, &bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapped_store_round_trips_and_shares_the_region() {
+        let keys: Vec<u64> = (0..512u64).map(|i| i * 37).collect();
+        let path = write_keys("share", &keys, 0);
+        let region = Arc::new(MappedFile::open(&path).unwrap());
+        let store = KeyStore::from_mapped(&region, 0, keys.len()).unwrap();
+        assert_eq!(store.as_slice(), &keys[..]);
+        assert!(store.is_mapped());
+
+        // Clones and slices share the region, witnessed like Arc data.
+        let clone = store.clone();
+        let mid = store.slice(100..200);
+        assert!(clone.ptr_eq(&store));
+        assert!(mid.ptr_eq(&store));
+        assert_eq!(mid.as_slice(), &keys[100..200]);
+        // region handle + store + clone + mid.
+        assert_eq!(store.strong_count(), 4);
+
+        // An owned store never aliases a mapped one.
+        let owned = KeyStore::new(keys.clone());
+        assert!(!owned.ptr_eq(&store));
+        assert!(!owned.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misaligned_mapped_store_decodes_a_faithful_copy() {
+        let keys: Vec<u64> = vec![3, 1 << 53, u64::MAX];
+        let path = write_keys("misaligned", &keys, 3);
+        let region = Arc::new(MappedFile::open(&path).unwrap());
+        let store = KeyStore::from_mapped(&region, 3, keys.len()).unwrap();
+        assert_eq!(store.as_slice(), &keys[..]);
+        // Offset 3 cannot be reinterpreted in place.
+        assert!(!store.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_store_rejects_out_of_bounds_ranges() {
+        let keys: Vec<u64> = vec![1, 2];
+        let path = write_keys("oob", &keys, 0);
+        let region = Arc::new(MappedFile::open(&path).unwrap());
+        assert!(KeyStore::from_mapped(&region, 0, 3).is_err());
+        assert!(KeyStore::from_mapped(&region, 8, 2).is_err());
+        assert!(KeyStore::from_mapped(&region, usize::MAX, 1).is_err());
+        assert!(KeyStore::from_mapped(&region, 0, usize::MAX).is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -27,13 +27,19 @@
 //! `li-core` re-export these types for backward compatibility, and
 //! `li-serve` builds its sharded serving layer on [`partition`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `mapped` module is the workspace's
+// single, audited `unsafe` island (raw mmap + pointer-to-slice views
+// for warm restarts) and opts out locally. Everything else stays
+// unsafe-free and the lint keeps it that way.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod keystore;
+pub mod mapped;
 pub mod partition;
 
 pub use keystore::KeyStore;
+pub use mapped::MappedFile;
 
 /// A candidate region produced by an index's predict phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +141,16 @@ pub trait RangeIndex: Send + Sync {
     /// Human-readable name including configuration, e.g.
     /// `"btree(page=128)"`.
     fn name(&self) -> String;
+
+    /// Concrete-type escape hatch for the persistence layer:
+    /// implementations whose parameters can be serialized return
+    /// `Some(self)` so callers may downcast (e.g. `li-serve`'s save
+    /// path downcasting shard backends to `Rmi`). The default keeps the
+    /// concrete type hidden, which save paths report as "unsupported
+    /// backend" rather than guessing.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

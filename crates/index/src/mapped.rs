@@ -1,0 +1,367 @@
+//! Read-only file regions for the persistence layer: `mmap(2)` when the
+//! target supports it, a buffered read otherwise.
+//!
+//! The warm-restart design (ROADMAP item 1, after "Learned Indexes for a
+//! Google-scale Disk-based Database") is "mmap the sorted-key file and
+//! load coefficients" — the key payload must become addressable without
+//! copying 8 bytes per key back into the heap. [`MappedFile`] is that
+//! primitive: an immutable byte region backed by a private read-only
+//! mapping on 64-bit little-endian unix targets (feature `mmap`,
+//! default-on), or by an owned buffer everywhere else. Callers never
+//! branch on which one they got; `KeyStore::from_mapped` builds a
+//! zero-copy `u64` view either way.
+//!
+//! This module is the only place in the workspace that uses `unsafe`
+//! (raw `mmap`/`munmap` declarations — no external crate can be added
+//! in the offline build — plus the pointer-to-slice reinterpretation
+//! that both backings share). Everything above it stays
+//! `deny(unsafe_code)`-clean.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Raw `mmap(2)` bindings, gated to the one ABI this workspace can
+/// vouch for offline: 64-bit little-endian unix, where `off_t` is
+/// `i64`, `size_t` is `usize`, and the mapped bytes can be
+/// reinterpreted as little-endian `u64`s directly.
+#[cfg(all(
+    feature = "mmap",
+    unix,
+    target_pointer_width = "64",
+    target_endian = "little"
+))]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+
+    /// An owned private read-only mapping of `len > 0` bytes.
+    pub(super) struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    impl Mapping {
+        pub(super) fn map(file: &File, len: usize) -> io::Result<Self> {
+            debug_assert!(len > 0, "zero-length mappings are handled by the caller");
+            // SAFETY: fd is a valid open file descriptor for the
+            // lifetime of the call; a NULL addr + MAP_PRIVATE asks the
+            // kernel to pick the placement; failure is reported as
+            // MAP_FAILED (-1), checked below.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` is a successful PROT_READ mapping of
+            // exactly `len` bytes, unmapped only in Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once. Failure is ignored: the region is
+            // leaked, never reused.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+
+    // SAFETY: the mapping is read-only for its entire lifetime, so
+    // shared references to its bytes are valid from any thread.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+}
+
+enum Inner {
+    #[cfg(all(
+        feature = "mmap",
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    ))]
+    Mapped(sys::Mapping),
+    Owned(Box<[u8]>),
+}
+
+/// An immutable byte region loaded from a file — `mmap(2)`-backed where
+/// the target supports it (feature `mmap`, 64-bit little-endian unix),
+/// an owned buffered read everywhere else. Either way the bytes are
+/// read-only and live until the last [`Arc<MappedFile>`] handle drops,
+/// which is what lets `KeyStore` hand out zero-copy `u64` views into
+/// the region.
+///
+/// # Caller contract
+/// The file must not be truncated or rewritten while mapped: on unix a
+/// truncation under a live mapping turns reads into `SIGBUS`. The
+/// persistence layer guarantees this by publishing snapshot files
+/// atomically (write to a temp name, then rename) and never mutating
+/// them in place.
+pub struct MappedFile {
+    inner: Inner,
+}
+
+impl MappedFile {
+    /// Load `path` as an immutable region. Empty files and targets (or
+    /// mapping failures) without real `mmap` fall back to an owned
+    /// read; the caller-visible behavior is identical.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let meta_len = file.metadata()?.len();
+        if meta_len == 0 {
+            return Ok(Self {
+                inner: Inner::Owned(Box::default()),
+            });
+        }
+        let len = usize::try_from(meta_len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+
+        #[cfg(all(
+            feature = "mmap",
+            unix,
+            target_pointer_width = "64",
+            target_endian = "little"
+        ))]
+        if let Ok(mapping) = sys::Mapping::map(&file, len) {
+            return Ok(Self {
+                inner: Inner::Mapped(mapping),
+            });
+        }
+
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Self {
+            inner: Inner::Owned(buf.into_boxed_slice()),
+        })
+    }
+
+    /// The region's bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(
+                feature = "mmap",
+                unix,
+                target_pointer_width = "64",
+                target_endian = "little"
+            ))]
+            Inner::Mapped(m) => m.bytes(),
+            Inner::Owned(b) => b,
+        }
+    }
+
+    /// Region length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+
+    /// Whether the region is a real `mmap(2)` mapping (false for the
+    /// owned-read fallback). Purely informational — e.g. for the
+    /// persistence bench report.
+    pub fn is_mmapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(
+                feature = "mmap",
+                unix,
+                target_pointer_width = "64",
+                target_endian = "little"
+            ))]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len())
+            .field("mmapped", &self.is_mmapped())
+            .finish()
+    }
+}
+
+/// A typed zero-copy view of `len` elements inside a shared
+/// [`MappedFile`] region. Only ever constructed for `T = u64` (see
+/// [`MappedSlice::try_new`]); the `Arc` keeps the region — and thus the
+/// mapping — alive for as long as any view exists.
+pub(crate) struct MappedSlice<T> {
+    region: Arc<MappedFile>,
+    ptr: *const T,
+    len: usize,
+}
+
+impl MappedSlice<u64> {
+    /// A zero-copy little-endian `u64` view of `len` elements starting
+    /// at `byte_offset`. Returns `None` when reinterpreting the bytes
+    /// in place would be unsound or wrong — out of bounds, misaligned
+    /// start, or a big-endian host — in which case the caller decodes
+    /// an owned copy instead.
+    pub(crate) fn try_new(
+        region: &Arc<MappedFile>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Option<Self> {
+        let bytes = region.bytes();
+        let nbytes = len.checked_mul(std::mem::size_of::<u64>())?;
+        let end = byte_offset.checked_add(nbytes)?;
+        if end > bytes.len() || cfg!(target_endian = "big") {
+            return None;
+        }
+        let ptr = bytes[byte_offset..].as_ptr();
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<u64>()) {
+            return None;
+        }
+        Some(Self {
+            region: Arc::clone(region),
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+}
+
+impl<T> MappedSlice<T> {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[T] {
+        // SAFETY: only `try_new` constructs this type, and it verified
+        // that [`ptr`, `ptr + len * size_of::<T>()`) lies inside the
+        // region's byte buffer with `T`'s alignment; the Arc keeps the
+        // region alive for `&self`'s lifetime; the only instantiated
+        // `T` is `u64`, valid for every bit pattern.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    pub(crate) fn region(&self) -> &Arc<MappedFile> {
+        &self.region
+    }
+}
+
+impl<T> Clone for MappedSlice<T> {
+    fn clone(&self) -> Self {
+        Self {
+            region: Arc::clone(&self.region),
+            ptr: self.ptr,
+            len: self.len,
+        }
+    }
+}
+
+// SAFETY: the view is read-only and the underlying region is immutable
+// and thread-safe (`MappedFile` bytes never change after open), so the
+// raw pointer may travel across threads and be read from any of them.
+// `T: Sync` is required because shared `&[T]` slices are handed out.
+unsafe impl<T: Sync> Send for MappedSlice<T> {}
+unsafe impl<T: Sync> Sync for MappedSlice<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("li-index-mapped-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn open_reads_back_written_bytes() {
+        let path = tmp_path("roundtrip");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let region = MappedFile::open(&path).unwrap();
+        assert_eq!(region.bytes(), &payload[..]);
+        assert_eq!(region.len(), payload.len());
+        assert!(!region.is_empty());
+        drop(region);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_region() {
+        let path = tmp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let region = MappedFile::open(&path).unwrap();
+        assert!(region.is_empty());
+        assert!(!region.is_mmapped(), "empty files use the owned path");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(MappedFile::open(&tmp_path("does-not-exist")).is_err());
+    }
+
+    #[test]
+    fn u64_view_decodes_little_endian_payload() {
+        let path = tmp_path("u64s");
+        let keys: Vec<u64> = vec![0, 1, 1 << 53, u64::MAX - 1, u64::MAX];
+        let mut bytes = Vec::new();
+        for k in &keys {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let region = Arc::new(MappedFile::open(&path).unwrap());
+        let view = MappedSlice::try_new(&region, 0, keys.len()).expect("aligned view");
+        assert_eq!(view.as_slice(), &keys[..]);
+        assert!(Arc::ptr_eq(view.region(), &region));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_view_is_rejected() {
+        let path = tmp_path("oob");
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        let region = Arc::new(MappedFile::open(&path).unwrap());
+        assert!(MappedSlice::try_new(&region, 0, 3).is_none());
+        assert!(MappedSlice::try_new(&region, 16, 1).is_none());
+        assert!(MappedSlice::try_new(&region, usize::MAX, 1).is_none());
+        assert!(MappedSlice::try_new(&region, 0, usize::MAX).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -32,6 +32,11 @@
 //!   snapshots ([`ShardedSnapshot`]), and a dynamic rebalancer
 //!   ([`rebalance`]) that splits hot shards, merges cold neighbors,
 //!   and retunes each rebuilt shard's model density to its keys.
+//! * [`persist`] — the persistence tier: save a trained
+//!   [`ShardedIndex`] or [`ShardedWritable`] to one page-aligned
+//!   snapshot file (coefficients + key payload, checksummed, published
+//!   atomically) and load it back with the key array **mapped** and
+//!   zero models retrained — a warm restart.
 //! * [`RebalanceWorker`] — background rebalancing: a dedicated thread
 //!   that owns split/merge execution while attached, so inserts only
 //!   record pressure into lock-free counters and signal over a channel;
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod persist;
 pub mod rebalance;
 pub mod rebalance_worker;
 pub mod router;
@@ -61,7 +67,8 @@ pub use builder::{
     ShardBuilder,
 };
 pub use li_core::delta::DeltaSnapshot;
-pub use li_index::{KeyStore, Prediction, RangeIndex};
+pub use li_index::{KeyStore, MappedFile, Prediction, RangeIndex};
+pub use persist::PersistError;
 pub use rebalance::{RebalanceAction, RebalanceConfig};
 pub use rebalance_worker::RebalanceWorker;
 pub use router::ShardRouter;

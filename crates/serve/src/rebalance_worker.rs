@@ -81,6 +81,13 @@ pub(crate) struct WorkerLink {
     max_len_seen: AtomicUsize,
     /// Whether a wake message is already in flight (collapses storms).
     signaled: AtomicBool,
+    /// Set once, when the worker thread exits (shutdown or panic).
+    /// `wait_idle` checks it so nobody blocks on a worker that will
+    /// never finish another pass.
+    dead: AtomicBool,
+    /// Test hook: make the worker panic at the start of its next pass.
+    #[cfg(test)]
+    pub(crate) fail_next_pass: AtomicBool,
     tx: Sender<Wake>,
     /// Worker idleness: true iff the worker finished a pass and no new
     /// signal has arrived since. Guarded by `idle`'s mutex together
@@ -96,6 +103,9 @@ impl WorkerLink {
             since_pass: AtomicUsize::new(0),
             max_len_seen: AtomicUsize::new(0),
             signaled: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            #[cfg(test)]
+            fail_next_pass: AtomicBool::new(false),
             tx,
             idle: Mutex::new(true),
             idle_cv: Condvar::new(),
@@ -120,7 +130,7 @@ impl WorkerLink {
             // Order matters: mark not-idle BEFORE sending, so a
             // `wait_until_stable` caller can never observe idle=true
             // while a wake message is queued.
-            *self.idle.lock().expect("WorkerLink idle flag poisoned") = false;
+            *self.idle_lock() = false;
             // A send error means the worker already exited (handle
             // dropped mid-signal); pressure is then simply dropped —
             // the structure is back in inline mode for future inserts.
@@ -144,19 +154,35 @@ impl WorkerLink {
     /// arrived while the pass ran (checked under the idle mutex, which
     /// `signal` also takes — so the flag and the mutex agree).
     fn finish_pass(&self) {
-        let mut idle = self.idle.lock().expect("WorkerLink idle flag poisoned");
+        let mut idle = self.idle_lock();
         if !self.signaled.load(Ordering::Acquire) {
             *idle = true;
             self.idle_cv.notify_all();
         }
     }
 
+    /// Worker-side: the thread is exiting (shutdown or panic). Every
+    /// current and future `wait_idle` caller must return instead of
+    /// blocking on a pass that will never finish. Taken under the idle
+    /// mutex so a waiter between its flag check and its `cv.wait` can't
+    /// miss the wake-up.
+    pub(crate) fn mark_dead(&self) {
+        let _idle = self.idle_lock();
+        self.dead.store(true, Ordering::Release);
+        self.idle_cv.notify_all();
+    }
+
     /// Block until the worker is idle (pass finished, no signal
-    /// pending) or the deadline passes. Returns whether it became idle.
+    /// pending) or the deadline passes. Returns whether it became idle;
+    /// returns `false` immediately if the worker thread is dead (it
+    /// will never become idle again).
     fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut idle = self.idle.lock().expect("WorkerLink idle flag poisoned");
+        let mut idle = self.idle_lock();
         while !*idle {
+            if self.dead.load(Ordering::Acquire) {
+                return false;
+            }
             let now = Instant::now();
             if now >= deadline {
                 return false;
@@ -164,10 +190,19 @@ impl WorkerLink {
             let (guard, _) = self
                 .idle_cv
                 .wait_timeout(idle, deadline - now)
-                .expect("WorkerLink idle flag poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             idle = guard;
         }
         true
+    }
+
+    // Poison tolerance: the idle mutex guards a single `bool`, which
+    // cannot be left in a torn state by a panicking holder — every
+    // critical section is one load/store. A panic elsewhere on the
+    // worker thread (caught in `worker_loop`'s catch_unwind) must not
+    // turn every later `signal`/`wait_idle` into a second panic.
+    fn idle_lock(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -193,6 +228,10 @@ struct WorkerStats {
     hot_wakes: AtomicUsize,
     /// High-watermark of shard lengths reported by inserters.
     max_len_seen: AtomicUsize,
+    /// Set if the worker thread panicked (the panic is contained: the
+    /// worker detaches itself so the structure returns to inline
+    /// rebalancing, and waiters are woken instead of hanging).
+    panicked: AtomicBool,
 }
 
 /// A dedicated background rebalance thread for a [`ShardedWritable`].
@@ -254,7 +293,26 @@ impl RebalanceWorker {
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("li-rebalance".into())
-                .spawn(move || worker_loop(&sw, &link, &rx, &stats))
+                .spawn(move || {
+                    // Contain panics to this thread: a worker that dies
+                    // mid-pass must hand rebalancing back to the insert
+                    // path (self-detach) and wake anyone blocked in
+                    // `wait_until_stable` (mark_dead) — never strand
+                    // the structure with a phantom worker attached.
+                    // AssertUnwindSafe is sound here: the structures
+                    // the closure borrows are the lock-protected
+                    // `ShardedWritable` (whose guards recover from
+                    // poison because every critical section leaves the
+                    // data valid) and atomics.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(&sw, &link, &rx, &stats);
+                    }));
+                    if result.is_err() {
+                        stats.panicked.store(true, Ordering::Release);
+                        sw.detach_worker();
+                    }
+                    link.mark_dead();
+                })
         };
         let handle = match spawned {
             Ok(handle) => handle,
@@ -282,9 +340,18 @@ impl RebalanceWorker {
 
     /// Block until the worker has finished a pass with no signal
     /// pending (the topology was stable when it last looked), or the
-    /// timeout expires. Returns whether it quiesced in time.
+    /// timeout expires. Returns whether it quiesced in time — `false`
+    /// immediately (no hang) if the worker thread has died.
     pub fn wait_until_stable(&self, timeout: Duration) -> bool {
         self.link.wait_idle(timeout)
+    }
+
+    /// Whether the worker thread panicked. A panicked worker has
+    /// already detached itself — inserts rebalance inline again — and
+    /// [`wait_until_stable`](Self::wait_until_stable) returns `false`
+    /// rather than blocking on it.
+    pub fn panicked(&self) -> bool {
+        self.stats.panicked.load(Ordering::Acquire)
     }
 
     /// Shard splits this worker has applied.
@@ -336,11 +403,20 @@ impl RebalanceWorker {
 impl Drop for RebalanceWorker {
     fn drop(&mut self) {
         // Detach first: inserts fall back to inline rebalancing and no
-        // new Work messages are produced; then unblock the thread.
+        // new Work messages are produced; then unblock the thread. A
+        // panicked worker already detached itself — `detach_worker` is
+        // a plain slot clear, so the second call is a no-op.
         self.sw.detach_worker();
         let _ = self.link.tx.send(Wake::Shutdown);
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            // A join error means the thread panicked outside the
+            // pass-level catch_unwind (it shouldn't — the whole loop is
+            // wrapped — but belt and braces). Record it; never
+            // propagate a panic out of Drop, which would abort the
+            // process if the handle is itself dropped during a panic.
+            if handle.join().is_err() {
+                self.stats.panicked.store(true, Ordering::Release);
+            }
         }
     }
 }
@@ -351,6 +427,10 @@ impl Drop for RebalanceWorker {
 fn worker_loop(sw: &ShardedWritable, link: &WorkerLink, rx: &Receiver<Wake>, stats: &WorkerStats) {
     while let Ok(Wake::Work) = rx.recv() {
         let pressure = link.begin_pass();
+        #[cfg(test)]
+        if link.fail_next_pass.swap(false, Ordering::Relaxed) {
+            panic!("injected rebalance-worker panic (test)");
+        }
         stats
             .pressure_inserts
             .fetch_add(pressure.inserts, Ordering::Relaxed);
@@ -513,6 +593,61 @@ mod tests {
             sw.generation(),
             (sw.splits() + sw.shard_merges()) as u64,
             "torn generation accounting"
+        );
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_restores_inline_mode() {
+        let sw = Arc::new(ShardedWritable::new(
+            (0..64u64).map(|i| i * 3).collect::<Vec<_>>(),
+            2,
+            small_cfg(),
+        ));
+        let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+        assert!(!worker.panicked());
+
+        // Arm the injection and wake the worker: its next pass dies.
+        worker.link.fail_next_pass.store(true, Ordering::Relaxed);
+        worker.kick();
+
+        // A dead worker must make this RETURN false, not hang forever.
+        assert!(
+            !worker.wait_until_stable(Duration::from_secs(30)),
+            "wait_until_stable must report failure for a dead worker"
+        );
+        assert!(worker.panicked());
+        // The dying worker detached itself: rebalancing is inline again
+        // even though the handle is still alive.
+        assert!(!sw.has_background_worker());
+
+        // The structure itself is unharmed and rebalances inline.
+        for k in 0..=300u64 {
+            sw.insert(k * 2 + 1);
+        }
+        assert!(sw.splits() >= 1, "inline splitting must have resumed");
+        assert!(sw.contains(601));
+        for len in sw.shard_lens() {
+            assert!(len <= small_cfg().rebalance.max_shard_len, "len {len}");
+        }
+
+        // Dropping the handle after the panic must also be safe.
+        drop(worker);
+        assert!(!sw.has_background_worker());
+    }
+
+    #[test]
+    fn dead_link_unblocks_waiters() {
+        let (tx, _rx) = mpsc::channel();
+        let link = WorkerLink::new(tx);
+        // Pretend a pass started (idle=false) and the worker then died
+        // without finishing it.
+        link.signal();
+        link.mark_dead();
+        let start = Instant::now();
+        assert!(!link.wait_idle(Duration::from_secs(30)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dead flag must short-circuit the wait, not ride out the timeout"
         );
     }
 

@@ -96,29 +96,48 @@ impl ShardRouter {
     /// Least-squares line through `(boundary_i, i + 0.5)` — the center
     /// of the route-value jump at each boundary — plus the max observed
     /// rounding error. Returns `None` when the boundaries cannot
-    /// support a useful monotone model (fewer than 2 distinct keys, or
-    /// a degenerate/non-finite fit), in which case routing is pure
-    /// binary search.
+    /// support a useful monotone model (fewer than 2 distinct keys, a
+    /// degenerate/non-finite fit, or a fitted window so wide the
+    /// learned path would search the whole boundary array anyway), in
+    /// which case routing is pure binary search.
+    ///
+    /// ## Precision near `u64::MAX`
+    /// The fit runs in `f64`, where distinct keys above 2^53 can
+    /// collapse to one value (`key as f64` keeps 53 bits of mantissa).
+    /// Two defenses keep that lossiness harmless rather than silently
+    /// wrong:
+    ///
+    /// * the normal equations are solved in **mean-centered** form
+    ///   (`slope = Σ dx·dy / Σ dx²` with `dx = x − x̄`), so huge key
+    ///   magnitudes cannot cancel catastrophically the way the raw
+    ///   `n·Σx² − (Σx)²` determinant does — the model's `err` window
+    ///   reflects real prediction error, not accumulation noise;
+    /// * correctness never rests on the model at all: the fitted window
+    ///   only *positions* a `partition_point` search whose answer must
+    ///   then pass the exact-integer certificate in
+    ///   [`ShardRouter::route`]/[`ShardRouter::route_owner`]. Collapsed
+    ///   keys can at worst miss the window and fail the certificate,
+    ///   which falls back to binary search — never a wrong route.
     fn fit_linear(boundaries: &[u64]) -> Option<LinearRoute> {
         let n = boundaries.len();
         if n < 2 || boundaries.first() == boundaries.last() {
             return None;
         }
-        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for (i, &b) in boundaries.iter().enumerate() {
-            let (x, y) = (b as f64, i as f64 + 0.5);
-            sx += x;
-            sy += y;
-            sxx += x * x;
-            sxy += x * y;
-        }
         let nf = n as f64;
-        let det = nf * sxx - sx * sx;
-        if det.abs() < f64::EPSILON {
+        let mean_x = boundaries.iter().map(|&b| b as f64).sum::<f64>() / nf;
+        let mean_y = nf / 2.0; // mean of i + 0.5 over i in 0..n
+        let (mut var, mut cov) = (0.0f64, 0.0f64);
+        for (i, &b) in boundaries.iter().enumerate() {
+            let dx = b as f64 - mean_x;
+            let dy = (i as f64 + 0.5) - mean_y;
+            var += dx * dx;
+            cov += dx * dy;
+        }
+        if !var.is_finite() || var < f64::EPSILON {
             return None;
         }
-        let slope = (nf * sxy - sx * sy) / det;
-        let intercept = (sy - slope * sx) / nf;
+        let slope = cov / var;
+        let intercept = mean_y - slope * mean_x;
         if !slope.is_finite() || !intercept.is_finite() || slope < 0.0 {
             return None;
         }
@@ -141,6 +160,12 @@ impl ShardRouter {
             err = err.max(rounded.abs_diff(i)).max(rounded.abs_diff(i + 1));
         }
         model.err = err + 1;
+        // A window as wide as the array certifies nothing the binary
+        // fallback wouldn't find with the same comparisons — the
+        // "learned" path would be pure overhead, so don't keep it.
+        if model.err >= n {
+            return None;
+        }
         Some(model)
     }
 
@@ -153,6 +178,14 @@ impl ShardRouter {
     /// boundary sets, where routing is pure binary search).
     pub fn is_learned(&self) -> bool {
         self.model.is_some()
+    }
+
+    /// The fitted window half-width of the active learned model, or
+    /// `None` on the binary fallback. Diagnostic: `fit` guarantees any
+    /// active model's window is strictly narrower than the boundary
+    /// array (otherwise the model is rejected as useless).
+    pub fn window_err(&self) -> Option<usize> {
+        self.model.as_ref().map(|m| m.err)
     }
 
     /// The shard whose position range contains `lower_bound(key)` of
@@ -316,5 +349,95 @@ mod tests {
         let bounds: Vec<u64> = (1..16u64).map(|i| i * 100).collect();
         let router = ShardRouter::fit(bounds);
         assert!(router.size_bytes() < 1024);
+    }
+
+    /// Boundary sets that stress `f64` precision: distinct u64 keys at
+    /// and above 2^53 collapse to identical f64 values, so the learned
+    /// model's arithmetic runs on lossy inputs. Every route must still
+    /// match the exact-integer reference — a wrong-but-certified window
+    /// is the failure mode this pins down.
+    fn high_precision_boundary_sets() -> Vec<Vec<u64>> {
+        const P53: u64 = 1 << 53;
+        vec![
+            // Consecutive keys right at the precision cliff: f64 can no
+            // longer represent the gaps.
+            (0..64u64).map(|i| P53 + i).collect(),
+            // A tight cluster hugging u64::MAX.
+            (0..64u64).map(|i| u64::MAX - 63 + i).collect(),
+            // Uniform spread across [2^53, u64::MAX].
+            (0..64u64)
+                .map(|i| P53 + i * ((u64::MAX - P53) / 64))
+                .collect(),
+            // Catastrophic-cancellation bait: huge nearly-equal keys
+            // with one outlier (the uncentered normal equations lose
+            // ~all significant bits on sets like this).
+            vec![P53, u64::MAX - 2, u64::MAX - 1, u64::MAX],
+            // Mixed magnitudes: tiny keys and 2^53+ keys in one set.
+            vec![1, 2, 3, P53, P53 + 1, u64::MAX - 1, u64::MAX],
+            // Adjacent f64-equal pairs (2^53 + 2k and + 2k+1 round to
+            // the same f64 for small k).
+            (0..32u64)
+                .flat_map(|i| [P53 + 2 * i, P53 + 2 * i + 1])
+                .collect(),
+        ]
+    }
+
+    #[test]
+    fn routes_above_2_pow_53_match_binary_exactly() {
+        for bounds in high_precision_boundary_sets() {
+            let router = ShardRouter::fit(bounds.clone());
+            for q in probe_set(&bounds) {
+                assert_eq!(
+                    router.route(q),
+                    route_binary(&bounds, q),
+                    "bounds[0]={} n={} q={q} learned={}",
+                    bounds[0],
+                    bounds.len(),
+                    router.is_learned()
+                );
+                assert_eq!(
+                    router.route_owner(q),
+                    route_owner_binary(&bounds, q),
+                    "owner: bounds[0]={} n={} q={q} learned={}",
+                    bounds[0],
+                    bounds.len(),
+                    router.is_learned()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centered_fit_survives_huge_magnitudes() {
+        // Uniformly spaced boundaries high above 2^53 are exactly the
+        // case the uncentered determinant `n·Σx² − (Σx)²` destroys
+        // (every x² ≈ 1.3e38; their differences are noise). The
+        // centered fit must keep the learned path here.
+        let base = 1u64 << 60;
+        let bounds: Vec<u64> = (0..128u64).map(|i| base + i * (1 << 40)).collect();
+        let router = ShardRouter::fit(bounds.clone());
+        assert!(
+            router.is_learned(),
+            "uniform high-magnitude boundaries must stay learnable"
+        );
+        for q in probe_set(&bounds) {
+            assert_eq!(router.route(q), route_binary(&bounds, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn useless_windows_fall_back_to_binary() {
+        // An adversarial set whose best-fit window covers the whole
+        // array: the learned path would do strictly more work than the
+        // fallback, so fit() must reject the model outright.
+        let mut bounds: Vec<u64> = (0..20u64).collect(); // dense cluster
+        bounds.push(u64::MAX); // one far outlier flattens the line
+        let router = ShardRouter::fit(bounds.clone());
+        if let Some(err) = router.window_err() {
+            assert!(err < bounds.len(), "window must narrow the search");
+        }
+        for q in probe_set(&bounds) {
+            assert_eq!(router.route(q), route_binary(&bounds, q), "q={q}");
+        }
     }
 }

@@ -79,6 +79,46 @@ impl ShardedIndex {
         &self.router
     }
 
+    /// Everything the persistence layer needs to describe this index:
+    /// the shared store, the shard offsets, the backend name, and the
+    /// shard backends themselves (for parameter extraction).
+    pub(crate) fn persist_parts(&self) -> (&KeyStore, &[usize], &str, &[Box<dyn RangeIndex>]) {
+        (&self.store, &self.offsets, &self.backend_name, &self.shards)
+    }
+
+    /// Reassemble from loaded parts — the persistence load path, where
+    /// the shard backends were rebuilt from saved parameters over
+    /// slices of `store` with no retraining. The router is refit from
+    /// the boundary keys (cheap: one tiny least-squares over
+    /// `shard_count - 1` keys, not a model retrain).
+    ///
+    /// # Panics
+    /// If `offsets` is not a valid partition of `store` into
+    /// `shards.len()` pieces.
+    pub(crate) fn from_loaded(
+        store: KeyStore,
+        offsets: Vec<usize>,
+        shards: Vec<Box<dyn RangeIndex>>,
+        backend_name: String,
+    ) -> Self {
+        assert_eq!(offsets.len(), shards.len() + 1, "torn shard partition");
+        assert_eq!(offsets.first(), Some(&0), "partition must start at 0");
+        assert_eq!(
+            offsets.last(),
+            Some(&store.len()),
+            "partition must cover the store"
+        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "unsorted offsets");
+        let router = ShardRouter::fit(boundaries(&store, &offsets));
+        Self {
+            store,
+            offsets,
+            router,
+            shards,
+            backend_name,
+        }
+    }
+
     /// Batched lookup fanned out across `threads` scoped threads, each
     /// running the bucketed [`RangeIndex::lower_bound_batch`] on a
     /// contiguous sub-batch. Results are identical to the sequential

@@ -53,7 +53,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use li_core::delta::DeltaSnapshot;
-use li_core::rmi::TopModel;
+use li_core::rmi::{RmiConfig, TopModel};
 use li_index::partition::{boundaries, even_offsets, split_point};
 use li_index::KeyStore;
 
@@ -236,7 +236,7 @@ impl ShardedWritable {
             // rebalance from exporting this shard's keys and publishing
             // a replacement topology while the key lands in the old,
             // about-to-be-discarded shard — a silently lost insert.
-            let guard = self.topo.read().expect("ShardedWritable topology poisoned");
+            let guard = self.topo.read().unwrap_or_else(|e| e.into_inner());
             let s = guard.router.route_owner(key);
             let shard = &guard.shards[s];
             let inserted = shard.insert(key);
@@ -282,7 +282,7 @@ impl ShardedWritable {
             // Same guard discipline as `insert`: hold the read lock
             // across every shard handoff so no rebalance can swap the
             // topology mid-batch.
-            let guard = self.topo.read().expect("ShardedWritable topology poisoned");
+            let guard = self.topo.read().unwrap_or_else(|e| e.into_inner());
             let n = guard.shards.len();
             let mut newly = 0usize;
             let mut max_owner_len = 0usize;
@@ -472,7 +472,7 @@ impl ShardedWritable {
         // Hold the read guard (not just the Arc) across the capture:
         // it excludes a concurrent rebalance, so the shard views below
         // all come from the topology the router describes.
-        let topo = self.topo.read().expect("ShardedWritable topology poisoned");
+        let topo = self.topo.read().unwrap_or_else(|e| e.into_inner());
         let snaps: Vec<DeltaSnapshot> = topo.shards.iter().map(|s| s.snapshot()).collect();
         let mut prefix = Vec::with_capacity(snaps.len() + 1);
         let mut at = 0usize;
@@ -499,10 +499,7 @@ impl ShardedWritable {
     /// Safe to call from any thread at any time; inserts block only for
     /// the duration of the shard rebuilds actually performed.
     pub fn rebalance(&self) -> Vec<RebalanceAction> {
-        let mut guard = self
-            .topo
-            .write()
-            .expect("ShardedWritable topology poisoned");
+        let mut guard = self.topo.write().unwrap_or_else(|e| e.into_inner());
         let mut applied = Vec::new();
         // The hysteresis in `plan` prevents oscillation; the explicit
         // bound is a backstop so a policy bug cannot hold the write
@@ -579,10 +576,7 @@ impl ShardedWritable {
                 let right = build_retuned_shard(exported.slice(m..exported.len()), &self.config);
 
                 // Phase 3 — publish + drain.
-                let mut guard = self
-                    .topo
-                    .write()
-                    .expect("ShardedWritable topology poisoned");
+                let mut guard = self.topo.write().unwrap_or_else(|e| e.into_inner());
                 if guard.generation != gen0 {
                     return BackgroundStep::Raced;
                 }
@@ -614,10 +608,7 @@ impl ShardedWritable {
                 let merged = build_retuned_shard(exported.clone(), &self.config);
 
                 // Phase 3 — publish + drain.
-                let mut guard = self
-                    .topo
-                    .write()
-                    .expect("ShardedWritable topology poisoned");
+                let mut guard = self.topo.write().unwrap_or_else(|e| e.into_inner());
                 if guard.generation != gen0 {
                     return BackgroundStep::Raced;
                 }
@@ -693,8 +684,63 @@ impl ShardedWritable {
         merge_topology(topo, left, merged)
     }
 
+    // Poison recovery (all `self.topo` lock sites): the only mutation
+    // any code performs under the topology write lock is the final
+    // `*guard = Arc::new(next)` — a pointer-sized swap of a *fully
+    // constructed* replacement topology. Every fallible step (planning,
+    // key export, shard retraining) runs before that assignment, so at
+    // every possible panic point the published `Arc<Topology>` is
+    // internally consistent. A poisoned flag therefore carries no
+    // information about data validity here; recovering with
+    // `into_inner` keeps readers and writers alive instead of turning
+    // one panicking thread into a process-wide outage. (The `worker`
+    // slot makes the same argument for its plain `Option` pointer.)
     fn read_topo(&self) -> Arc<Topology> {
-        Arc::clone(&self.topo.read().expect("ShardedWritable topology poisoned"))
+        Arc::clone(&self.topo.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Everything the persistence layer needs, captured under one read
+    /// guard so a concurrent rebalance cannot tear it: the ownership
+    /// bounds plus each shard's (snapshot, retrain config, merge
+    /// threshold) triple.
+    pub(crate) fn persist_parts(&self) -> (Vec<u64>, Vec<(DeltaSnapshot, RmiConfig, usize)>) {
+        let guard = self.topo.read().unwrap_or_else(|e| e.into_inner());
+        let states = guard.shards.iter().map(|s| s.persist_state()).collect();
+        (guard.bounds.clone(), states)
+    }
+
+    /// Reassemble a structure from loaded state: per-shard
+    /// [`WritableShard`]s already populated with their trained bases
+    /// and replayed deltas, plus the ownership bounds they were saved
+    /// under. The router is refit over the bounds (a cheap O(shards)
+    /// linear fit — not model retraining); counters restart at zero and
+    /// the generation at 0, matching a fresh build.
+    pub(crate) fn from_loaded(
+        bounds: Vec<u64>,
+        shards: Vec<Arc<WritableShard>>,
+        config: ShardedWritableConfig,
+    ) -> Self {
+        config.validate();
+        assert_eq!(bounds.len() + 1, shards.len(), "one bound per extra shard");
+        let router = ShardRouter::fit(bounds.clone());
+        Self {
+            topo: RwLock::new(Arc::new(Topology {
+                bounds,
+                router,
+                shards,
+                generation: 0,
+            })),
+            config,
+            inserts: AtomicUsize::new(0),
+            splits: AtomicUsize::new(0),
+            shard_merges: AtomicUsize::new(0),
+            worker: RwLock::new(None),
+        }
+    }
+
+    /// The configuration this structure was built with.
+    pub(crate) fn config(&self) -> &ShardedWritableConfig {
+        &self.config
     }
 }
 
@@ -1092,6 +1138,34 @@ mod tests {
         assert!(store.strong_count() >= 9, "count {}", store.strong_count());
         drop(sw);
         assert_eq!(store.strong_count(), 1);
+    }
+
+    #[test]
+    fn topology_poison_does_not_take_down_readers_or_writers() {
+        let data: Vec<u64> = (0..200u64).map(|i| i * 5).collect();
+        let sw = ShardedWritable::new(data, 3, small_cfg());
+        // A thread dies holding the topology write lock *before* any
+        // mutation — exactly the state every real panic site leaves
+        // behind (the only write under this lock is the final
+        // fully-built `Arc` swap; see the poison-recovery note on
+        // `read_topo`).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = sw.topo.write().unwrap();
+            panic!("rebalancer dies mid-critical-section");
+        }));
+        assert!(result.is_err());
+        assert!(sw.topo.is_poisoned(), "the lock really was poisoned");
+
+        // Reads, writes, snapshots and rebalancing all keep working.
+        assert!(sw.contains(5));
+        assert!(sw.insert(7));
+        assert!(sw.contains(7));
+        let snap = sw.snapshot();
+        assert_eq!(snap.len(), 201);
+        assert_eq!(sw.range_keys(0, 11), vec![0, 5, 7, 10]);
+        sw.rebalance();
+        assert!(sw.insert(8));
+        assert_eq!(sw.len(), 202);
     }
 
     #[test]

@@ -127,12 +127,42 @@ impl WritableShard {
         self.read_lock().split_keys(pivot)
     }
 
+    /// Wrap a fully reconstructed [`DeltaIndex`] — the persistence
+    /// layer's load path, where the base RMI was rebuilt from saved
+    /// parameters and the delta buffer replayed, with no retraining.
+    pub(crate) fn from_delta(delta: DeltaIndex) -> Self {
+        Self {
+            inner: RwLock::new(delta),
+        }
+    }
+
+    /// The base snapshot, retrain configuration and merge threshold,
+    /// captured atomically under one read guard — everything the
+    /// persistence layer needs to describe this shard at save time.
+    pub(crate) fn persist_state(&self) -> (DeltaSnapshot, RmiConfig, usize) {
+        let guard = self.read_lock();
+        (
+            guard.snapshot(),
+            guard.config().clone(),
+            guard.merge_threshold(),
+        )
+    }
+
+    // Poison recovery: a panic in a previous lock holder marks the lock
+    // poisoned, but the guarded `DeltaIndex` is still valid — every
+    // `&mut` entry point leaves it consistent at all panic points
+    // (`insert`/`insert_batch` mutate the buffer with single
+    // completed-or-not `Vec` operations, and `merge` builds the new
+    // base *before* touching any field — see `DeltaIndex::merge`). So a
+    // panicking writer must not condemn every later reader and writer:
+    // recover the guard with `into_inner` and keep serving.
+
     fn read_lock(&self) -> std::sync::RwLockReadGuard<'_, DeltaIndex> {
-        self.inner.read().expect("WritableShard lock poisoned")
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     fn write_lock(&self) -> std::sync::RwLockWriteGuard<'_, DeltaIndex> {
-        self.inner.write().expect("WritableShard lock poisoned")
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -182,6 +212,31 @@ mod tests {
         assert_eq!(snap.len(), 4, "snapshot must keep its pre-merge view");
         assert!(snap.contains(15) && !snap.contains(11));
         assert_eq!(shard.len(), 10);
+    }
+
+    #[test]
+    fn writer_panic_does_not_take_down_readers() {
+        let shard = WritableShard::new(vec![10u64, 20, 30], cfg(), 16);
+        shard.insert(15);
+        // A "writer" dies while holding the write lock — the classic
+        // poisoning scenario. The DeltaIndex under the lock is
+        // untouched mid-panic (see the poison-recovery note on
+        // `read_lock`), so nothing was actually corrupted.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.inner.write().unwrap();
+            panic!("writer dies mid-critical-section");
+        }));
+        assert!(result.is_err());
+        assert!(shard.inner.is_poisoned(), "the lock really was poisoned");
+
+        // Readers keep answering, writers keep writing.
+        assert!(shard.contains(15));
+        assert_eq!(shard.len(), 4);
+        assert!(shard.insert(25));
+        assert!(shard.contains(25));
+        let snap = shard.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.range_keys(0, u64::MAX), vec![10, 15, 20, 25, 30]);
     }
 
     #[test]

@@ -25,6 +25,10 @@ mod weblog_index;
 #[path = "../examples/index_synthesis.rs"]
 mod index_synthesis;
 
+#[allow(dead_code)]
+#[path = "../examples/warm_restart.rs"]
+mod warm_restart;
+
 #[test]
 fn quickstart_smoke() {
     quickstart::run(3_000);
@@ -48,4 +52,9 @@ fn weblog_index_smoke() {
 #[test]
 fn index_synthesis_smoke() {
     index_synthesis::run(2_000);
+}
+
+#[test]
+fn warm_restart_smoke() {
+    warm_restart::run(3_000);
 }

@@ -1,0 +1,209 @@
+//! Property suite: persistence round trips. For arbitrary keysets and
+//! pending-insert streams, `save → drop → load` must yield a structure
+//! observationally identical to the original (oracle equivalence for
+//! `contains`/`rank`/`range_keys` and `lower_bound`), with the load
+//! provably *not* retraining any model (`train_count` is flat) and the
+//! read tier serving its keys zero-copy from the mapped snapshot.
+//! Corrupt files are rejected with an error — never a panic, never a
+//! silently wrong structure.
+
+use std::collections::BTreeSet;
+
+use learned_indexes::rmi::train_count;
+use learned_indexes::serve::{
+    PersistError, RangeIndex, RebalanceConfig, RmiShardBuilder, ShardedIndex, ShardedWritable,
+    ShardedWritableConfig,
+};
+use proptest::prelude::*;
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    // One file per (process, thread): property cases run sequentially
+    // within a test thread, so reuse is safe and cleanup is local.
+    std::env::temp_dir().join(format!(
+        "li-prop-persist-{}-{:?}-{tag}.lidx",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Remove the snapshot file when the case ends, pass or fail.
+struct Cleanup(std::path::PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn sorted_unique(mut keys: Vec<u64>) -> Vec<u64> {
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// A write-path configuration with a merge threshold high enough that
+/// the pending stream below stays buffered — the round trip must carry
+/// live delta state, not only trained bases.
+fn cfg_with_pending_room() -> ShardedWritableConfig {
+    ShardedWritableConfig {
+        merge_threshold: 64,
+        leaf_fraction: 1.0 / 8.0,
+        check_interval: 32,
+        rebalance: RebalanceConfig {
+            max_shard_len: 256,
+            merge_max_len: 64,
+            max_mean_err: None,
+            max_shards: 12,
+        },
+        ..ShardedWritableConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Read tier: build → save → drop → load ≡ oracle, zero training,
+    /// mapped zero-copy backing.
+    #[test]
+    fn sharded_index_round_trip_is_oracle_equivalent(
+        keys in prop::collection::vec(any::<u64>(), 1..400),
+        shards in 1usize..6,
+    ) {
+        let path = tmp_path("si");
+        let _guard = Cleanup(path.clone());
+        let data = sorted_unique(keys);
+        let original = ShardedIndex::build(data.clone(), shards, &RmiShardBuilder::new());
+        original.save(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        drop(original);
+
+        let before = train_count();
+        let loaded = ShardedIndex::load(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(train_count(), before, "load must not train");
+
+        // Zero-copy witness: every shard shares the mapped region.
+        prop_assert!(loaded.key_store().is_mapped());
+        for s in 0..loaded.shard_count() {
+            prop_assert!(loaded.shard(s).key_store().ptr_eq(loaded.key_store()));
+        }
+
+        // Oracle equivalence around every key and the domain extremes.
+        let mut probes: Vec<u64> = vec![0, 1, u64::MAX - 1, u64::MAX];
+        probes.extend(data.iter().flat_map(|&k| [k.saturating_sub(1), k, k.saturating_add(1)]));
+        for q in probes {
+            prop_assert_eq!(
+                loaded.lower_bound(q),
+                data.partition_point(|&k| k < q),
+                "q={}", q
+            );
+        }
+    }
+
+    /// Write tier: build → insert (some pending) → save → drop → load ≡
+    /// oracle, zero training; pending deltas survive; the loaded
+    /// structure keeps accepting writes.
+    #[test]
+    fn sharded_writable_round_trip_is_oracle_equivalent(
+        initial in prop::collection::vec(any::<u64>(), 0..200),
+        pending in prop::collection::vec(any::<u64>(), 0..48),
+        post in prop::collection::vec(any::<u64>(), 0..32),
+        shards in 1usize..5,
+    ) {
+        let path = tmp_path("sw");
+        let _guard = Cleanup(path.clone());
+        let init = sorted_unique(initial);
+        let sw = ShardedWritable::new(init.clone(), shards, cfg_with_pending_room());
+        let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+        for &k in &pending {
+            prop_assert_eq!(sw.insert(k), oracle.insert(k));
+        }
+        sw.save(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        drop(sw);
+
+        let before = train_count();
+        let loaded = ShardedWritable::load(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(train_count(), before, "load must not train");
+
+        prop_assert_eq!(loaded.len(), oracle.len());
+        let mut want: Vec<u64> = oracle.iter().copied().collect();
+        let max_present = want.last() == Some(&u64::MAX);
+        if max_present {
+            want.pop(); // range_keys is hi-exclusive
+        }
+        prop_assert_eq!(loaded.range_keys(0, u64::MAX), want);
+        prop_assert_eq!(loaded.contains(u64::MAX), max_present);
+        let snap = loaded.snapshot();
+        for &k in oracle.iter() {
+            prop_assert!(loaded.contains(k), "lost k={}", k);
+            prop_assert_eq!(snap.rank(k), oracle.range(..k).count(), "rank k={}", k);
+        }
+
+        // Still live: post-load inserts behave exactly like the oracle.
+        for &k in &post {
+            prop_assert_eq!(loaded.insert(k), oracle.insert(k), "post-load insert {}", k);
+        }
+        prop_assert_eq!(loaded.len(), oracle.len());
+    }
+
+    /// Corruption: flipping any single byte of a valid snapshot makes
+    /// `load` return an error (checksums, magic, or structural checks)
+    /// — it must never panic and never produce a structure silently.
+    #[test]
+    fn corrupting_any_byte_is_rejected_not_misloaded(
+        flip_seed in any::<u64>(),
+    ) {
+        let path = tmp_path("corrupt");
+        let _guard = Cleanup(path.clone());
+        let data: Vec<u64> = (0..256u64).map(|i| i * 3).collect();
+        let idx = ShardedIndex::build(data, 2, &RmiShardBuilder::new());
+        idx.save(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = (flip_seed as usize) % bytes.len();
+        let bit = 1u8 << ((flip_seed >> 32) % 8);
+        bytes[pos] ^= bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match ShardedIndex::load(&path) {
+            Err(_) => {} // rejected: good
+            Ok(loaded) => {
+                // The only survivable flips are inside the header's
+                // zero padding (bytes 48..4096 are reserved); anywhere
+                // else must have been caught by a checksum.
+                prop_assert!(
+                    (48..4096).contains(&pos),
+                    "a flip at byte {} (outside the reserved padding) loaded successfully",
+                    pos
+                );
+                // And even then the structure must answer correctly.
+                prop_assert_eq!(loaded.lower_bound(300), 100);
+            }
+        }
+    }
+}
+
+/// Loading garbage, a truncated file, or a missing file is an error —
+/// and the error variants are the documented ones.
+#[test]
+fn malformed_files_yield_typed_errors() {
+    let path = tmp_path("malformed");
+    let _guard = Cleanup(path.clone());
+
+    assert!(matches!(
+        ShardedIndex::load(&path),
+        Err(PersistError::Io(_))
+    ));
+
+    std::fs::write(&path, b"short").unwrap();
+    assert!(matches!(
+        ShardedIndex::load(&path),
+        Err(PersistError::Format(_))
+    ));
+
+    let data: Vec<u64> = (0..128u64).collect();
+    let idx = ShardedIndex::build(data, 2, &RmiShardBuilder::new());
+    idx.save(&path).unwrap();
+    // Kind confusion: a read-tier snapshot is not a write-tier one.
+    assert!(matches!(
+        ShardedWritable::load(&path),
+        Err(PersistError::Format(_))
+    ));
+}

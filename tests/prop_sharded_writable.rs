@@ -255,6 +255,124 @@ proptest! {
     }
 }
 
+// ---- range_keys boundary semantics: live vs snapshot vs oracle ----
+
+/// One window checked on the live structure AND a snapshot against the
+/// oracle, including the degenerate shapes: `lo == hi` and `lo > hi`
+/// are empty (the bound is `[lo, hi)`, hi-exclusive), never a panic
+/// and never a wrapped-around scan.
+fn assert_window(
+    sw: &ShardedWritable,
+    snap: &ShardedSnapshot,
+    oracle: &BTreeSet<u64>,
+    lo: u64,
+    hi: u64,
+) -> Result<(), TestCaseError> {
+    let want: Vec<u64> = if lo < hi {
+        oracle.range(lo..hi).copied().collect()
+    } else {
+        Vec::new()
+    };
+    prop_assert_eq!(sw.range_keys(lo, hi), want.clone(), "live [{}, {})", lo, hi);
+    prop_assert_eq!(snap.range_keys(lo, hi), want, "snap [{}, {})", lo, hi);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary (unnormalized!) windows over full-domain keysets:
+    /// empty windows, inverted windows, windows clamped at the domain
+    /// extremes, windows straddling every shard boundary. Live and
+    /// snapshot scans must agree with the oracle bit for bit.
+    #[test]
+    fn range_keys_windows_match_the_oracle(
+        initial in prop::collection::vec(any::<u64>(), 0..48),
+        windows in prop::collection::vec((any::<u64>(), any::<u64>()), 1..24),
+    ) {
+        let init = sorted_unique(initial);
+        for shards in [1usize, 3, 5] {
+            let sw = ShardedWritable::new(init.clone(), shards, aggressive_cfg());
+            let oracle: BTreeSet<u64> = init.iter().copied().collect();
+            let snap = sw.snapshot();
+            for &(a, b) in &windows {
+                // As given (possibly inverted), normalized, degenerate,
+                // and pinned to the domain extremes.
+                assert_window(&sw, &snap, &oracle, a, b)?;
+                assert_window(&sw, &snap, &oracle, a.min(b), a.max(b))?;
+                assert_window(&sw, &snap, &oracle, a, a)?;
+                assert_window(&sw, &snap, &oracle, 0, a)?;
+                assert_window(&sw, &snap, &oracle, a, u64::MAX)?;
+            }
+        }
+    }
+}
+
+/// Windows pinned to the *actual* ownership bounds of a multi-shard
+/// topology, with the bound keys themselves present (inserted more than
+/// once — duplicate inserts must not change scan semantics). A bound
+/// key belongs to the shard above it; a window ending exactly at a
+/// bound must not leak it, a window starting at one must yield it.
+#[test]
+fn range_keys_straddling_live_shard_boundaries() {
+    let init: Vec<u64> = (0..120u64).map(|i| i * 9).collect();
+    let sw = ShardedWritable::new(init.clone(), 5, aggressive_cfg());
+    let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+    let bounds = sw.bounds();
+    assert!(!bounds.is_empty(), "need a multi-shard topology");
+    // Make every boundary key present, twice (the duplicate is a no-op).
+    for &b in &bounds {
+        let newly = oracle.insert(b);
+        assert_eq!(sw.insert(b), newly, "bound {b}");
+        assert!(!sw.insert(b), "duplicate bound insert must be a no-op");
+    }
+    let snap = sw.snapshot();
+    for &b in &bounds {
+        for (lo, hi) in [
+            (b, b),                                       // empty at the boundary
+            (b.saturating_sub(1), b),                     // ends at the bound: excludes it
+            (b, b.saturating_add(1)),                     // starts at the bound: includes it
+            (b.saturating_sub(20), b.saturating_add(20)), // straddles the shard seam
+            (b.saturating_add(1), b.saturating_sub(1)),   // inverted: empty
+        ] {
+            assert_window(&sw, &snap, &oracle, lo, hi).unwrap();
+        }
+        let starts_at = snap.range_keys(b, b.saturating_add(1));
+        assert_eq!(starts_at, vec![b], "bound {b} must open its own window");
+        assert!(
+            !snap.range_keys(b.saturating_sub(1), b).contains(&b),
+            "hi must stay exclusive at the shard seam"
+        );
+    }
+}
+
+/// The top of the domain: `hi == u64::MAX` is still exclusive, so
+/// `u64::MAX` itself is reachable only via `contains`/`len` — a scan
+/// can never return it. The suite's equivalence helper relies on this;
+/// pin it explicitly.
+#[test]
+fn range_keys_at_the_top_of_the_domain() {
+    let init = vec![0u64, 1, 1 << 40, u64::MAX - 1, u64::MAX];
+    let sw = ShardedWritable::new(init.clone(), 3, aggressive_cfg());
+    let oracle: BTreeSet<u64> = init.iter().copied().collect();
+    let snap = sw.snapshot();
+    for (lo, hi) in [
+        (0, u64::MAX),            // everything except MAX itself
+        (u64::MAX - 1, u64::MAX), // exactly one key
+        (u64::MAX, u64::MAX),     // empty: lo == hi at the top
+        (u64::MAX, 0),            // inverted at the extremes
+        (u64::MAX - 2, u64::MAX),
+    ] {
+        assert_window(&sw, &snap, &oracle, lo, hi).unwrap();
+    }
+    assert!(sw.contains(u64::MAX), "MAX is present, just not scannable");
+    assert_eq!(
+        sw.range_keys(0, u64::MAX).len(),
+        sw.len() - 1,
+        "a full scan misses exactly the MAX key"
+    );
+}
+
 // ---- Deterministic rebalance-trigger and edge-keyset coverage ----
 
 /// The acceptance-criteria run: one structure driven through at least
