@@ -2,20 +2,25 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]
+//!       [--modes scalar,batched,bg,tiered]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
 //!              appendix-a appendix-e scaling write persist all   (default: all)
+//! --modes filters the `write` experiment's measured write modes
+//!         (default: all four)
 //! ```
 //!
 //! Run release builds for meaningful numbers:
 //! `cargo run --release -p li-bench --bin repro -- fig4 --keys 2000000`.
 
 use li_bench::harness::BenchConfig;
+use li_bench::write::WriteMode;
 use li_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments: Vec<String> = Vec::new();
+    let mut write_modes: Vec<WriteMode> = WriteMode::ALL.to_vec();
     let mut cfg = BenchConfig {
         keys: resolve_keys(None, 2_000_000),
         queries: 200_000,
@@ -42,6 +47,24 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed requires a number"));
+            }
+            "--modes" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--modes requires a comma-separated list"));
+                write_modes = list
+                    .split(',')
+                    .map(|name| {
+                        WriteMode::parse(name.trim()).unwrap_or_else(|| {
+                            die(&format!(
+                                "unknown write mode '{name}' (expected scalar, batched, bg, tiered)"
+                            ))
+                        })
+                    })
+                    .collect();
+                if write_modes.is_empty() {
+                    die("--modes requires at least one mode");
+                }
             }
             "--help" | "-h" => {
                 print_usage();
@@ -124,7 +147,7 @@ fn main() {
                     keys: cfg.keys.min(200_000),
                     ..cfg.clone()
                 };
-                write::print(&write::run(&wcfg), wcfg.keys);
+                write::print(&write::run_modes(&wcfg, &write_modes), wcfg.keys);
             }
             "persist" => {
                 // Training dominates the cold side, so the warm-load
@@ -143,8 +166,9 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist all"
+        "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S] [--modes scalar,batched,bg,tiered]\n\
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist all\n\
+         --modes filters the write experiment's measured write modes (default: all four)"
     );
 }
 

@@ -1,6 +1,6 @@
 //! Write-path throughput: the sharded concurrent write path under
 //! insert load, with lookup latency measured *while the writes run* —
-//! across three write strategies per configuration:
+//! across four write strategies per configuration:
 //!
 //! * **Scalar / inline** — one [`ShardedWritable::insert`] per key;
 //!   the inserting thread rebalances inline (the PR-4 baseline).
@@ -10,6 +10,12 @@
 //! * **Scalar / background** — scalar inserts with a
 //!   [`RebalanceWorker`] attached: inserts only record pressure; shard
 //!   rebuilds happen on the worker thread, off the insert path.
+//! * **Tiered** — scalar inserts with `max_runs =` [`TIERED_MAX_RUNS`]
+//!   and a worker attached: full buffers *seal* into immutable sorted
+//!   runs (O(buffer), no retrain) and the worker folds full run stacks
+//!   into the base with one retrain per [`TIERED_MAX_RUNS`] buffers —
+//!   the LSM-style write path, so the hot insert path never pays a
+//!   base retrain.
 //!
 //! The paper's Appendix D.1 sketches the buffer-and-retrain insert
 //! strategy; "Learned Indexes for a Google-scale Disk-based Database"
@@ -46,6 +52,13 @@ pub const MERGE_THRESHOLDS: [usize; 2] = [1_000, 16_000];
 /// parallelism, small enough to stay cache-resident.
 pub const INSERT_BATCH: usize = 4096;
 
+/// Run-stack bound for the tiered mode: one base retrain per this many
+/// sealed buffers (vs one per buffer in the untiered modes). Four
+/// balances the retrain amortization (insert throughput) against the
+/// lookup fan-out — every read probes the stack before the base, so a
+/// deeper stack trades write speed for lookup tail latency.
+pub const TIERED_MAX_RUNS: usize = 4;
+
 /// How the writer drives its inserts for one measured sub-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteMode {
@@ -57,6 +70,43 @@ pub enum WriteMode {
     /// One `insert` per key; a background [`RebalanceWorker`] owns
     /// rebalancing.
     Background,
+    /// One `insert` per key with `max_runs =` [`TIERED_MAX_RUNS`] and a
+    /// background worker: buffers seal into runs, the worker compacts.
+    Tiered,
+}
+
+impl WriteMode {
+    /// All modes, in measurement (and table-column) order.
+    pub const ALL: [WriteMode; 4] = [
+        WriteMode::Scalar,
+        WriteMode::Batched,
+        WriteMode::Background,
+        WriteMode::Tiered,
+    ];
+
+    /// The CLI / table name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            WriteMode::Scalar => "scalar",
+            WriteMode::Batched => "batched",
+            WriteMode::Background => "bg",
+            WriteMode::Tiered => "tiered",
+        }
+    }
+
+    /// Parse a CLI mode name (as listed by [`WriteMode::name`]).
+    ///
+    /// # Examples
+    /// ```
+    /// use li_bench::write::WriteMode;
+    ///
+    /// assert_eq!(WriteMode::parse("tiered"), Some(WriteMode::Tiered));
+    /// assert_eq!(WriteMode::parse("bg"), Some(WriteMode::Background));
+    /// assert_eq!(WriteMode::parse("nope"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<WriteMode> {
+        WriteMode::ALL.into_iter().find(|m| m.name() == s)
+    }
 }
 
 /// Stats of one measured (configuration, mode) sub-run.
@@ -76,11 +126,15 @@ pub struct ModeStats {
     pub splits: usize,
     /// Shard merges the load provoked.
     pub shard_merges: usize,
+    /// Run-stack compactions the load provoked (tiered mode only;
+    /// always 0 elsewhere).
+    pub compactions: usize,
     /// Final shard count after the load.
     pub final_shards: usize,
 }
 
-/// One measured write configuration: the three modes side by side.
+/// One measured write configuration: the requested modes side by side
+/// (`None` = mode filtered out by [`run_modes`]).
 #[derive(Debug, Clone)]
 pub struct WriteRow {
     /// Initial shard count.
@@ -88,11 +142,25 @@ pub struct WriteRow {
     /// Per-shard delta merge threshold.
     pub merge_threshold: usize,
     /// Scalar inserts, inline rebalancing (the baseline).
-    pub scalar: ModeStats,
+    pub scalar: Option<ModeStats>,
     /// Batched inserts, inline rebalancing.
-    pub batched: ModeStats,
+    pub batched: Option<ModeStats>,
     /// Scalar inserts, background rebalance worker.
-    pub background: ModeStats,
+    pub background: Option<ModeStats>,
+    /// Scalar inserts, sealed-run tiering + background compaction.
+    pub tiered: Option<ModeStats>,
+}
+
+impl WriteRow {
+    /// The stats measured for `mode`, if that mode ran.
+    pub fn mode(&self, mode: WriteMode) -> Option<&ModeStats> {
+        match mode {
+            WriteMode::Scalar => self.scalar.as_ref(),
+            WriteMode::Batched => self.batched.as_ref(),
+            WriteMode::Background => self.background.as_ref(),
+            WriteMode::Tiered => self.tiered.as_ref(),
+        }
+    }
 }
 
 /// Greatest common divisor (for choosing a permutation stride).
@@ -132,6 +200,11 @@ fn run_one(
     let max_shard_len = (initial.len() * 3 / (2 * shards.max(1))).max(1024);
     let config = ShardedWritableConfig {
         merge_threshold,
+        max_runs: if mode == WriteMode::Tiered {
+            TIERED_MAX_RUNS
+        } else {
+            0
+        },
         rebalance: RebalanceConfig {
             max_shard_len,
             merge_max_len: (max_shard_len / 4).max(1),
@@ -140,7 +213,8 @@ fn run_one(
         ..ShardedWritableConfig::default()
     };
     let sw = Arc::new(ShardedWritable::new(initial.to_vec(), shards, config));
-    let worker = (mode == WriteMode::Background).then(|| RebalanceWorker::spawn(Arc::clone(&sw)));
+    let worker = matches!(mode, WriteMode::Background | WriteMode::Tiered)
+        .then(|| RebalanceWorker::spawn(Arc::clone(&sw)));
 
     let done = AtomicBool::new(false);
     let mut samples: Vec<u64> = Vec::with_capacity(lookups.len());
@@ -154,7 +228,7 @@ fn run_one(
             let t0 = Instant::now();
             let mut n = 0usize;
             match mode {
-                WriteMode::Scalar | WriteMode::Background => {
+                WriteMode::Scalar | WriteMode::Background | WriteMode::Tiered => {
                     for &k in inserts {
                         n += usize::from(sw_ref.insert(k));
                     }
@@ -210,14 +284,22 @@ fn run_one(
         p99_lookup_ns: p99,
         splits: sw.splits(),
         shard_merges: sw.shard_merges(),
+        compactions: sw.compactions(),
         final_shards: sw.shard_count(),
     }
 }
 
-/// Run the write grid on the Lognormal dataset: half the keys seed the
-/// structure, the other half arrive as concurrent inserts — three
-/// write modes per configuration.
+/// Run the full write grid (all of [`WriteMode::ALL`]); see
+/// [`run_modes`] to measure a subset.
 pub fn run(cfg: &BenchConfig) -> Vec<WriteRow> {
+    run_modes(cfg, &WriteMode::ALL)
+}
+
+/// Run the write grid on the Lognormal dataset: half the keys seed the
+/// structure, the other half arrive as concurrent inserts — one
+/// measured sub-run per requested mode per configuration (modes not in
+/// `modes` stay `None` in every [`WriteRow`]).
+pub fn run_modes(cfg: &BenchConfig, modes: &[WriteMode]) -> Vec<WriteRow> {
     let keyset = Dataset::Lognormal.generate(cfg.keys, cfg.seed);
     let keys = keyset.keys();
     // Even positions seed the structure; odd positions are the insert
@@ -245,28 +327,38 @@ pub fn run(cfg: &BenchConfig) -> Vec<WriteRow> {
                 .map(move |&mt| (shards, mt))
                 .collect::<Vec<_>>()
         })
-        .map(|(shards, mt)| WriteRow {
-            shards,
-            merge_threshold: mt,
-            scalar: run_one(&initial, &inserts, &lookups, shards, mt, WriteMode::Scalar),
-            batched: run_one(&initial, &inserts, &lookups, shards, mt, WriteMode::Batched),
-            background: run_one(
-                &initial,
-                &inserts,
-                &lookups,
+        .map(|(shards, mt)| {
+            let measure = |mode: WriteMode| {
+                modes
+                    .contains(&mode)
+                    .then(|| run_one(&initial, &inserts, &lookups, shards, mt, mode))
+            };
+            WriteRow {
                 shards,
-                mt,
-                WriteMode::Background,
-            ),
+                merge_threshold: mt,
+                scalar: measure(WriteMode::Scalar),
+                batched: measure(WriteMode::Batched),
+                background: measure(WriteMode::Background),
+                tiered: measure(WriteMode::Tiered),
+            }
         })
         .collect()
 }
 
-/// Render the write-path table.
+/// Render the write-path table. Modes not measured print `-`.
 pub fn print(rows: &[WriteRow], keys: usize) {
+    let ips = |m: Option<&ModeStats>| {
+        m.map_or_else(|| "-".into(), |m| format!("{:.0}", m.inserts_per_sec))
+    };
+    let p99 =
+        |m: Option<&ModeStats>| m.map_or_else(|| "-".into(), |m| format!("{:.0}", m.p99_lookup_ns));
+    let ratio = |m: Option<&ModeStats>, base: Option<&ModeStats>| match (m, base) {
+        (Some(m), Some(b)) => format!("{:.2}", m.inserts_per_sec / b.inserts_per_sec.max(1e-9)),
+        _ => "-".into(),
+    };
     let mut t = Table::new(
         &format!(
-            "Write path — ShardedWritable on Lognormal ({keys} keys, half inserted live; batch = {INSERT_BATCH})"
+            "Write path — ShardedWritable on Lognormal ({keys} keys, half inserted live; batch = {INSERT_BATCH}; tiered max_runs = {TIERED_MAX_RUNS})"
         ),
         &[
             "Shards",
@@ -275,27 +367,45 @@ pub fn print(rows: &[WriteRow], keys: usize) {
             "Batched ins/s",
             "Batch x",
             "BG ins/s",
+            "Tiered ins/s",
+            "Tiered x",
             "p99 inline (ns)",
             "p99 BG (ns)",
+            "p99 tiered (ns)",
             "Rebal (s/m, BG)",
+            "Compactions",
             "Final shards",
         ],
     );
     for r in rows {
+        let (sc, ba, bg, ti) = (
+            r.scalar.as_ref(),
+            r.batched.as_ref(),
+            r.background.as_ref(),
+            r.tiered.as_ref(),
+        );
         t.row(&[
             r.shards.to_string(),
             r.merge_threshold.to_string(),
-            format!("{:.0}", r.scalar.inserts_per_sec),
-            format!("{:.0}", r.batched.inserts_per_sec),
-            format!(
-                "{:.2}",
-                r.batched.inserts_per_sec / r.scalar.inserts_per_sec.max(1e-9)
+            ips(sc),
+            ips(ba),
+            ratio(ba, sc),
+            ips(bg),
+            ips(ti),
+            ratio(ti, sc),
+            p99(sc),
+            p99(bg),
+            p99(ti),
+            bg.map_or_else(
+                || "-".into(),
+                |m| format!("{}/{}", m.splits, m.shard_merges),
             ),
-            format!("{:.0}", r.background.inserts_per_sec),
-            format!("{:.0}", r.scalar.p99_lookup_ns),
-            format!("{:.0}", r.background.p99_lookup_ns),
-            format!("{}/{}", r.background.splits, r.background.shard_merges),
-            r.background.final_shards.to_string(),
+            ti.map_or_else(|| "-".into(), |m| m.compactions.to_string()),
+            [ti, bg, ba, sc]
+                .into_iter()
+                .flatten()
+                .next()
+                .map_or_else(|| "-".into(), |m| m.final_shards.to_string()),
         ]);
     }
     let cores = std::thread::available_parallelism()
@@ -304,7 +414,8 @@ pub fn print(rows: &[WriteRow], keys: usize) {
     t.note(&format!(
         "lookups sampled concurrently with the insert stream; host exposes {cores} core(s) — on 1 core the numbers measure interleaving, not parallel capacity"
     ));
-    t.note("Scalar/Batched rebalance inline on the inserting thread; BG rows attach a RebalanceWorker (rebuilds off the insert path, published with a straggler drain)");
+    t.note("Scalar/Batched rebalance inline on the inserting thread; BG and Tiered rows attach a RebalanceWorker (rebuilds off the insert path, published with a straggler drain)");
+    t.note("Tiered rows seal full buffers into sorted runs (no retrain) and the worker folds full stacks into the base — one retrain per max_runs buffers; Compactions counts those folds");
     t.note("splits/merges = rebalance actions the load provoked (a shard splits at 1.5x its initial fair share; the keyset doubles over the run)");
     t.print();
     println!();
@@ -323,11 +434,9 @@ mod tests {
         });
         assert_eq!(rows.len(), WRITE_SHARD_GRID.len() * MERGE_THRESHOLDS.len());
         for r in &rows {
-            for (label, m) in [
-                ("scalar", &r.scalar),
-                ("batched", &r.batched),
-                ("background", &r.background),
-            ] {
+            for mode in WriteMode::ALL {
+                let m = r.mode(mode).expect("run() measures every mode");
+                let label = mode.name();
                 assert!(m.inserts_per_sec > 0.0, "{label}: {m:?}");
                 // No relationship asserted between mean and p99: the
                 // latency distribution is heavy-tailed (a lookup landing
@@ -335,16 +444,52 @@ mod tests {
                 // mean can legitimately exceed p99 on a loaded host.
                 assert!(m.mean_lookup_ns > 0.0 && m.p99_lookup_ns > 0.0, "{label}");
                 assert!(m.final_shards >= 1, "{label}");
+                // Only the tiered mode ever compacts.
+                if mode != WriteMode::Tiered {
+                    assert_eq!(m.compactions, 0, "{label}");
+                }
             }
-            // All three modes drive the same insert stream, so they
-            // must agree on how many keys were newly inserted
-            // (throughput differs, semantics must not — a batched or
-            // background mode that dropped or double-counted keys
-            // fails here).
-            assert!(r.scalar.inserted > 0, "{r:?}");
-            assert_eq!(r.scalar.inserted, r.batched.inserted, "{r:?}");
-            assert_eq!(r.scalar.inserted, r.background.inserted, "{r:?}");
+            // All modes drive the same insert stream, so they must
+            // agree on how many keys were newly inserted (throughput
+            // differs, semantics must not — a mode that dropped or
+            // double-counted keys fails here).
+            let scalar = r.scalar.as_ref().unwrap();
+            assert!(scalar.inserted > 0, "{r:?}");
+            for mode in [WriteMode::Batched, WriteMode::Background, WriteMode::Tiered] {
+                assert_eq!(scalar.inserted, r.mode(mode).unwrap().inserted, "{r:?}");
+            }
         }
+    }
+
+    #[test]
+    fn run_modes_filters_to_the_requested_subset() {
+        let rows = run_modes(
+            &BenchConfig {
+                keys: 4_000,
+                queries: 200,
+                seed: 11,
+            },
+            &[WriteMode::Scalar, WriteMode::Tiered],
+        );
+        for r in &rows {
+            assert!(r.scalar.is_some() && r.tiered.is_some(), "{r:?}");
+            assert!(r.batched.is_none() && r.background.is_none(), "{r:?}");
+            // The tiered stream inserts the same keyset and — at the
+            // 1k threshold — seals instead of merging, provoking
+            // worker-side compactions under sustained load.
+            assert_eq!(
+                r.scalar.as_ref().unwrap().inserted,
+                r.tiered.as_ref().unwrap().inserted
+            );
+        }
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in WriteMode::ALL {
+            assert_eq!(WriteMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(WriteMode::parse("Scalar"), None, "names are lowercase");
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * [`Lif`] (§3.1) — the Learning Index Framework: grid-search index
 //!   synthesis over configurations, choosing by measured lookup cost.
 //! * [`DeltaIndex`] (Appendix D.1) — delta-buffered inserts with
-//!   merge-and-retrain.
+//!   merge-and-retrain, plus an LSM-style tiered mode where full buffers
+//!   seal into immutable [`SortedRun`]s (per-run linear mini-models) and
+//!   background compaction folds them into the base with one retrain.
 //! * [`learned_sort`] (§7 "Beyond Indexing") — CDF-model distribution
 //!   sort with insertion-sort fixup.
 
@@ -35,6 +37,7 @@ pub mod lif;
 pub mod multidim;
 pub mod paging;
 pub mod rmi;
+pub mod run;
 pub mod search;
 pub mod sort;
 pub mod string_rmi;
@@ -50,6 +53,7 @@ pub use rmi::{
     train_count, Leaf, LeafKind, LeafModelParams, LeafParams, Rmi, RmiConfig, RmiParams, RmiStats,
     TopModel,
 };
+pub use run::SortedRun;
 pub use search::SearchStrategy;
 pub use sort::learned_sort;
 pub use string_rmi::{tokenize, StringRmi, StringRmiConfig};

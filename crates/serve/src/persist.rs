@@ -17,7 +17,8 @@
 //!  ├────────────────────────────┤ 4096 + 8·n_keys
 //!  │ manifest                   │   shard topology + per-shard model
 //!  │                            │   coefficients + error envelopes
-//!  └────────────────────────────┘   (+ delta buffers for the write path)
+//!  └────────────────────────────┘   (+ delta buffers & sealed run
+//!                                     stacks for the write path)
 //! ```
 //!
 //! * **Save** serializes coefficients ([`li_core::RmiParams`]) — never
@@ -29,13 +30,16 @@
 //!   zero-copy on 64-bit little-endian unix, decoded-copy elsewhere),
 //!   verifies both checksums, rebuilds each shard's RMI from its saved
 //!   coefficients with [`Rmi::from_params`], and — for the write path —
-//!   replays the saved delta buffer into a fresh
-//!   [`DeltaIndex`]. No model is ever refit:
+//!   replays the saved delta buffer — and, in tiered mode, the sealed
+//!   run stack — into a fresh [`DeltaIndex`]. Run mini-models are
+//!   refitted on load (O(run) linear fits, like the B-Tree leaves they
+//!   are structure, not trained models); the base RMI is never refit:
 //!   [`li_core::train_count`] is the witness.
 //!
-//! Format v1 covers the workspace's serving defaults: RMI shard
+//! Format v2 covers the workspace's serving defaults: RMI shard
 //! backends with linear tops (hybrid B-Tree leaves included — the tree
-//! is structure, rebuilt from the mapped keys, not a trained model).
+//! is structure, rebuilt from the mapped keys, not a trained model),
+//! plus per-shard sealed run stacks for the tiered write path.
 //! Other backends and tops get a [`PersistError::Unsupported`], never a
 //! silently lossy file.
 
@@ -63,8 +67,11 @@ pub const HEADER_LEN: usize = 4096;
 /// (catches text-mode mangling, like the PNG magic does).
 const MAGIC: [u8; 8] = *b"LIDX\xF0\x01\r\n";
 
-/// Format version written by this module.
-const VERSION: u32 = 1;
+/// Format version written by this module. v2 added the
+/// sharded-writable tiering fields (`max_runs` + per-shard sealed run
+/// stacks); v1 files are refused with a clear [`PersistError`] rather
+/// than loaded with silently dropped tiers.
+const VERSION: u32 = 2;
 
 /// `kind` field: a read-only [`ShardedIndex`] snapshot.
 const KIND_SHARDED_INDEX: u32 = 1;
@@ -79,7 +86,7 @@ pub enum PersistError {
     /// The file is not a valid snapshot (bad magic, truncated,
     /// checksum mismatch, inconsistent topology…).
     Format(String),
-    /// The structure (or file) uses a feature format v1 cannot carry,
+    /// The structure (or file) uses a feature format v2 cannot carry,
     /// e.g. a non-RMI shard backend or a multivariate/MLP top model.
     Unsupported(String),
 }
@@ -318,7 +325,7 @@ fn encode_rmi_config(enc: &mut Enc, cfg: &RmiConfig) -> Result<(), PersistError>
         TopModel::Linear => enc.u8(0),
         _ => {
             return Err(PersistError::Unsupported(
-                "format v1 persists linear-top RMI configurations only".into(),
+                "format v2 persists linear-top RMI configurations only".into(),
             ))
         }
     }
@@ -395,6 +402,7 @@ fn encode_sw_config(enc: &mut Enc, cfg: &ShardedWritableConfig) {
         }
     }
     enc.usize(cfg.rebalance.max_shards);
+    enc.usize(cfg.max_runs);
 }
 
 fn decode_sw_config(dec: &mut Dec<'_>) -> Result<ShardedWritableConfig, PersistError> {
@@ -416,11 +424,13 @@ fn decode_sw_config(dec: &mut Dec<'_>) -> Result<ShardedWritableConfig, PersistE
         t => return Err(format_err(format!("bad max_mean_err flag {t}"))),
     };
     let max_shards = dec.usize()?;
+    let max_runs = dec.usize()?;
     let cfg = ShardedWritableConfig {
         merge_threshold,
         leaf_fraction,
         retune,
         check_interval,
+        max_runs,
         rebalance: RebalanceConfig {
             max_shard_len,
             merge_max_len,
@@ -579,12 +589,12 @@ impl ShardedIndex {
                 .ok_or_else(|| {
                     PersistError::Unsupported(format!(
                         "shard {i} backend ({backend_name}) is not an RMI; \
-                         format v1 persists RMI shards only"
+                         format v2 persists RMI shards only"
                     ))
                 })?;
             params.push(rmi.to_params().ok_or_else(|| {
                 PersistError::Unsupported(format!(
-                    "shard {i} uses a multivariate/MLP top; format v1 persists linear tops only"
+                    "shard {i} uses a multivariate/MLP top; format v2 persists linear tops only"
                 ))
             })?);
         }
@@ -678,7 +688,7 @@ impl ShardedWritable {
                 &mut enc,
                 &base.to_params().ok_or_else(|| {
                     PersistError::Unsupported(
-                    "a shard base uses a multivariate/MLP top; format v1 persists linear tops only"
+                    "a shard base uses a multivariate/MLP top; format v2 persists linear tops only"
                         .into(),
                 )
                 })?,
@@ -687,6 +697,17 @@ impl ShardedWritable {
             enc.usize(delta.len());
             for &k in delta {
                 enc.u64(k);
+            }
+            // Sealed run stack, oldest first. Only the keys go in the
+            // file: run mini-models are O(run) linear fits, refitted on
+            // load exactly like hybrid B-Tree leaf structure.
+            let runs = snap.runs();
+            enc.usize(runs.len());
+            for run in runs {
+                enc.usize(run.len());
+                for &k in run.as_slice() {
+                    enc.u64(k);
+                }
             }
             chunks.push(base_keys);
             base_offset += base_keys.len();
@@ -702,8 +723,10 @@ impl ShardedWritable {
     /// Load a snapshot saved by [`ShardedWritable::save`]: map the key
     /// payload, rebuild every shard base from its saved coefficients
     /// ([`Rmi::from_params`] — no retraining), and **replay each saved
-    /// delta buffer** into a fresh `DeltaIndex`, so pending inserts
-    /// survive the restart without having been merged.
+    /// delta buffer and sealed run stack** into a fresh `DeltaIndex`,
+    /// so pending inserts survive the restart without having been
+    /// merged or compacted. Run mini-models are refitted in O(run) —
+    /// [`li_core::train_count`] stays flat across a load.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
         let (region, n_keys, manifest) = open_verified(path.as_ref(), KIND_SHARDED_WRITABLE)?;
         let mut dec = Dec::new(&region.bytes()[manifest]);
@@ -748,14 +771,49 @@ impl ShardedWritable {
                 delta.push(dec.u64()?);
             }
             check_sorted_unique(&delta, "a delta buffer")?;
+            let n_runs = dec.count(16)?;
+            if config.max_runs == 0 && n_runs > 0 {
+                return Err(format_err(
+                    "sealed runs present but the configuration disables tiering",
+                ));
+            }
+            let mut runs = Vec::with_capacity(n_runs);
+            for _ in 0..n_runs {
+                let n = dec.count(8)?;
+                if n == 0 {
+                    return Err(format_err("a sealed run must be non-empty"));
+                }
+                let mut run = Vec::with_capacity(n);
+                for _ in 0..n {
+                    run.push(dec.u64()?);
+                }
+                check_sorted_unique(&run, "a sealed run")?;
+                runs.push(run);
+            }
+            // Mutual disjointness of the upper tiers, then of the upper
+            // tiers against the base: disjoint sorted-unique sets stay
+            // strictly sorted when merged, so any overlap shows up as
+            // an equal adjacent pair (runs are small — this is cheap).
+            let mut upper: Vec<u64> = runs
+                .iter()
+                .flatten()
+                .copied()
+                .chain(delta.clone())
+                .collect();
+            upper.sort_unstable();
+            if !upper.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format_err(
+                    "sealed runs and delta buffer overlap each other",
+                ));
+            }
             let store = KeyStore::from_mapped(&region, HEADER_LEN + base_offset * 8, base_len)?;
             check_sorted_unique(store.as_slice(), "a shard base")?;
             let base = Rmi::from_params(store, &params)
                 .ok_or_else(|| format_err("shard parameters inconsistent with its key range"))?;
-            if delta.iter().any(|&k| base.lookup(k).is_some()) {
-                return Err(format_err("delta buffer overlaps its base"));
+            if upper.iter().any(|&k| base.lookup(k).is_some()) {
+                return Err(format_err("sealed runs or delta buffer overlap the base"));
             }
-            let di = DeltaIndex::with_pending(base, cfg, threshold, delta);
+            let di = DeltaIndex::with_tiers(base, cfg, threshold, config.max_runs, runs, delta);
             shards.push(Arc::new(WritableShard::from_delta(di)));
         }
         if expected_offset != n_keys {

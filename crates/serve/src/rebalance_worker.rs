@@ -20,6 +20,9 @@
 //!                                          ▼
 //!                                   rebalance worker thread
 //!                                   loop per pass:
+//!                                     0. compact full run stacks (tiered
+//!                                        mode: K sealed runs → base, ONE
+//!                                        retrain, no topology lock)
 //!                                     1. observe + plan      (read lock)
 //!                                     2. export + retrain    (NO lock —
 //!                                        inserts keep flowing into the
@@ -222,6 +225,12 @@ struct WorkerStats {
     merges: AtomicUsize,
     passes: AtomicUsize,
     races: AtomicUsize,
+    /// Run-stack compactions applied (shards whose sealed runs were
+    /// folded into the base with one retrain).
+    compactions: AtomicUsize,
+    /// Sealed runs folded across all compactions (≥ `max_runs` per
+    /// compaction event under steady pressure).
+    runs_compacted: AtomicUsize,
     /// Cumulative inserts drained off the pressure board.
     pressure_inserts: AtomicUsize,
     /// Passes whose drained pressure included a hot-shard observation.
@@ -364,6 +373,21 @@ impl RebalanceWorker {
         self.stats.merges.load(Ordering::Relaxed)
     }
 
+    /// Run-stack compactions this worker has applied (tiered mode:
+    /// shards whose sealed runs it folded into the base with one
+    /// retrain). While attached, the worker is the *only* compactor, so
+    /// this equals the structure's own
+    /// [`ShardedWritable::compactions`](crate::ShardedWritable::compactions)
+    /// counter.
+    pub fn compactions(&self) -> usize {
+        self.stats.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Sealed runs folded across all of this worker's compactions.
+    pub fn runs_compacted(&self) -> usize {
+        self.stats.runs_compacted.load(Ordering::Relaxed)
+    }
+
     /// Rebalance passes the worker has completed (one per wake).
     pub fn passes(&self) -> usize {
         self.stats.passes.load(Ordering::Relaxed)
@@ -442,6 +466,18 @@ fn worker_loop(sw: &ShardedWritable, link: &WorkerLink, rx: &Receiver<Wake>, sta
         stats
             .max_len_seen
             .fetch_max(pressure.max_len_seen, Ordering::Relaxed);
+        // Tiered mode: fold full run stacks into their bases first —
+        // one retrain per K sealed runs, off the insert path, before
+        // split/merge planning looks at shard shapes. Inserters never
+        // compact while we are attached (they only signal), so the
+        // worker's counters account every compaction.
+        let (compactions, runs_folded) = sw.compact_pending();
+        if compactions > 0 {
+            stats.compactions.fetch_add(compactions, Ordering::Relaxed);
+            stats
+                .runs_compacted
+                .fetch_add(runs_folded, Ordering::Relaxed);
+        }
         // Run steps until the topology is stable. The per-round budget
         // is the same backstop as the inline loop; a round that
         // exhausts it with work remaining (a giant backlog, or a storm

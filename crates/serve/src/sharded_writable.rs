@@ -37,6 +37,19 @@
 //! `rank`, `range_keys` — a one-shard (plus O(1) bookkeeping) affair,
 //! and what keeps cross-shard concatenation globally sorted.
 //!
+//! # Tiered write path
+//!
+//! With [`ShardedWritableConfig::max_runs`] `> 0` every shard runs the
+//! LSM-style tiered cycle instead of merge-at-threshold: a full buffer
+//! is *sealed* into an immutable [`li_core::SortedRun`] (O(buffer), no
+//! base retrain), and once `max_runs` runs stack up the shard is
+//! *compacted* — all runs folded into the base with ONE retrain. The
+//! insert that fills a run stack never compacts inline while a
+//! [`crate::RebalanceWorker`] is attached; it only signals, and the
+//! worker folds the stack off the insert path (with no worker
+//! attached, the insert compacts inline — the same owner-driven
+//! fallback as inline rebalancing).
+//!
 //! # Per-shard retuning
 //!
 //! Every shard (re)build sizes its RMI leaf count from the shard's
@@ -52,7 +65,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
-use li_core::delta::DeltaSnapshot;
+use li_core::delta::{DeltaIndex, DeltaSnapshot};
 use li_core::rmi::{RmiConfig, TopModel};
 use li_index::partition::{boundaries, even_offsets, split_point};
 use li_index::KeyStore;
@@ -96,6 +109,14 @@ pub struct ShardedWritableConfig {
     /// (in addition to the immediate check when an insert pushes its
     /// shard over the split threshold). `0` disables periodic scans.
     pub check_interval: usize,
+    /// LSM-style tiering bound: `0` (the default) keeps the classic
+    /// merge-at-threshold write path; `> 0` makes every shard seal a
+    /// full buffer into an immutable sorted run (O(buffer), no base
+    /// retrain) and schedules a compaction — all runs folded into the
+    /// base with ONE retrain — once this many runs have stacked up.
+    /// Compaction runs on the attached [`crate::RebalanceWorker`] when
+    /// there is one, inline otherwise.
+    pub max_runs: usize,
     /// Split/merge thresholds.
     pub rebalance: RebalanceConfig,
 }
@@ -107,6 +128,7 @@ impl Default for ShardedWritableConfig {
             leaf_fraction: 1.0 / 200.0,
             retune: RetunePolicy::default(),
             check_interval: 1024,
+            max_runs: 0,
             rebalance: RebalanceConfig::default(),
         }
     }
@@ -184,6 +206,8 @@ pub struct ShardedWritable {
     inserts: AtomicUsize,
     splits: AtomicUsize,
     shard_merges: AtomicUsize,
+    /// Shard compactions applied (tiered mode; see `compact_pending`).
+    compactions: AtomicUsize,
     /// Link to an attached background rebalance worker. `None` (the
     /// default) means inserts rebalance inline; `Some` means inserts
     /// only record pressure and signal — the worker owns rebalancing.
@@ -218,6 +242,7 @@ impl ShardedWritable {
             inserts: AtomicUsize::new(0),
             splits: AtomicUsize::new(0),
             shard_merges: AtomicUsize::new(0),
+            compactions: AtomicUsize::new(0),
             worker: RwLock::new(None),
         }
     }
@@ -230,7 +255,7 @@ impl ShardedWritable {
     /// [`crate::RebalanceWorker`] attached) signals the background
     /// worker.
     pub fn insert(&self, key: u64) -> bool {
-        let (inserted, owner_len) = {
+        let obs = {
             // The read *guard* (not just the topology Arc) must live
             // across the shard insert: it is what excludes a concurrent
             // rebalance from exporting this shard's keys and publishing
@@ -238,16 +263,18 @@ impl ShardedWritable {
             // about-to-be-discarded shard — a silently lost insert.
             let guard = self.topo.read().unwrap_or_else(|e| e.into_inner());
             let s = guard.router.route_owner(key);
-            let shard = &guard.shards[s];
-            let inserted = shard.insert(key);
-            (inserted, if inserted { shard.len() } else { 0 })
-            // Guard drops here, before any inline rebalance takes the
-            // write lock.
+            guard.shards[s].insert_observed(key)
+            // Guard drops here, before any inline rebalance or
+            // compaction takes further locks.
         };
-        if inserted {
-            self.note_inserts(1, owner_len);
+        if obs.inserted || obs.needs_compaction {
+            self.note_inserts(
+                usize::from(obs.inserted),
+                if obs.inserted { obs.len } else { 0 },
+                obs.needs_compaction,
+            );
         }
-        inserted
+        obs.inserted
     }
 
     /// Insert a whole batch, returning one newly-inserted flag per key
@@ -278,7 +305,7 @@ impl ShardedWritable {
         if keys.is_empty() {
             return flags;
         }
-        let (newly, max_owner_len) = {
+        let (newly, max_owner_len, compaction_due) = {
             // Same guard discipline as `insert`: hold the read lock
             // across every shard handoff so no rebalance can swap the
             // topology mid-batch.
@@ -286,12 +313,15 @@ impl ShardedWritable {
             let n = guard.shards.len();
             let mut newly = 0usize;
             let mut max_owner_len = 0usize;
+            let mut compaction_due = false;
             if n == 1 {
-                flags = guard.shards[0].insert_batch(keys);
+                let (shard_flags, obs) = guard.shards[0].insert_batch_observed(keys);
+                flags = shard_flags;
                 newly = flags.iter().filter(|&&f| f).count();
                 if newly > 0 {
-                    max_owner_len = guard.shards[0].len();
+                    max_owner_len = obs.len;
                 }
+                compaction_due = obs.needs_compaction;
             } else {
                 // Bucket per owner shard, remembering each key's slot
                 // so the flags scatter back in input order.
@@ -310,21 +340,22 @@ impl ShardedWritable {
                     if bkeys.is_empty() {
                         continue;
                     }
-                    let shard_flags = shard.insert_batch(bkeys);
+                    let (shard_flags, obs) = shard.insert_batch_observed(bkeys);
                     let added = shard_flags.iter().filter(|&&f| f).count();
                     if added > 0 {
                         newly += added;
-                        max_owner_len = max_owner_len.max(shard.len());
+                        max_owner_len = max_owner_len.max(obs.len);
                     }
+                    compaction_due |= obs.needs_compaction;
                     for (&slot, &f) in bslots.iter().zip(&shard_flags) {
                         flags[slot] = f;
                     }
                 }
             }
-            (newly, max_owner_len)
+            (newly, max_owner_len, compaction_due)
         };
-        if newly > 0 {
-            self.note_inserts(newly, max_owner_len);
+        if newly > 0 || compaction_due {
+            self.note_inserts(newly, max_owner_len, compaction_due);
         }
         flags
     }
@@ -332,9 +363,10 @@ impl ShardedWritable {
     /// Shared post-insert accounting for the scalar and batched write
     /// paths: bump the global insert counter, then either record
     /// pressure on the attached background worker's lock-free board
-    /// (signaling it when a shard ran hot or the periodic scan cadence
-    /// was crossed) or run the inline rebalancer for the same triggers.
-    fn note_inserts(&self, newly: usize, max_owner_len: usize) {
+    /// (signaling it when a shard ran hot, a run stack filled, or the
+    /// periodic scan cadence was crossed) or run the inline rebalancer
+    /// and compactor for the same triggers.
+    fn note_inserts(&self, newly: usize, max_owner_len: usize, compaction_due: bool) {
         let before = self.inserts.fetch_add(newly, Ordering::Relaxed);
         let after = before + newly;
         let owner_hot = max_owner_len > self.config.rebalance.max_shard_len;
@@ -349,14 +381,49 @@ impl ShardedWritable {
             .as_ref()
         {
             link.record(newly, max_owner_len, owner_hot);
-            if owner_hot || periodic {
+            if owner_hot || periodic || compaction_due {
                 link.signal();
             }
             return;
         }
+        if compaction_due {
+            self.compact_pending();
+        }
         if owner_hot || periodic {
             self.rebalance();
         }
+    }
+
+    /// Compact every shard whose run stack is at its tiering bound:
+    /// each one's base is retrained ONCE over base + runs with no
+    /// topology lock held (only the shard's own brief read/write locks
+    /// — see [`WritableShard::compact`]), so concurrent inserts and
+    /// snapshots keep flowing. Returns `(shards compacted, runs
+    /// folded)`. This is the single compaction entry point for both
+    /// modes — the attached [`crate::RebalanceWorker`] calls it on its
+    /// passes, the insert path calls it inline when no worker is
+    /// attached — so the global [`ShardedWritable::compactions`]
+    /// counter accounts every compaction exactly once.
+    pub(crate) fn compact_pending(&self) -> (usize, usize) {
+        // The Arc (not the guard) suffices: compaction never touches
+        // the topology, and a shard orphaned by a concurrent rebalance
+        // is merely wasted work, never lost keys.
+        let topo = self.read_topo();
+        let mut events = 0usize;
+        let mut folded = 0usize;
+        for shard in topo.shards.iter() {
+            if shard.needs_compaction() {
+                let runs = shard.compact();
+                if runs > 0 {
+                    events += 1;
+                    folded += runs;
+                }
+            }
+        }
+        if events > 0 {
+            self.compactions.fetch_add(events, Ordering::Relaxed);
+        }
+        (events, folded)
     }
 
     /// Attach a background worker's link: from now on inserts record
@@ -448,6 +515,31 @@ impl ShardedWritable {
     /// How many shard merges have been applied.
     pub fn shard_merges(&self) -> usize {
         self.shard_merges.load(Ordering::Relaxed)
+    }
+
+    /// How many run-stack compactions have been applied (shards whose
+    /// sealed runs were folded into the base with one retrain). Always
+    /// `0` when `max_runs == 0`. While a [`crate::RebalanceWorker`] is
+    /// attached, every compaction happens on the worker, so this equals
+    /// the worker's own compaction counter.
+    pub fn compactions(&self) -> usize {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Sealed runs currently stacked across all shards, awaiting
+    /// compaction.
+    pub fn run_count(&self) -> usize {
+        self.read_topo().shards.iter().map(|s| s.run_count()).sum()
+    }
+
+    /// Keys held in sealed runs across all shards (between the mutable
+    /// buffers and the learned bases).
+    pub fn sealed_keys(&self) -> usize {
+        self.read_topo()
+            .shards
+            .iter()
+            .map(|s| s.sealed_keys())
+            .sum()
     }
 
     /// Keys waiting in delta buffers across all shards.
@@ -734,6 +826,7 @@ impl ShardedWritable {
             inserts: AtomicUsize::new(0),
             splits: AtomicUsize::new(0),
             shard_merges: AtomicUsize::new(0),
+            compactions: AtomicUsize::new(0),
             worker: RwLock::new(None),
         }
     }
@@ -825,7 +918,9 @@ fn build_retuned_shard(keys: impl Into<KeyStore>, config: &ShardedWritableConfig
         config.leaf_fraction,
         Some(&config.retune),
     );
-    WritableShard::from_trained(rmi, cfg, config.merge_threshold)
+    WritableShard::from_delta(
+        DeltaIndex::from_trained(rmi, cfg, config.merge_threshold).with_tiering(config.max_runs),
+    )
 }
 
 /// A consistent, lock-free point-in-time view of a [`ShardedWritable`]:
@@ -924,6 +1019,60 @@ mod tests {
             },
             ..ShardedWritableConfig::default()
         }
+    }
+
+    fn tiered_cfg(max_runs: usize) -> ShardedWritableConfig {
+        ShardedWritableConfig {
+            max_runs,
+            ..small_cfg()
+        }
+    }
+
+    #[test]
+    fn tiered_inserts_seal_runs_and_compact_inline_without_a_worker() {
+        // Threshold 8, max_runs 2: every 8 fresh keys seal a run, every
+        // second seal fills the stack — with no worker attached the
+        // same insert compacts inline.
+        let data: Vec<u64> = (0..64u64).map(|i| i * 100).collect();
+        let sw = ShardedWritable::new(data.clone(), 2, tiered_cfg(2));
+        let mut oracle: std::collections::BTreeSet<u64> = data.iter().copied().collect();
+        for k in 0..400u64 {
+            let key = k * 7 + 1;
+            assert_eq!(sw.insert(key), oracle.insert(key), "key {key}");
+        }
+        assert!(sw.compactions() >= 1, "full stacks must compact inline");
+        // Nothing is ever left over-stacked: the insert that fills a
+        // stack compacts it before returning.
+        assert!(sw.run_count() < 2 * sw.shard_count());
+        let want: Vec<u64> = oracle.iter().copied().collect();
+        assert_eq!(sw.range_keys(0, u64::MAX), want);
+        assert_eq!(sw.len(), want.len());
+        for &k in want.iter().step_by(17) {
+            assert!(sw.contains(k), "k={k}");
+        }
+        // Tier accounting: base keys + sealed runs + pending buffers
+        // partition the keyset exactly.
+        let snap = sw.snapshot();
+        let base_total: usize = snap
+            .shard_snapshots()
+            .iter()
+            .map(|s| {
+                use li_index::RangeIndex as _;
+                s.base_index().key_store().len()
+            })
+            .sum();
+        assert_eq!(base_total + sw.sealed_keys() + sw.pending(), want.len());
+    }
+
+    #[test]
+    fn untiered_mode_never_seals_or_compacts() {
+        let sw = ShardedWritable::new(vec![0u64], 1, small_cfg());
+        for k in 1..=300u64 {
+            sw.insert(k * 2);
+        }
+        assert_eq!(sw.run_count(), 0);
+        assert_eq!(sw.sealed_keys(), 0);
+        assert_eq!(sw.compactions(), 0);
     }
 
     #[test]
@@ -1043,6 +1192,7 @@ mod tests {
                 ..RetunePolicy::default()
             },
             check_interval: 0,
+            max_runs: 0,
             rebalance: RebalanceConfig {
                 max_shard_len: 1 << 20, // never length-split
                 merge_max_len: 8,

@@ -12,6 +12,14 @@
 //! RMI lives behind an `Arc`), so a snapshot taken before a merge keeps
 //! serving the exact pre-merge state: reads are never torn across a
 //! retrain, which is what the concurrent stress suite asserts.
+//!
+//! In **tiered** mode ([`WritableShard::tiered`]) the shard also carries
+//! a stack of immutable sorted runs between the buffer and the base, and
+//! [`WritableShard::compact`] folds them into the base with the retrain
+//! running **off-lock**: writers are only excluded for the final
+//! pointer-swap publish, never for the `Rmi::build` — the same
+//! observe / rebuild-off-lock / publish discipline the background
+//! rebalancer uses for topology changes.
 
 use std::sync::RwLock;
 
@@ -40,6 +48,40 @@ impl WritableShard {
     pub fn from_trained(base: Rmi, config: RmiConfig, merge_threshold: usize) -> Self {
         Self {
             inner: RwLock::new(DeltaIndex::from_trained(base, config, merge_threshold)),
+        }
+    }
+
+    /// Build a **tiered** shard: a full buffer is sealed into an
+    /// immutable sorted run (O(buffer), no base retrain) instead of
+    /// merged, and once `max_runs` runs have stacked up
+    /// [`WritableShard::needs_compaction`] turns true so the owner can
+    /// fold them with one [`WritableShard::compact`] call.
+    /// `max_runs == 0` is the classic untiered shard.
+    ///
+    /// # Examples
+    /// ```
+    /// use li_core::rmi::RmiConfig;
+    /// use li_serve::WritableShard;
+    ///
+    /// let shard = WritableShard::tiered(vec![100u64, 200], RmiConfig::default(), 4, 2);
+    /// for k in 0..8u64 {
+    ///     shard.insert(k); // two seals, zero base retrains
+    /// }
+    /// assert_eq!(shard.run_count(), 2);
+    /// assert!(shard.needs_compaction());
+    /// assert_eq!(shard.compact(), 2); // one retrain folds both runs
+    /// assert_eq!(shard.len(), 10);
+    /// ```
+    pub fn tiered(
+        data: impl Into<KeyStore>,
+        config: RmiConfig,
+        merge_threshold: usize,
+        max_runs: usize,
+    ) -> Self {
+        Self {
+            inner: RwLock::new(
+                DeltaIndex::new(data, config, merge_threshold).with_tiering(max_runs),
+            ),
         }
     }
 
@@ -72,9 +114,60 @@ impl WritableShard {
         self.write_lock().insert_batch(keys)
     }
 
-    /// Force a merge + retrain now.
+    /// Force a full collapse + retrain now (sealed runs and the buffer
+    /// both fold into the base).
     pub fn merge(&self) {
         self.write_lock().merge();
+    }
+
+    /// Fold every sealed run into the base with one retrain, training
+    /// **off-lock**: the run stack and base are captured under a brief
+    /// read lock, `Rmi::build` runs with no lock held (writers keep
+    /// inserting, even sealing new runs), and the result is published
+    /// under the write lock only if the captured tiers are still
+    /// current — otherwise nothing is installed and the caller retries
+    /// later, exactly like the background rebalancer's `Raced` outcome.
+    /// Returns the number of runs folded (0 = nothing to do or raced).
+    pub fn compact(&self) -> usize {
+        let (cut, cfg) = {
+            let guard = self.read_lock();
+            if guard.run_count() == 0 {
+                return 0;
+            }
+            (guard.snapshot(), guard.config().clone())
+        };
+        let Some(rebuilt) = cut.train_compacted(&cfg) else {
+            return 0;
+        };
+        self.write_lock()
+            .install_compacted(&cut, rebuilt)
+            .unwrap_or(0)
+    }
+
+    /// Whether the run stack has reached its tiering bound (always
+    /// `false` for untiered shards).
+    pub fn needs_compaction(&self) -> bool {
+        self.read_lock().needs_compaction()
+    }
+
+    /// Sealed runs currently stacked between the buffer and the base.
+    pub fn run_count(&self) -> usize {
+        self.read_lock().run_count()
+    }
+
+    /// How many buffers have been sealed into immutable runs.
+    pub fn seals(&self) -> usize {
+        self.read_lock().seals()
+    }
+
+    /// How many compactions (run stacks folded into the base) have run.
+    pub fn compactions(&self) -> usize {
+        self.read_lock().compactions()
+    }
+
+    /// Keys held in sealed runs (between the buffer and the base).
+    pub fn sealed_keys(&self) -> usize {
+        self.read_lock().sealed_keys()
     }
 
     /// A point-in-time view for lock-free reading. O(pending) — an
@@ -136,6 +229,35 @@ impl WritableShard {
         }
     }
 
+    /// Insert plus the post-insert observations the sharded write path
+    /// needs, all under ONE write-lock acquisition (a separate `len()`
+    /// call would pay a second lock handoff per insert).
+    pub(crate) fn insert_observed(&self, key: u64) -> InsertObs {
+        let mut guard = self.write_lock();
+        let inserted = guard.insert(key);
+        InsertObs {
+            inserted,
+            len: guard.len(),
+            needs_compaction: guard.needs_compaction(),
+        }
+    }
+
+    /// Batched [`WritableShard::insert_observed`]: flags in input order
+    /// plus the shard observations, one lock acquisition.
+    pub(crate) fn insert_batch_observed(&self, keys: &[u64]) -> (Vec<bool>, InsertObs) {
+        let mut guard = self.write_lock();
+        let flags = guard.insert_batch(keys);
+        let inserted = flags.iter().any(|&f| f);
+        (
+            flags,
+            InsertObs {
+                inserted,
+                len: guard.len(),
+                needs_compaction: guard.needs_compaction(),
+            },
+        )
+    }
+
     /// The base snapshot, retrain configuration and merge threshold,
     /// captured atomically under one read guard — everything the
     /// persistence layer needs to describe this shard at save time.
@@ -164,6 +286,18 @@ impl WritableShard {
     fn write_lock(&self) -> std::sync::RwLockWriteGuard<'_, DeltaIndex> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// What an insert observed about its shard, captured under the same
+/// write lock as the insert itself.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InsertObs {
+    /// Whether any key was newly inserted.
+    pub inserted: bool,
+    /// Shard length right after the insert.
+    pub len: usize,
+    /// Whether the run stack is at its tiering bound.
+    pub needs_compaction: bool,
 }
 
 #[cfg(test)]

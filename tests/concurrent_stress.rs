@@ -21,6 +21,12 @@
 //!    (each shard's keys inside its ownership range), lengths
 //!    monotone, the initial keyset permanently visible, and every
 //!    snapshot's bookkeeping exactly self-consistent.
+//! 4. **Tiered write path** — with tiering on and a worker attached,
+//!    writers seal runs while the worker compacts full stacks into
+//!    the base. Readers validate the three-tier bookkeeping of every
+//!    snapshot (base + sealed runs + pending buffer partition the
+//!    keyset) with no lock held; compaction is proven worker-only by
+//!    counter equality.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -510,6 +516,178 @@ fn writer_storm_is_rebalanced_by_the_background_worker_only() {
     for w in 0..writers {
         for i in 0..per_writer {
             expect.insert((w * per_writer + i) * 74 + 1);
+        }
+    }
+    assert_eq!(sw.len(), expect.len());
+    let dump = sw.range_keys(0, u64::MAX);
+    assert_eq!(dump.len(), expect.len());
+    assert!(dump.iter().eq(expect.iter()), "final contents diverged");
+}
+
+/// The tiered write path under a writer storm with a background
+/// worker attached: inserting threads seal runs (cheap mini-model
+/// fits) but never compact — the worker folds every full run stack
+/// into the learned base. Readers validate cross-shard snapshots
+/// lock-free throughout, including the three-tier bookkeeping: in any
+/// snapshot each shard's base, sealed runs and pending buffer
+/// partition that shard's keyset exactly, every run is sorted-unique,
+/// and `rank`/`contains` stay coherent mid-compaction. Worker-only
+/// compaction is proven by counter equality (`worker.compactions() ==
+/// sw.compactions()` — an inline compaction would break it), and with
+/// `max_runs = 2` every fold must consume at least two runs.
+#[test]
+fn writer_storm_compactions_run_on_the_worker_and_never_tear_snapshots() {
+    // Rebalance thresholds set far out of reach so the only background
+    // activity is compaction: seals every 8 fresh keys per shard, a
+    // fold due at 2 runs.
+    let initial: Vec<u64> = (0..2_000u64).map(|i| i * 64).collect();
+    let writers = 4u64;
+    let per_writer = 800u64;
+    let config = ShardedWritableConfig {
+        merge_threshold: 8,
+        check_interval: 0,
+        max_runs: 2,
+        rebalance: RebalanceConfig {
+            max_shard_len: 1_000_000,
+            merge_max_len: 0,
+            max_mean_err: None,
+            max_shards: 8,
+        },
+        ..ShardedWritableConfig::default()
+    };
+    let sw = Arc::new(ShardedWritable::new(initial.clone(), 4, config));
+    let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+
+    let done = AtomicBool::new(false);
+    let snapshots_checked = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let sw_ref = &*sw;
+        let done_ref = &done;
+        let checked_ref = &snapshots_checked;
+        let initial_ref = &initial;
+
+        // Readers: validate the tier bookkeeping of every snapshot
+        // while the writers seal and the worker compacts.
+        for t in 0..2 {
+            scope.spawn(move || {
+                let mut last_len = 0usize;
+                loop {
+                    let finished = done_ref.load(Ordering::Acquire);
+                    let snap = sw_ref.snapshot();
+
+                    // No torn length: per-shard sums and rank(∞) agree.
+                    let per_shard: usize = snap.shard_snapshots().iter().map(|s| s.len()).sum();
+                    assert_eq!(per_shard, snap.len(), "t={t}: torn shard lengths");
+                    let total = snap.rank(u64::MAX) + usize::from(snap.contains(u64::MAX));
+                    assert_eq!(total, snap.len(), "t={t}: torn rank bookkeeping");
+
+                    // Three-tier accounting: base + sealed runs +
+                    // pending buffer partition each shard's keyset. A
+                    // compaction observed halfway (runs folded into the
+                    // base but still counted, or vice versa) breaks the
+                    // sum; a torn run vector breaks the sortedness.
+                    for (s, shard) in snap.shard_snapshots().iter().enumerate() {
+                        let base_len = shard.base_index().key_store().len();
+                        let run_keys: usize = shard.runs().iter().map(|r| r.len()).sum();
+                        assert_eq!(
+                            base_len + run_keys + shard.delta_keys().len(),
+                            shard.len(),
+                            "t={t}: shard {s} tiers do not partition the keyset"
+                        );
+                        for run in shard.runs() {
+                            assert!(!run.is_empty(), "t={t}: shard {s} empty sealed run");
+                            assert!(
+                                run.as_slice().windows(2).all(|w| w[0] < w[1]),
+                                "t={t}: shard {s} torn run"
+                            );
+                        }
+                    }
+
+                    // Monotone growth; initial keys permanently there.
+                    assert!(snap.len() >= last_len, "t={t}: len went backwards");
+                    last_len = snap.len();
+                    for &k in initial_ref.iter().step_by(131) {
+                        assert!(snap.contains(k), "t={t}: lost initial key {k}");
+                    }
+
+                    // Scans sorted, deduplicated, rank-consistent even
+                    // when the window spans all three tiers.
+                    let scan = snap.range_keys(5_000, 40_000);
+                    assert!(scan.windows(2).all(|w| w[0] < w[1]), "t={t}: bad scan");
+                    assert_eq!(scan.len(), snap.rank(40_000) - snap.rank(5_000));
+
+                    checked_ref.fetch_add(1, Ordering::Relaxed);
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Writers: disjoint stripes of fresh odd keys (initial keys
+        // are even) driving seal after seal in every shard.
+        scope.spawn(move || {
+            std::thread::scope(|inner| {
+                for w in 0..writers {
+                    inner.spawn(move || {
+                        for i in 0..per_writer {
+                            sw_ref.insert((w * per_writer + i) * 37 + 1);
+                        }
+                    });
+                }
+            });
+            done_ref.store(true, Ordering::Release);
+        });
+    });
+
+    assert!(
+        worker.wait_until_stable(Duration::from_secs(60)),
+        "worker failed to quiesce after the storm"
+    );
+    assert!(snapshots_checked.load(Ordering::Relaxed) > 0);
+
+    // The storm sealed far more runs than one stack: the worker must
+    // have compacted, and every fold consumed a full (>= max_runs)
+    // stack in ONE retrain.
+    assert!(
+        worker.compactions() >= 1,
+        "storm must drive at least one background compaction"
+    );
+    assert!(
+        worker.runs_compacted() >= 2 * worker.compactions(),
+        "each fold must consume at least max_runs = 2 runs, got {} runs over {} folds",
+        worker.runs_compacted(),
+        worker.compactions()
+    );
+
+    // EVERY compaction was executed by the worker thread — while a
+    // worker is attached the inserting threads only record pressure
+    // and signal, so the structure's counter and the worker's must
+    // match exactly.
+    assert_eq!(
+        worker.compactions(),
+        sw.compactions(),
+        "a non-worker thread compacted"
+    );
+    // And compaction is not a topology event: the quiet rebalance
+    // thresholds mean no split or merge ever published.
+    assert_eq!(sw.splits(), 0);
+    assert_eq!(sw.shard_merges(), 0);
+    assert_eq!(sw.generation(), 0);
+
+    // Quiesced means no shard still owes a fold.
+    assert!(
+        sw.run_count() < 2 * sw.shard_count(),
+        "a full run stack survived quiescence"
+    );
+
+    // Exact final contents: initial keys + every distinct storm key.
+    let mut expect: std::collections::BTreeSet<u64> = initial.into_iter().collect();
+    for w in 0..writers {
+        for i in 0..per_writer {
+            expect.insert((w * per_writer + i) * 37 + 1);
         }
     }
     assert_eq!(sw.len(), expect.len());

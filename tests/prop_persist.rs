@@ -58,6 +58,26 @@ fn cfg_with_pending_room() -> ShardedWritableConfig {
     }
 }
 
+/// A tiered write-path configuration: small buffers seal quickly, the
+/// run-stack bound is roomy enough that streams below leave sealed runs
+/// *pending* at save time, and rebalancing is quiet (nothing may fold
+/// the tiers behind the test's back).
+fn tiered_cfg() -> ShardedWritableConfig {
+    ShardedWritableConfig {
+        merge_threshold: 16,
+        leaf_fraction: 1.0 / 8.0,
+        check_interval: 0,
+        max_runs: 4,
+        rebalance: RebalanceConfig {
+            max_shard_len: 4096,
+            merge_max_len: 64,
+            max_mean_err: None,
+            max_shards: 12,
+        },
+        ..ShardedWritableConfig::default()
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -143,6 +163,54 @@ proptest! {
         prop_assert_eq!(loaded.len(), oracle.len());
     }
 
+    /// Tiered write tier: whatever tier state the random stream leaves
+    /// behind (pending buffers, sealed runs, freshly compacted bases —
+    /// in any per-shard mixture), `save → drop → load` preserves it
+    /// exactly: same key set, same run/sealed accounting, zero
+    /// training, and the loaded structure keeps sealing on new writes.
+    #[test]
+    fn tiered_round_trip_preserves_arbitrary_tier_states(
+        initial in prop::collection::vec(any::<u64>(), 0..200),
+        stream in prop::collection::vec(any::<u64>(), 0..120),
+        shards in 1usize..4,
+    ) {
+        let path = tmp_path("sw-tiered");
+        let _guard = Cleanup(path.clone());
+        let init = sorted_unique(initial);
+        let sw = ShardedWritable::new(init.clone(), shards, tiered_cfg());
+        let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+        for &k in &stream {
+            prop_assert_eq!(sw.insert(k), oracle.insert(k));
+        }
+        let (runs_before, sealed_before, pending_before) =
+            (sw.run_count(), sw.sealed_keys(), sw.pending());
+        sw.save(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        drop(sw);
+
+        let before = train_count();
+        let loaded = ShardedWritable::load(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(train_count(), before, "load must not train");
+
+        // Tier-for-tier identical, not merely key-equivalent: sealed
+        // runs come back as sealed runs, pending stays pending.
+        prop_assert_eq!(loaded.run_count(), runs_before);
+        prop_assert_eq!(loaded.sealed_keys(), sealed_before);
+        prop_assert_eq!(loaded.pending(), pending_before);
+        prop_assert_eq!(loaded.len(), oracle.len());
+        for &k in oracle.iter() {
+            prop_assert!(loaded.contains(k), "lost k={}", k);
+        }
+
+        // Still live and still tiered: post-load writes behave like the
+        // oracle (and, with 64 fresh keys against a 16-key buffer, keep
+        // sealing/compacting without breaking it).
+        for k in 0..64u64 {
+            let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            prop_assert_eq!(loaded.insert(key), oracle.insert(key), "post-load insert {}", key);
+        }
+        prop_assert_eq!(loaded.len(), oracle.len());
+    }
+
     /// Corruption: flipping any single byte of a valid snapshot makes
     /// `load` return an error (checksums, magic, or structural checks)
     /// — it must never panic and never produce a structure silently.
@@ -177,6 +245,79 @@ proptest! {
                 prop_assert_eq!(loaded.lower_bound(300), 100);
             }
         }
+    }
+}
+
+/// A snapshot with a guaranteed NON-empty run stack round-trips: the
+/// sealed runs come back as sealed runs (not merged into the base, not
+/// dropped), `train_count` stays flat across the load, and reads are
+/// identical.
+#[test]
+fn nonempty_run_stacks_round_trip_identically() {
+    let path = tmp_path("run-stack");
+    let _guard = Cleanup(path.clone());
+    // One shard, threshold 16, max_runs 4: 40 fresh odd keys → two
+    // sealed runs + 8 pending, stack below the compaction bound.
+    let init: Vec<u64> = (0..100u64).map(|i| i * 2).collect();
+    let sw = ShardedWritable::new(init.clone(), 1, tiered_cfg());
+    for k in 0..40u64 {
+        assert!(sw.insert(k * 2 + 1));
+    }
+    assert_eq!(sw.run_count(), 2, "the setup must leave sealed runs");
+    assert_eq!(sw.sealed_keys(), 32);
+    assert_eq!(sw.pending(), 8);
+    assert_eq!(sw.compactions(), 0);
+    sw.save(&path).unwrap();
+
+    let before = train_count();
+    let loaded = ShardedWritable::load(&path).unwrap();
+    assert_eq!(
+        train_count(),
+        before,
+        "run mini-model refits are not training events"
+    );
+    assert_eq!(loaded.run_count(), 2);
+    assert_eq!(loaded.sealed_keys(), 32);
+    assert_eq!(loaded.pending(), 8);
+    assert_eq!(loaded.len(), sw.len());
+    assert_eq!(loaded.range_keys(0, u64::MAX), sw.range_keys(0, u64::MAX));
+    for q in 0..=240u64 {
+        assert_eq!(loaded.contains(q), sw.contains(q), "q={q}");
+        assert_eq!(loaded.rank(q), sw.rank(q), "q={q}");
+    }
+}
+
+/// Flipping a byte inside a saved run's key payload (which lives in
+/// the manifest, at the tail of the file) must surface as a typed
+/// [`PersistError`] — the manifest checksum catches it before any
+/// structural check runs.
+#[test]
+fn corrupt_run_payload_is_rejected_with_a_typed_error() {
+    let path = tmp_path("run-corrupt");
+    let _guard = Cleanup(path.clone());
+    let sw = ShardedWritable::new(
+        (0..100u64).map(|i| i * 2).collect::<Vec<_>>(),
+        1,
+        tiered_cfg(),
+    );
+    for k in 0..40u64 {
+        sw.insert(k * 2 + 1);
+    }
+    assert!(sw.run_count() >= 1, "the setup must leave sealed runs");
+    sw.save(&path).unwrap();
+
+    // The run stacks are the last per-shard manifest section, so the
+    // file's tail bytes are run keys; corrupt one.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = bytes.len() - 12;
+    bytes[at] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    match ShardedWritable::load(&path) {
+        Err(PersistError::Format(msg)) => {
+            assert!(msg.contains("checksum"), "unexpected rejection: {msg}")
+        }
+        Err(e) => panic!("unexpected error variant: {e}"),
+        Ok(_) => panic!("corrupt run payload must be rejected"),
     }
 }
 

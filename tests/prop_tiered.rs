@@ -1,0 +1,252 @@
+//! Property suite for the LSM-style tiered write path: a
+//! `DeltaIndex` in tiered mode (`with_tiering`) must agree with a
+//! `BTreeSet` oracle across every tier state the insert/compact
+//! lifecycle can produce — empty run stacks, partially filled stacks,
+//! stacks at the compaction bound, freshly compacted bases — and
+//! snapshots cut mid-stream (including mid-compaction) must stay
+//! frozen and internally consistent while the live index keeps
+//! sealing and compacting. Edge cases pinned deterministically:
+//! all-duplicate streams (no seal ever fires) and `u64::MAX` keys in
+//! every tier.
+
+use std::collections::BTreeSet;
+
+use learned_indexes::rmi::{DeltaIndex, RmiConfig, TopModel};
+use proptest::prelude::*;
+
+fn cfg() -> RmiConfig {
+    RmiConfig::two_stage(TopModel::Linear, 32)
+}
+
+fn sorted_unique(mut keys: Vec<u64>) -> Vec<u64> {
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Probe points: around every 5th oracle key plus domain extremes.
+fn probes(oracle: &BTreeSet<u64>) -> Vec<u64> {
+    let mut qs = vec![0u64, 1, u64::MAX - 1, u64::MAX];
+    for &k in oracle.iter().step_by(5) {
+        qs.extend_from_slice(&[k.saturating_sub(1), k, k.saturating_add(1)]);
+    }
+    qs
+}
+
+fn assert_matches_oracle(
+    idx: &DeltaIndex,
+    oracle: &BTreeSet<u64>,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(idx.len(), oracle.len(), "{}: len", ctx);
+    for &q in &probes(oracle) {
+        prop_assert_eq!(
+            idx.rank(q),
+            oracle.range(..q).count(),
+            "{}: rank({})",
+            ctx,
+            q
+        );
+        prop_assert_eq!(
+            idx.contains(q),
+            oracle.contains(&q),
+            "{}: contains({})",
+            ctx,
+            q
+        );
+    }
+    let qs = probes(oracle);
+    for w in qs.windows(2) {
+        let (lo, hi) = (w[0].min(w[1]), w[0].max(w[1]));
+        let want: Vec<u64> = oracle.range(lo..hi).copied().collect();
+        prop_assert_eq!(
+            idx.range_keys(lo, hi),
+            want,
+            "{}: range [{},{})",
+            ctx,
+            lo,
+            hi
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleaved inserts and owner-driven compactions track the
+    /// oracle through every tier transition, and the tier counters
+    /// obey the lifecycle: tiered mode never auto-merges, seals are
+    /// `unique_inserts / threshold`, and the run stack only exceeds
+    /// the bound until the owner compacts it.
+    #[test]
+    fn tiered_index_tracks_oracle_through_seal_and_compact_cycles(
+        initial in prop::collection::vec(any::<u64>(), 0..120),
+        ops in prop::collection::vec((any::<u64>(), 0usize..12), 0..150),
+        threshold in 2usize..10,
+        max_runs in 1usize..5,
+    ) {
+        let init = sorted_unique(initial);
+        let mut idx = DeltaIndex::new(init.clone(), cfg(), threshold).with_tiering(max_runs);
+        let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+
+        let mut compaction_events = 0usize;
+        for (step, &(key, gate)) in ops.iter().enumerate() {
+            prop_assert_eq!(idx.insert(key), oracle.insert(key), "insert {}", key);
+            // The owner compacts at arbitrary moments (gate == 0), not
+            // only exactly at the bound — mirroring a worker that may
+            // run late (stack above bound) or early (partial or empty
+            // stack). Compaction always folds the ENTIRE current stack
+            // (one retrain), or nothing when there are no runs.
+            if gate == 0 || idx.needs_compaction() {
+                let runs = idx.run_count();
+                if idx.needs_compaction() {
+                    prop_assert!(runs >= max_runs);
+                }
+                let folded = idx.compact();
+                prop_assert_eq!(folded, runs, "compaction folds the whole stack");
+                prop_assert_eq!(idx.run_count(), 0);
+                prop_assert!(!idx.needs_compaction());
+                compaction_events += usize::from(folded > 0);
+            }
+            if step % 29 == 0 {
+                assert_matches_oracle(&idx, &oracle, &format!("step {step}"))?;
+            }
+        }
+        assert_matches_oracle(&idx, &oracle, "final")?;
+        // Lifecycle accounting: tiered mode seals instead of merging —
+        // exactly one seal per `threshold` fresh keys — and every
+        // compaction event was counted exactly once.
+        prop_assert_eq!(idx.merges(), 0, "tiered mode never full-merges on its own");
+        let unique_inserts = oracle.len() - init.len();
+        prop_assert_eq!(idx.seals(), unique_inserts / threshold);
+        prop_assert_eq!(idx.compactions(), compaction_events);
+        // The tiers partition the keyset: whatever was sealed and not
+        // yet compacted, plus the pending buffer, is exactly what the
+        // base does not hold.
+        let base_len = idx.len() - idx.sealed_keys() - idx.pending();
+        prop_assert!(base_len >= init.len());
+    }
+
+    /// A snapshot cut at an arbitrary point — including with a full
+    /// run stack about to compact — is frozen: later inserts, seals
+    /// and compactions on the live index never leak into it.
+    #[test]
+    fn snapshots_stay_frozen_across_later_seals_and_compactions(
+        initial in prop::collection::vec(any::<u64>(), 1..80),
+        before in prop::collection::vec(any::<u64>(), 0..60),
+        after in prop::collection::vec(any::<u64>(), 1..60),
+        threshold in 2usize..8,
+        max_runs in 1usize..4,
+    ) {
+        let init = sorted_unique(initial);
+        let mut idx = DeltaIndex::new(init.clone(), cfg(), threshold).with_tiering(max_runs);
+        let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+        for &k in &before {
+            idx.insert(k);
+            oracle.insert(k);
+        }
+        let cut = idx.snapshot();
+        let frozen: Vec<u64> = oracle.iter().copied().collect();
+        let frozen_runs = cut.runs().len();
+
+        // Drive the live index through more seals and at least one
+        // compaction opportunity.
+        for &k in &after {
+            idx.insert(k);
+            if idx.needs_compaction() {
+                idx.compact();
+            }
+        }
+        idx.compact();
+
+        // The cut is byte-for-byte the pre-mutation state.
+        prop_assert_eq!(cut.len(), frozen.len());
+        prop_assert_eq!(cut.runs().len(), frozen_runs, "runs grew into the snapshot");
+        let hi = frozen.last().map_or(0, |&k| k.saturating_add(1));
+        let visible: Vec<u64> = cut.range_keys(0, hi);
+        let want: Vec<u64> = frozen.iter().copied().filter(|&k| k < hi).collect();
+        prop_assert_eq!(visible, want);
+        for (i, &k) in frozen.iter().enumerate() {
+            prop_assert!(cut.contains(k), "snapshot lost {}", k);
+            prop_assert_eq!(cut.rank(k), i, "rank {}", k);
+        }
+    }
+}
+
+/// All-duplicate streams never seal: every insert resolves in the
+/// membership probe (buffer, runs, or base) and the tier state is
+/// inert.
+#[test]
+fn all_duplicate_streams_never_seal_or_compact() {
+    let data: Vec<u64> = (0..50u64).map(|i| i * 3).collect();
+    let mut idx = DeltaIndex::new(data.clone(), cfg(), 4).with_tiering(2);
+    for _round in 0..5 {
+        for &k in &data {
+            assert!(!idx.insert(k), "duplicate {k} must be a no-op");
+        }
+    }
+    assert_eq!(idx.len(), 50);
+    assert_eq!(idx.seals(), 0);
+    assert_eq!(idx.run_count(), 0);
+    assert_eq!(idx.compactions(), 0);
+    assert_eq!(idx.pending(), 0);
+
+    // Duplicates of keys already *sealed into runs* are no-ops too.
+    for k in 0..8u64 {
+        assert!(idx.insert(k * 3 + 1));
+    }
+    assert_eq!(idx.run_count(), 2);
+    for k in 0..8u64 {
+        assert!(!idx.insert(k * 3 + 1), "run-resident duplicate");
+    }
+    assert_eq!(idx.run_count(), 2, "duplicates never seal");
+    assert_eq!(idx.len(), 58);
+}
+
+/// `u64::MAX` (and neighbors) behave in every tier: base, sealed run,
+/// pending buffer — through a compaction.
+#[test]
+fn extreme_keys_work_in_every_tier() {
+    let mut idx = DeltaIndex::new(vec![0u64, u64::MAX - 2], cfg(), 2).with_tiering(2);
+    let mut oracle: BTreeSet<u64> = [0u64, u64::MAX - 2].into_iter().collect();
+    for k in [u64::MAX, 1u64, u64::MAX - 1, 2, 3, 4] {
+        assert_eq!(idx.insert(k), oracle.insert(k), "k={k}");
+    }
+    assert!(idx.run_count() > 0, "the stream must have sealed");
+    for &q in &[0u64, 1, 2, 3, 4, 5, u64::MAX - 2, u64::MAX - 1, u64::MAX] {
+        assert_eq!(idx.contains(q), oracle.contains(&q), "q={q}");
+        assert_eq!(idx.rank(q), oracle.range(..q).count(), "rank q={q}");
+    }
+    while !idx.needs_compaction() {
+        let next = idx.len() as u64 * 1000;
+        idx.insert(next);
+        oracle.insert(next);
+    }
+    assert!(idx.compact() > 0);
+    assert_eq!(idx.len(), oracle.len());
+    for &q in &[u64::MAX - 1, u64::MAX] {
+        assert_eq!(idx.contains(q), oracle.contains(&q), "post-compact q={q}");
+    }
+}
+
+/// The full-stack state itself (needs_compaction == true, owner not
+/// yet run) serves reads exactly — the stack being "overdue" is a
+/// scheduling fact, never a correctness state.
+#[test]
+fn reads_at_the_compaction_bound_are_exact() {
+    let mut idx =
+        DeltaIndex::new((0..20u64).map(|i| i * 10).collect::<Vec<_>>(), cfg(), 3).with_tiering(2);
+    let mut oracle: BTreeSet<u64> = (0..20u64).map(|i| i * 10).collect();
+    let mut k = 1u64;
+    while !idx.needs_compaction() {
+        assert_eq!(idx.insert(k), oracle.insert(k));
+        k += 2;
+    }
+    assert_eq!(idx.run_count(), 2);
+    assert_eq!(idx.len(), oracle.len());
+    for q in 0..=200u64 {
+        assert_eq!(idx.contains(q), oracle.contains(&q), "q={q}");
+        assert_eq!(idx.rank(q), oracle.range(..q).count(), "q={q}");
+    }
+}
