@@ -5,7 +5,7 @@
 //!       [--modes scalar,batched,bg,tiered]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
-//!              appendix-a appendix-e scaling write persist all   (default: all)
+//!              appendix-a appendix-e scaling write persist wal all   (default: all)
 //! --modes filters the `write` experiment's measured write modes
 //!         (default: all four)
 //! ```
@@ -89,6 +89,7 @@ fn main() {
             "scaling",
             "write",
             "persist",
+            "wal",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -159,6 +160,17 @@ fn main() {
                 };
                 persist::print(&persist::run(&pcfg), pcfg.keys);
             }
+            "wal" => {
+                // Same scale reasoning as `write`: the sync-policy
+                // economics (fsync amortization) are visible well below
+                // paper scale, and the per-record row pays one fsync
+                // per insert.
+                let wcfg = BenchConfig {
+                    keys: cfg.keys.min(200_000),
+                    ..cfg.clone()
+                };
+                wal::print(&wal::run(&wcfg), wcfg.keys);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
     }
@@ -167,7 +179,7 @@ fn main() {
 fn print_usage() {
     println!(
         "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S] [--modes scalar,batched,bg,tiered]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist all\n\
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist wal all\n\
          --modes filters the write experiment's measured write modes (default: all four)"
     );
 }

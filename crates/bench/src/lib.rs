@@ -20,6 +20,7 @@
 //! | [`scaling`]  | beyond the paper — sharded serving under multi-thread batched load |
 //! | [`mod@write`] | beyond the paper — sharded write path: scalar/batched/background inserts/sec + lookup-under-writes |
 //! | [`persist`]  | beyond the paper — warm restart: cold build vs mapped snapshot load, with lookup parity |
+//! | [`mod@wal`]  | beyond the paper — durable live writes: WAL insert overhead per sync policy + crash recovery |
 //!
 //! Scale: every experiment takes a key count; the defaults target a
 //! laptop (≈2M keys, seconds per experiment). The paper's absolute
@@ -44,6 +45,7 @@ pub mod persist;
 pub mod scaling;
 pub mod table;
 pub mod table1;
+pub mod wal;
 pub mod write;
 
 pub use harness::{time_batch_chunked_ns, time_batch_ns, BenchConfig};

@@ -1017,6 +1017,40 @@ mod tests {
     }
 
     #[test]
+    fn reinserting_sealed_run_keys_never_duplicates_across_tiers() {
+        // Invariant 7 on the insert path: keys 1..=4 live ONLY in a
+        // sealed run (the seal emptied the buffer; they were never in
+        // the base). A duplicate insert must bounce off the run probe
+        // — not slip past it into the buffer, which would put the same
+        // key in two tiers at once.
+        let mut idx = DeltaIndex::new(vec![1000u64], cfg(), 4).with_tiering(4);
+        idx.insert_batch(&[1, 2, 3, 4]);
+        assert_eq!((idx.run_count(), idx.pending()), (1, 0));
+        let (len0, sealed0) = (idx.len(), idx.sealed_keys());
+
+        for k in [1u64, 2, 3, 4] {
+            assert!(!idx.insert(k), "sealed key {k} re-reported as new");
+        }
+        assert!(idx.insert_batch(&[4, 3, 2, 1]).iter().all(|&f| !f));
+        // Nothing moved: no tier grew, no key crossed tiers.
+        assert_eq!(idx.len(), len0);
+        assert_eq!(idx.pending(), 0, "duplicates must not enter the buffer");
+        assert_eq!(idx.run_count(), 1);
+        assert_eq!(idx.sealed_keys(), sealed0);
+        let exported = idx.export_keys();
+        assert!(
+            exported.windows(2).all(|w| w[0] < w[1]),
+            "cross-tier duplication: export not strictly sorted: {exported:?}"
+        );
+        assert_eq!(exported, vec![1, 2, 3, 4, 1000]);
+        // Replay idempotence (the recovery path re-applies logged
+        // inserts through this exact route): a second full replay is a
+        // no-op even when every key is run-resident.
+        assert!(idx.insert_batch(&[1, 2, 3, 4]).iter().all(|&f| !f));
+        assert_eq!(idx.len(), len0);
+    }
+
+    #[test]
     fn rank_counts_across_base_and_delta() {
         let mut idx = DeltaIndex::new(vec![10, 20, 30], cfg(), 100);
         idx.insert(15);

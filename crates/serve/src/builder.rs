@@ -127,8 +127,11 @@ pub(crate) fn retune_rmi(
 ) -> (Rmi, RmiConfig) {
     let rounds = policy.map_or(0, |p| p.max_rounds);
     let mut fraction = leaf_fraction;
-    let mut built = None;
-    for _ in 0..=rounds {
+    // Structured so the hot path cannot panic: every round *returns* a
+    // trained model (no `Option` + `expect` to get wrong), and the
+    // round counter bounds the loop exactly like `0..=rounds` did.
+    let mut round = 0usize;
+    loop {
         let leaves = ((keys.len() as f64 * fraction).round() as usize).clamp(1, keys.len().max(1));
         let cfg = RmiConfig::two_stage(top.clone(), leaves);
         let rmi = Rmi::build(keys.clone(), &cfg);
@@ -136,13 +139,12 @@ pub(crate) fn retune_rmi(
             rmi.stats().mean_abs_err > p.max_mean_err || rmi.stats().max_abs_err > p.max_abs_err
         });
         let saturated = leaves >= keys.len().max(1);
-        built = Some((rmi, cfg));
-        if !hot || saturated {
-            break;
+        if !hot || saturated || round >= rounds {
+            return (rmi, cfg);
         }
+        round += 1;
         fraction *= 2.0;
     }
-    built.expect("at least one build round")
 }
 
 impl Default for RmiShardBuilder {

@@ -42,6 +42,13 @@
 //!   record pressure into lock-free counters and signal over a channel;
 //!   rebuilds happen off the insert path and are published with an
 //!   incremental straggler hand-off ([`rebalance_worker`]).
+//! * [`wal`] — the durability tier for *live* writes: a per-structure
+//!   append-only write-ahead log (checksummed records, group-commit
+//!   [`WalSyncPolicy`]) that acknowledged writes hit before the
+//!   in-memory tiers, truncated at every snapshot publish.
+//!   [`ShardedWritable::recover`] loads the snapshot (zero training),
+//!   replays the WAL tail, and truncates torn records — no
+//!   acknowledged-durable write is ever lost.
 //!
 //! The partition arithmetic (balanced offsets, boundary keys, the
 //! duplicates-safe routing proof, ownership routing and split points)
@@ -60,6 +67,7 @@ pub mod rebalance_worker;
 pub mod router;
 pub mod sharded;
 pub mod sharded_writable;
+pub mod wal;
 pub mod writable;
 
 pub use builder::{
@@ -73,5 +81,8 @@ pub use rebalance::{RebalanceAction, RebalanceConfig};
 pub use rebalance_worker::RebalanceWorker;
 pub use router::ShardRouter;
 pub use sharded::ShardedIndex;
-pub use sharded_writable::{ShardedSnapshot, ShardedWritable, ShardedWritableConfig};
+pub use sharded_writable::{
+    RecoveryReport, ShardedSnapshot, ShardedWritable, ShardedWritableConfig,
+};
+pub use wal::{Wal, WalError, WalSyncPolicy};
 pub use writable::WritableShard;

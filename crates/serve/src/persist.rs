@@ -10,7 +10,8 @@
 //!  ┌────────────────────────────┐ 0
 //!  │ header (4096 B, page-      │   magic · version · kind ·
 //!  │ aligned)                   │   n_keys · manifest_len ·
-//!  │                            │   keys checksum · manifest checksum
+//!  │                            │   keys checksum · manifest checksum ·
+//!  │                            │   snapshot LSN · header checksum
 //!  ├────────────────────────────┤ 4096
 //!  │ key payload                │   n_keys × u64, little-endian,
 //!  │                            │   globally sorted
@@ -23,8 +24,12 @@
 //!
 //! * **Save** serializes coefficients ([`li_core::RmiParams`]) — never
 //!   pickled objects — and publishes atomically: write to a `.tmp`
-//!   sibling, `fsync`, `rename`. A crash mid-save leaves the previous
-//!   snapshot untouched; a reader never observes a torn file.
+//!   sibling, `fsync` the file, `rename`, then `fsync` the parent
+//!   directory (without the directory sync, a crash *after* the rename
+//!   could still resurrect the old snapshot — or leave none — because
+//!   the rename itself only lived in the directory's page cache). A
+//!   crash mid-save leaves the previous snapshot untouched; a reader
+//!   never observes a torn file.
 //! * **Load** maps the key payload (4096-byte alignment makes the u64
 //!   region directly reinterpretable — [`KeyStore::from_mapped`] is
 //!   zero-copy on 64-bit little-endian unix, decoded-copy elsewhere),
@@ -36,12 +41,16 @@
 //!   are structure, not trained models); the base RMI is never refit:
 //!   [`li_core::train_count`] is the witness.
 //!
-//! Format v2 covers the workspace's serving defaults: RMI shard
+//! Format v3 covers the workspace's serving defaults: RMI shard
 //! backends with linear tops (hybrid B-Tree leaves included — the tree
 //! is structure, rebuilt from the mapped keys, not a trained model),
 //! plus per-shard sealed run stacks for the tiered write path.
 //! Other backends and tops get a [`PersistError::Unsupported`], never a
-//! silently lossy file.
+//! silently lossy file. v3 additionally stamps the **snapshot LSN** —
+//! the last [`crate::wal::Wal`] record the snapshot covers — into the
+//! header, so [`ShardedWritable::recover`] knows exactly which log
+//! suffix is still live (see `crate::wal` and ARCHITECTURE.md
+//! "Durability & recovery").
 
 use std::fs::{self, File};
 use std::io::Write;
@@ -69,9 +78,11 @@ const MAGIC: [u8; 8] = *b"LIDX\xF0\x01\r\n";
 
 /// Format version written by this module. v2 added the
 /// sharded-writable tiering fields (`max_runs` + per-shard sealed run
-/// stacks); v1 files are refused with a clear [`PersistError`] rather
-/// than loaded with silently dropped tiers.
-const VERSION: u32 = 2;
+/// stacks); v3 added the snapshot LSN and a header checksum (bytes
+/// 48..64) for WAL-coordinated recovery. Older versions are refused
+/// with a clear [`PersistError`] rather than loaded with silently
+/// dropped tiers or a silently ignored WAL tail.
+const VERSION: u32 = 3;
 
 /// `kind` field: a read-only [`ShardedIndex`] snapshot.
 const KIND_SHARDED_INDEX: u32 = 1;
@@ -86,7 +97,7 @@ pub enum PersistError {
     /// The file is not a valid snapshot (bad magic, truncated,
     /// checksum mismatch, inconsistent topology…).
     Format(String),
-    /// The structure (or file) uses a feature format v2 cannot carry,
+    /// The structure (or file) uses a feature format v3 cannot carry,
     /// e.g. a non-RMI shard backend or a multivariate/MLP top model.
     Unsupported(String),
 }
@@ -116,20 +127,23 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+impl From<crate::wal::WalError> for PersistError {
+    fn from(e: crate::wal::WalError) -> Self {
+        match e {
+            crate::wal::WalError::Io(io) => PersistError::Io(io),
+            other => PersistError::Format(other.to_string()),
+        }
+    }
+}
+
 fn format_err(msg: impl Into<String>) -> PersistError {
     PersistError::Format(msg.into())
 }
 
 /// FNV-1a (64-bit): tiny, dependency-free, and plenty to catch
 /// truncation and bit-rot. This is an integrity check, not a MAC.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Shared with the WAL's record checksums.
+use crate::wal::fnv1a;
 
 // ---------------------------------------------------------------------
 // Little-endian encode / decode
@@ -325,7 +339,7 @@ fn encode_rmi_config(enc: &mut Enc, cfg: &RmiConfig) -> Result<(), PersistError>
         TopModel::Linear => enc.u8(0),
         _ => {
             return Err(PersistError::Unsupported(
-                "format v2 persists linear-top RMI configurations only".into(),
+                "format v3 persists linear-top RMI configurations only".into(),
             ))
         }
     }
@@ -472,10 +486,26 @@ fn le_key_bytes(chunks: &[&[u64]]) -> Vec<u8> {
     out
 }
 
-/// Write the snapshot atomically: `.tmp` sibling, `fsync`, `rename`.
-/// A reader (or a crash) therefore sees either the complete previous
-/// file or the complete new one — never a partial write.
-fn publish(path: &Path, kind: u32, key_bytes: &[u8], manifest: &[u8]) -> Result<(), PersistError> {
+/// Write the snapshot atomically: `.tmp` sibling, `fsync` the file,
+/// `rename`, `fsync` the parent directory. A reader (or a crash)
+/// therefore sees either the complete previous file or the complete
+/// new one — never a partial write. The directory sync is load-bearing:
+/// `rename` only updates the directory's page cache, so without it a
+/// power cut *after* a successful-looking publish could come back up
+/// with the old snapshot (or, for a first save, none at all).
+///
+/// `lsn` is the snapshot LSN stamped into the header (bytes 48..56):
+/// the last WAL record this snapshot covers, `0` for structures with
+/// no WAL attached. Header bytes 0..56 are themselves checksummed
+/// (bytes 56..64), so a flipped LSN byte is rejected, not replayed
+/// around.
+fn publish(
+    path: &Path,
+    kind: u32,
+    lsn: u64,
+    key_bytes: &[u8],
+    manifest: &[u8],
+) -> Result<(), PersistError> {
     debug_assert!(key_bytes.len().is_multiple_of(8));
     let mut header = vec![0u8; HEADER_LEN];
     header[0..8].copy_from_slice(&MAGIC);
@@ -485,6 +515,9 @@ fn publish(path: &Path, kind: u32, key_bytes: &[u8], manifest: &[u8]) -> Result<
     header[24..32].copy_from_slice(&(manifest.len() as u64).to_le_bytes());
     header[32..40].copy_from_slice(&fnv1a(key_bytes).to_le_bytes());
     header[40..48].copy_from_slice(&fnv1a(manifest).to_le_bytes());
+    header[48..56].copy_from_slice(&lsn.to_le_bytes());
+    let header_sum = fnv1a(&header[0..56]);
+    header[56..64].copy_from_slice(&header_sum.to_le_bytes());
 
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -496,6 +529,7 @@ fn publish(path: &Path, kind: u32, key_bytes: &[u8], manifest: &[u8]) -> Result<
         f.write_all(manifest)?;
         f.sync_all()?;
         fs::rename(&tmp, path)?;
+        crate::wal::sync_parent_dir(path)?;
         Ok(())
     })();
     if result.is_err() {
@@ -504,13 +538,14 @@ fn publish(path: &Path, kind: u32, key_bytes: &[u8], manifest: &[u8]) -> Result<
     result
 }
 
-/// Open a snapshot, verify every header field and both checksums, and
-/// return the mapped region plus the key count and the manifest's byte
-/// range within the region.
+/// Open a snapshot, verify every header field and all three checksums
+/// (header, key payload, manifest), and return the mapped region plus
+/// the key count, the manifest's byte range within the region, and the
+/// snapshot LSN.
 fn open_verified(
     path: &Path,
     expect_kind: u32,
-) -> Result<(Arc<MappedFile>, usize, std::ops::Range<usize>), PersistError> {
+) -> Result<(Arc<MappedFile>, usize, std::ops::Range<usize>, u64), PersistError> {
     let region = Arc::new(MappedFile::open(path)?);
     let bytes = region.bytes();
     if bytes.len() < HEADER_LEN {
@@ -525,6 +560,10 @@ fn open_verified(
             "snapshot format version {version} (this build reads {VERSION})"
         )));
     }
+    let header_sum = u64::from_le_bytes(bytes[56..64].try_into().unwrap());
+    if fnv1a(&bytes[0..56]) != header_sum {
+        return Err(format_err("header checksum mismatch"));
+    }
     let kind = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
     if kind != expect_kind {
         return Err(format_err(format!(
@@ -535,6 +574,7 @@ fn open_verified(
     let manifest_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
     let keys_sum = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
     let manifest_sum = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+    let snapshot_lsn = u64::from_le_bytes(bytes[48..56].try_into().unwrap());
     let n_keys = usize::try_from(n_keys).map_err(|_| format_err("key count overflows usize"))?;
     let manifest_len =
         usize::try_from(manifest_len).map_err(|_| format_err("manifest length overflows usize"))?;
@@ -557,7 +597,7 @@ fn open_verified(
     if fnv1a(&bytes[keys_end..total]) != manifest_sum {
         return Err(format_err("manifest checksum mismatch"));
     }
-    Ok((region, n_keys, keys_end..total))
+    Ok((region, n_keys, keys_end..total, snapshot_lsn))
 }
 
 fn check_sorted_unique(keys: &[u64], what: &str) -> Result<(), PersistError> {
@@ -573,7 +613,8 @@ fn check_sorted_unique(keys: &[u64], what: &str) -> Result<(), PersistError> {
 // ---------------------------------------------------------------------
 
 impl ShardedIndex {
-    /// Save a snapshot of this index to `path` (atomic: tmp + rename).
+    /// Save a snapshot of this index to `path` (atomic: tmp + file
+    /// fsync + rename + directory fsync).
     ///
     /// Requires every shard backend to be an [`Rmi`] with a linear top
     /// (the serving default); anything else returns
@@ -589,12 +630,12 @@ impl ShardedIndex {
                 .ok_or_else(|| {
                     PersistError::Unsupported(format!(
                         "shard {i} backend ({backend_name}) is not an RMI; \
-                         format v2 persists RMI shards only"
+                         format v3 persists RMI shards only"
                     ))
                 })?;
             params.push(rmi.to_params().ok_or_else(|| {
                 PersistError::Unsupported(format!(
-                    "shard {i} uses a multivariate/MLP top; format v2 persists linear tops only"
+                    "shard {i} uses a multivariate/MLP top; format v3 persists linear tops only"
                 ))
             })?);
         }
@@ -610,6 +651,7 @@ impl ShardedIndex {
         publish(
             path.as_ref(),
             KIND_SHARDED_INDEX,
+            0, // read-only tier: no WAL, LSN 0
             &le_key_bytes(&[store.as_slice()]),
             &enc.buf,
         )
@@ -621,7 +663,7 @@ impl ShardedIndex {
     /// the boundary keys. **No retraining** — [`li_core::train_count`]
     /// does not move across a load.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let (region, n_keys, manifest) = open_verified(path.as_ref(), KIND_SHARDED_INDEX)?;
+        let (region, n_keys, manifest, _lsn) = open_verified(path.as_ref(), KIND_SHARDED_INDEX)?;
         let store = KeyStore::from_mapped(&region, HEADER_LEN, n_keys)?;
         check_sorted_unique(store.as_slice(), "key payload")?;
         let mut dec = Dec::new(&region.bytes()[manifest]);
@@ -663,11 +705,36 @@ impl ShardedIndex {
 
 impl ShardedWritable {
     /// Save a snapshot of this structure to `path` (atomic: tmp +
-    /// rename). The snapshot captures, per shard, the trained base's
-    /// keys and coefficients **plus the pending delta buffer**, all
-    /// under one topology read guard — a consistent point-in-time cut
-    /// even while concurrent inserts keep flowing afterwards.
+    /// file fsync + rename + directory fsync). The snapshot captures,
+    /// per shard, the trained base's keys and coefficients **plus the
+    /// pending delta buffer and sealed run stack**, all under one
+    /// topology read guard — a consistent point-in-time cut even while
+    /// concurrent inserts keep flowing afterwards.
+    ///
+    /// With a WAL attached ([`ShardedWritable::enable_wal`] /
+    /// [`ShardedWritable::recover`]), the save additionally runs the
+    /// checkpoint protocol: the WAL mutex is held across the cut and
+    /// the publish (excluding concurrent durable writers, so the
+    /// stamped LSN provably covers everything in the cut), the last
+    /// assigned LSN is stamped into the header, and the log is
+    /// truncated once the snapshot is durably published — the write
+    /// history it logged is now fully covered by the snapshot.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut wal_guard = self.wal_slot().lock().unwrap_or_else(|e| e.into_inner());
+        let lsn = wal_guard.as_ref().map_or(0, |w| w.last_lsn());
+        self.save_snapshot(path.as_ref(), lsn)?;
+        if let Some(wal) = wal_guard.as_mut() {
+            wal.truncate_after_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// The cut-and-publish half of [`ShardedWritable::save`]: capture
+    /// a consistent per-shard state under one topology read guard and
+    /// publish it with `lsn` stamped in the header. The caller owns
+    /// WAL coordination (holding the WAL mutex so no durable write can
+    /// slip between the LSN capture and the cut).
+    pub(crate) fn save_snapshot(&self, path: &Path, lsn: u64) -> Result<(), PersistError> {
         let (bounds, states) = self.persist_parts();
         let mut enc = Enc::default();
         encode_sw_config(&mut enc, self.config());
@@ -688,7 +755,7 @@ impl ShardedWritable {
                 &mut enc,
                 &base.to_params().ok_or_else(|| {
                     PersistError::Unsupported(
-                    "a shard base uses a multivariate/MLP top; format v2 persists linear tops only"
+                    "a shard base uses a multivariate/MLP top; format v3 persists linear tops only"
                         .into(),
                 )
                 })?,
@@ -713,8 +780,9 @@ impl ShardedWritable {
             base_offset += base_keys.len();
         }
         publish(
-            path.as_ref(),
+            path,
             KIND_SHARDED_WRITABLE,
+            lsn,
             &le_key_bytes(&chunks),
             &enc.buf,
         )
@@ -728,7 +796,14 @@ impl ShardedWritable {
     /// merged or compacted. Run mini-models are refitted in O(run) —
     /// [`li_core::train_count`] stays flat across a load.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let (region, n_keys, manifest) = open_verified(path.as_ref(), KIND_SHARDED_WRITABLE)?;
+        Self::load_with_lsn(path.as_ref()).map(|(sw, _lsn)| sw)
+    }
+
+    /// [`ShardedWritable::load`] plus the snapshot LSN from the header
+    /// — the recovery path needs it to know which WAL records the
+    /// snapshot already covers.
+    pub(crate) fn load_with_lsn(path: &Path) -> Result<(Self, u64), PersistError> {
+        let (region, n_keys, manifest, lsn) = open_verified(path, KIND_SHARDED_WRITABLE)?;
         let mut dec = Dec::new(&region.bytes()[manifest]);
         let config = decode_sw_config(&mut dec)?;
         let shard_count = dec.count(8)?;
@@ -820,7 +895,7 @@ impl ShardedWritable {
             return Err(format_err("shard bases do not cover the key payload"));
         }
         dec.finish()?;
-        Ok(ShardedWritable::from_loaded(bounds, shards, config))
+        Ok((ShardedWritable::from_loaded(bounds, shards, config), lsn))
     }
 }
 

@@ -62,8 +62,9 @@
 //! hot anyway is caught by the error-triggered split in
 //! [`crate::rebalance::plan`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use li_core::delta::{DeltaIndex, DeltaSnapshot};
 use li_core::rmi::{RmiConfig, TopModel};
@@ -71,9 +72,11 @@ use li_index::partition::{boundaries, even_offsets, split_point};
 use li_index::KeyStore;
 
 use crate::builder::{retune_rmi, RetunePolicy};
+use crate::persist::PersistError;
 use crate::rebalance::{plan, RebalanceAction, RebalanceConfig};
 use crate::rebalance_worker::WorkerLink;
 use crate::router::ShardRouter;
+use crate::wal::{self, Wal, WalOp, WalSyncPolicy};
 use crate::writable::WritableShard;
 
 /// Configuration of a [`ShardedWritable`].
@@ -212,6 +215,18 @@ pub struct ShardedWritable {
     /// default) means inserts rebalance inline; `Some` means inserts
     /// only record pressure and signal — the worker owns rebalancing.
     worker: RwLock<Option<Arc<WorkerLink>>>,
+    /// The attached write-ahead log, when this structure is durable
+    /// (see [`ShardedWritable::enable_wal`] /
+    /// [`ShardedWritable::recover`]). Writers hold this mutex across
+    /// *append + in-memory apply* and `save` holds it across *cut +
+    /// publish + truncate*, so the snapshot LSN provably bounds the
+    /// cut — the lock order (WAL mutex, then topology lock) is the
+    /// same everywhere.
+    wal: Mutex<Option<Wal>>,
+    /// Fast-path flag mirroring `wal.is_some()`: the non-durable
+    /// insert path stays exactly as lock-free as before a WAL existed
+    /// (one relaxed-ish atomic load, no mutex touched).
+    durable: AtomicBool,
 }
 
 impl ShardedWritable {
@@ -244,6 +259,8 @@ impl ShardedWritable {
             shard_merges: AtomicUsize::new(0),
             compactions: AtomicUsize::new(0),
             worker: RwLock::new(None),
+            wal: Mutex::new(None),
+            durable: AtomicBool::new(false),
         }
     }
 
@@ -254,7 +271,47 @@ impl ShardedWritable {
     /// due, either rebalances inline or (with a
     /// [`crate::RebalanceWorker`] attached) signals the background
     /// worker.
+    ///
+    /// With a WAL attached the key is logged **before** it touches the
+    /// in-memory tiers. This signature stays infallible: a WAL I/O
+    /// failure is *latched* (the write is still applied and
+    /// acknowledged in memory, but is no longer durable) and surfaces
+    /// on the next [`ShardedWritable::try_insert`],
+    /// [`ShardedWritable::wal_sync`] or via
+    /// [`ShardedWritable::wal_failure`] — the same window group commit
+    /// already leaves open between sync points. Durable pipelines that
+    /// must not acknowledge non-durable writes use
+    /// [`ShardedWritable::try_insert`].
     pub fn insert(&self, key: u64) -> bool {
+        if self.durable.load(Ordering::Acquire) {
+            let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(w) = slot.as_mut() {
+                // Failure latched inside the Wal; see the doc above.
+                let _ = w.append_insert(key);
+                return self.insert_unlogged(key);
+            }
+        }
+        self.insert_unlogged(key)
+    }
+
+    /// [`ShardedWritable::insert`] with WAL errors surfaced instead of
+    /// latched: the write is applied (and acknowledged) only after its
+    /// record is accepted by the log, so an `Err` means the key was
+    /// **not** inserted. Identical to `insert` when no WAL is attached.
+    pub fn try_insert(&self, key: u64) -> Result<bool, PersistError> {
+        if self.durable.load(Ordering::Acquire) {
+            let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(w) = slot.as_mut() {
+                w.append_insert(key)?;
+                return Ok(self.insert_unlogged(key));
+            }
+        }
+        Ok(self.insert_unlogged(key))
+    }
+
+    /// The WAL-free insert body shared by every write path (and used
+    /// directly by recovery replay, which must not re-log records).
+    fn insert_unlogged(&self, key: u64) -> bool {
         let obs = {
             // The read *guard* (not just the topology Arc) must live
             // across the shard insert: it is what excludes a concurrent
@@ -291,6 +348,11 @@ impl ShardedWritable {
     /// end, so a batch triggers at most one inline rebalance (or one
     /// worker signal).
     ///
+    /// With a WAL attached the whole batch is logged as **one atomic
+    /// record** before any key touches the in-memory tiers (same
+    /// latched-failure semantics as [`ShardedWritable::insert`];
+    /// [`ShardedWritable::try_insert_batch`] surfaces errors instead).
+    ///
     /// # Examples
     /// ```
     /// use li_serve::{ShardedWritable, ShardedWritableConfig};
@@ -301,6 +363,35 @@ impl ShardedWritable {
     /// assert_eq!(sw.len(), 5);
     /// ```
     pub fn insert_batch(&self, keys: &[u64]) -> Vec<bool> {
+        if self.durable.load(Ordering::Acquire) && !keys.is_empty() {
+            let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(w) = slot.as_mut() {
+                let _ = w.append_batch(keys); // failure latched inside
+                return self.insert_batch_unlogged(keys);
+            }
+        }
+        self.insert_batch_unlogged(keys)
+    }
+
+    /// [`ShardedWritable::insert_batch`] with WAL errors surfaced
+    /// instead of latched: on `Err` **no key of the batch** was
+    /// applied (the batch record is all-or-nothing in the log, so the
+    /// in-memory apply is too). Identical to `insert_batch` when no
+    /// WAL is attached.
+    pub fn try_insert_batch(&self, keys: &[u64]) -> Result<Vec<bool>, PersistError> {
+        if self.durable.load(Ordering::Acquire) && !keys.is_empty() {
+            let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(w) = slot.as_mut() {
+                w.append_batch(keys)?;
+                return Ok(self.insert_batch_unlogged(keys));
+            }
+        }
+        Ok(self.insert_batch_unlogged(keys))
+    }
+
+    /// The WAL-free batch body shared by every write path (recovery
+    /// replay uses it directly — replayed records must not re-log).
+    fn insert_batch_unlogged(&self, keys: &[u64]) -> Vec<bool> {
         let mut flags = vec![false; keys.len()];
         if keys.is_empty() {
             return flags;
@@ -828,6 +919,8 @@ impl ShardedWritable {
             shard_merges: AtomicUsize::new(0),
             compactions: AtomicUsize::new(0),
             worker: RwLock::new(None),
+            wal: Mutex::new(None),
+            durable: AtomicBool::new(false),
         }
     }
 
@@ -835,6 +928,206 @@ impl ShardedWritable {
     pub(crate) fn config(&self) -> &ShardedWritableConfig {
         &self.config
     }
+
+    // -----------------------------------------------------------------
+    // Durability: WAL attachment, checkpointing, recovery
+    // -----------------------------------------------------------------
+
+    /// The WAL slot, for the persistence layer's checkpoint protocol
+    /// ([`ShardedWritable::save`] holds it across cut + publish +
+    /// truncate).
+    pub(crate) fn wal_slot(&self) -> &Mutex<Option<Wal>> {
+        &self.wal
+    }
+
+    /// Attach a fresh write-ahead log at `wal_path`: every subsequent
+    /// [`ShardedWritable::insert`] / [`ShardedWritable::insert_batch`]
+    /// is logged **before** it touches the in-memory tiers, made
+    /// durable per `policy`, and the log is truncated at every
+    /// [`ShardedWritable::save`].
+    ///
+    /// The log starts empty and covers only writes made *after* this
+    /// call — state already in memory is not logged. Callers with
+    /// pre-existing state must therefore [`ShardedWritable::save`] a
+    /// snapshot right after enabling (or build via
+    /// [`ShardedWritable::recover`], which composes the two), or a
+    /// crash before the first save recovers only the logged suffix.
+    ///
+    /// Errors if a WAL is already attached.
+    pub fn enable_wal(
+        &self,
+        wal_path: impl AsRef<Path>,
+        policy: WalSyncPolicy,
+    ) -> Result<(), PersistError> {
+        let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_some() {
+            return Err(PersistError::Format(
+                "a WAL is already attached to this ShardedWritable".into(),
+            ));
+        }
+        *slot = Some(Wal::create(wal_path, policy)?);
+        self.durable.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether a WAL is attached (writes are being logged).
+    pub fn wal_attached(&self) -> bool {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Force a WAL sync point now: every write acknowledged so far
+    /// becomes durable. A no-op without a WAL. Surfaces any latched
+    /// append failure (see [`ShardedWritable::insert`]).
+    pub fn wal_sync(&self) -> Result<(), PersistError> {
+        let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.as_mut() {
+            Some(w) => Ok(w.sync()?),
+            None => Ok(()),
+        }
+    }
+
+    /// The WAL's latched failure, if an append or sync has failed
+    /// since the last snapshot truncation (`None` = healthy or no WAL
+    /// attached).
+    pub fn wal_failure(&self) -> Option<String> {
+        self.wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .and_then(|w| w.failure().map(str::to_owned))
+    }
+
+    /// Highest LSN the WAL has assigned (0 without a WAL or before the
+    /// first logged write).
+    pub fn wal_last_lsn(&self) -> u64 {
+        self.wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(0, |w| w.last_lsn())
+    }
+
+    /// Number of `fsync` sync points the WAL has issued (0 without a
+    /// WAL) — the group-commit diagnostic `repro wal` reports per
+    /// [`WalSyncPolicy`].
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(0, |w| w.sync_count())
+    }
+
+    /// Recover a durable structure from its snapshot + WAL pair with
+    /// the default configuration for first boots; see
+    /// [`ShardedWritable::recover_with_config`] (which also returns
+    /// the [`RecoveryReport`]) for the full contract.
+    pub fn recover(
+        snapshot_path: impl AsRef<Path>,
+        wal_path: impl AsRef<Path>,
+        policy: WalSyncPolicy,
+    ) -> Result<Self, PersistError> {
+        Self::recover_with_config(
+            snapshot_path,
+            wal_path,
+            policy,
+            ShardedWritableConfig::default(),
+        )
+        .map(|(sw, _report)| sw)
+    }
+
+    /// Recover a durable structure after a crash (or a clean
+    /// shutdown — the protocol does not distinguish):
+    ///
+    /// 1. **Load the snapshot** at `snapshot_path` if one exists
+    ///    (zero training, exactly [`ShardedWritable::load`]) and read
+    ///    the snapshot LSN from its header. With no snapshot (first
+    ///    boot, or a crash before the first save) start empty with
+    ///    `config` — the passed `config` is used *only* in that case;
+    ///    an existing snapshot carries its own.
+    /// 2. **Scan the WAL** at `wal_path`: decode records up to the
+    ///    first torn or checksum-failing one and truncate the invalid
+    ///    tail (a missing file scans as an empty log).
+    /// 3. **Replay** every record with `lsn > snapshot_lsn` through
+    ///    the normal routed insert path (unlogged — replay must not
+    ///    re-append). Inserts are idempotent, so records the snapshot
+    ///    already covers (impossible by the LSN bound) or a previous
+    ///    half-finished recovery already applied (possible — replay
+    ///    mutates only memory) are harmless duplicates.
+    /// 4. **Re-attach** the WAL for appending, positioned after the
+    ///    valid prefix, with LSNs continuing from the last valid one.
+    ///
+    /// The result: exactly the acknowledged-durable write prefix
+    /// survives. Recovery never panics on garbage log bytes and is
+    /// idempotent — killed mid-replay and re-run, it produces the same
+    /// state, because the only file mutation is the tail truncation
+    /// (which only removes bytes the scan already refused to decode).
+    pub fn recover_with_config(
+        snapshot_path: impl AsRef<Path>,
+        wal_path: impl AsRef<Path>,
+        policy: WalSyncPolicy,
+        config: ShardedWritableConfig,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let snapshot_path = snapshot_path.as_ref();
+        let (sw, snapshot_lsn, snapshot_loaded) = if snapshot_path.exists() {
+            let (sw, lsn) = Self::load_with_lsn(snapshot_path)?;
+            (sw, lsn, true)
+        } else {
+            (Self::new(Vec::new(), 1, config), 0, false)
+        };
+
+        let found = wal::scan(wal_path.as_ref())?;
+        let truncated_bytes = found.torn_bytes();
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
+        for record in &found.records {
+            if record.lsn <= snapshot_lsn {
+                skipped += 1;
+                continue;
+            }
+            match &record.op {
+                WalOp::Insert(key) => {
+                    sw.insert_unlogged(*key);
+                }
+                WalOp::InsertBatch(keys) => {
+                    sw.insert_batch_unlogged(keys);
+                }
+            }
+            replayed += 1;
+        }
+
+        let wal = Wal::open_after_recovery(wal_path.as_ref(), policy, &found, snapshot_lsn)?;
+        let report = RecoveryReport {
+            snapshot_loaded,
+            snapshot_lsn,
+            replayed,
+            skipped,
+            truncated_bytes,
+            last_lsn: found.last_lsn.max(snapshot_lsn),
+        };
+        *sw.wal.lock().unwrap_or_else(|e| e.into_inner()) = Some(wal);
+        sw.durable.store(true, Ordering::Release);
+        Ok((sw, report))
+    }
+}
+
+/// What [`ShardedWritable::recover_with_config`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file existed and was loaded (false = first
+    /// boot or crash-before-first-save: recovery started empty).
+    pub snapshot_loaded: bool,
+    /// The snapshot's LSN watermark — WAL records at or below it were
+    /// already covered by the snapshot and skipped.
+    pub snapshot_lsn: u64,
+    /// Valid WAL records replayed into memory.
+    pub replayed: usize,
+    /// Valid WAL records skipped as already covered by the snapshot.
+    pub skipped: usize,
+    /// Torn/corrupt tail bytes truncated off the log.
+    pub truncated_bytes: u64,
+    /// The LSN the re-attached log continues from.
+    pub last_lsn: u64,
 }
 
 /// Outcome of one [`ShardedWritable::rebalance_step_background`] call.
@@ -956,7 +1249,12 @@ impl ShardedSnapshot {
     /// Total keys at capture time.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        *self.prefix.last().expect("non-empty prefix")
+        // Invariant (constructor-enforced, not an I/O or config state):
+        // `snapshot()` seeds `prefix` with an unconditional `push(0)`
+        // before appending one entry per shard, so `prefix.len() ==
+        // snaps.len() + 1 >= 1` on every constructed value and `last()`
+        // cannot be `None`.
+        self.prefix.last().copied().unwrap_or(0)
     }
 
     /// Whether the snapshot holds no keys.
@@ -1316,6 +1614,108 @@ mod tests {
         sw.rebalance();
         assert!(sw.insert(8));
         assert_eq!(sw.len(), 202);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("li-serve-swdur-{}-{name}", std::process::id()))
+    }
+
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn durable_writes_recover_after_a_simulated_crash() {
+        let snap = tmp("crash.lidx");
+        let wal_path = tmp("crash.wal");
+        let (_g1, _g2) = (Cleanup(snap.clone()), Cleanup(wal_path.clone()));
+        let sw = ShardedWritable::new(
+            (0..100u64).map(|i| i * 4).collect::<Vec<_>>(),
+            2,
+            small_cfg(),
+        );
+        sw.enable_wal(&wal_path, WalSyncPolicy::PerRecord).unwrap();
+        sw.save(&snap).unwrap(); // checkpoint the pre-WAL state
+        assert!(sw.insert(1001));
+        assert!(sw.insert(1003));
+        assert_eq!(
+            sw.insert_batch(&[1005, 1003, 1007]),
+            vec![true, false, true]
+        );
+        assert_eq!(sw.wal_last_lsn(), 3);
+        assert!(sw.wal_failure().is_none());
+        // Crash: drop without saving. Memory is gone; files survive.
+        drop(sw);
+
+        let (rec, report) = ShardedWritable::recover_with_config(
+            &snap,
+            &wal_path,
+            WalSyncPolicy::PerRecord,
+            small_cfg(),
+        )
+        .unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(rec.len(), 104);
+        for k in [1001u64, 1003, 1005, 1007] {
+            assert!(rec.contains(k), "lost durable write {k}");
+        }
+        // The recovered structure keeps logging: a second crash cycle
+        // (including a save, which truncates the log and re-stamps the
+        // LSN watermark) still loses nothing.
+        assert!(rec.insert(2001));
+        rec.save(&snap).unwrap();
+        assert!(rec.insert(2003));
+        drop(rec);
+        let again = ShardedWritable::recover(&snap, &wal_path, WalSyncPolicy::PerRecord).unwrap();
+        assert!(again.contains(2001), "covered by the second snapshot");
+        assert!(again.contains(2003), "replayed from the post-save log");
+        assert_eq!(again.len(), 106);
+    }
+
+    #[test]
+    fn recover_without_snapshot_replays_the_whole_log() {
+        let snap = tmp("firstboot.lidx");
+        let wal_path = tmp("firstboot.wal");
+        let (_g1, _g2) = (Cleanup(snap.clone()), Cleanup(wal_path.clone()));
+        let sw = ShardedWritable::new(Vec::new(), 1, small_cfg());
+        sw.enable_wal(&wal_path, WalSyncPolicy::EveryN(1)).unwrap();
+        for k in 0..20u64 {
+            assert!(sw.try_insert(k * 3).unwrap());
+        }
+        drop(sw); // crash before the first save
+
+        let (rec, report) = ShardedWritable::recover_with_config(
+            &snap,
+            &wal_path,
+            WalSyncPolicy::EveryN(1),
+            small_cfg(),
+        )
+        .unwrap();
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.replayed, 20);
+        assert_eq!(rec.len(), 20);
+        assert_eq!(
+            rec.range_keys(0, u64::MAX),
+            (0..20u64).map(|k| k * 3).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn enabling_a_second_wal_is_refused() {
+        let wal_path = tmp("double.wal");
+        let _g = Cleanup(wal_path.clone());
+        let sw = ShardedWritable::new(vec![1u64], 1, small_cfg());
+        assert!(!sw.wal_attached());
+        sw.enable_wal(&wal_path, WalSyncPolicy::default()).unwrap();
+        assert!(sw.wal_attached());
+        assert!(sw.enable_wal(&wal_path, WalSyncPolicy::default()).is_err());
+        sw.wal_sync().unwrap();
     }
 
     #[test]

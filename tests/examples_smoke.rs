@@ -29,6 +29,10 @@ mod index_synthesis;
 #[path = "../examples/warm_restart.rs"]
 mod warm_restart;
 
+#[allow(dead_code)]
+#[path = "../examples/crash_recovery.rs"]
+mod crash_recovery;
+
 #[test]
 fn quickstart_smoke() {
     quickstart::run(3_000);
@@ -57,4 +61,9 @@ fn index_synthesis_smoke() {
 #[test]
 fn warm_restart_smoke() {
     warm_restart::run(3_000);
+}
+
+#[test]
+fn crash_recovery_smoke() {
+    crash_recovery::run(2_000);
 }

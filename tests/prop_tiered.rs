@@ -128,6 +128,83 @@ proptest! {
         prop_assert!(base_len >= init.len());
     }
 
+    /// Invariant 7 (tier partition) pinned on the insert path: a
+    /// duplicate insert of a key currently living **only in a sealed
+    /// run** (not the buffer — sealing emptied it; not the base — the
+    /// key was fresh) must be reported as a duplicate and must not
+    /// create cross-tier duplication. The run probe sits between the
+    /// buffer probe and the base lookup in `DeltaIndex::insert`; this
+    /// is the property that keeps it honest.
+    #[test]
+    fn reinserting_a_sealed_run_resident_key_is_a_duplicate(
+        initial in prop::collection::vec(any::<u64>(), 0..80),
+        stream in prop::collection::vec(any::<u64>(), 1..100),
+        threshold in 2usize..8,
+        max_runs in 2usize..5,
+    ) {
+        let init = sorted_unique(initial);
+        let mut idx = DeltaIndex::new(init.clone(), cfg(), threshold).with_tiering(max_runs);
+        let mut oracle: BTreeSet<u64> = init.iter().copied().collect();
+        for &k in &stream {
+            prop_assert_eq!(idx.insert(k), oracle.insert(k));
+        }
+        // Every key currently sealed in a run lives in NO other tier
+        // (partition invariant), so re-inserting it must be a pure
+        // duplicate: flag false, nothing moves, no tier grows.
+        let snap = idx.snapshot();
+        let sealed: Vec<u64> = snap.runs().iter().flat_map(|r| r.as_slice().iter().copied()).collect();
+        let (len0, pend0, runs0, sealed0) =
+            (idx.len(), idx.pending(), idx.run_count(), idx.sealed_keys());
+        for &k in &sealed {
+            prop_assert!(!idx.insert(k), "sealed key {} re-reported as new", k);
+            prop_assert!(!idx.insert_batch(&[k])[0], "batched re-insert of sealed key {}", k);
+        }
+        prop_assert_eq!(idx.len(), len0);
+        prop_assert_eq!(idx.pending(), pend0, "duplicates must not enter the buffer");
+        prop_assert_eq!(idx.run_count(), runs0);
+        prop_assert_eq!(idx.sealed_keys(), sealed0);
+        // No cross-tier duplication anywhere: the exported merge of
+        // all tiers is strictly sorted (a duplicated key would show up
+        // as an equal adjacent pair).
+        let exported = idx.export_keys();
+        prop_assert!(exported.windows(2).all(|w| w[0] < w[1]), "export not strictly sorted");
+        prop_assert_eq!(exported.len(), oracle.len());
+    }
+
+    /// The same partition pin one level up: a `ShardedWritable` in
+    /// tiered mode routes the duplicate to the owner shard, whose
+    /// sealed run must answer it — across shard boundaries, batched
+    /// and scalar.
+    #[test]
+    fn sharded_reinsert_of_sealed_keys_never_duplicates(
+        stream in prop::collection::vec(any::<u64>(), 8..80),
+        shards in 1usize..4,
+    ) {
+        use li_serve::{ShardedWritable, ShardedWritableConfig};
+        let config = ShardedWritableConfig {
+            merge_threshold: 4,
+            max_runs: 3,
+            check_interval: 0,
+            ..ShardedWritableConfig::default()
+        };
+        let sw = ShardedWritable::new((0..50u64).map(|i| i * 1000).collect::<Vec<_>>(), shards, config);
+        let mut oracle: BTreeSet<u64> = (0..50u64).map(|i| i * 1000).collect();
+        for &k in &stream {
+            prop_assert_eq!(sw.insert(k), oracle.insert(k));
+        }
+        let len0 = sw.len();
+        // Re-insert the entire stream (every key now lives in exactly
+        // one tier of its owner shard): all duplicates, nothing grows.
+        for &k in &stream {
+            prop_assert!(!sw.insert(k), "key {} re-reported as new", k);
+        }
+        let flags = sw.insert_batch(&stream);
+        prop_assert!(flags.iter().all(|&f| !f), "batched re-insert reported a new key");
+        prop_assert_eq!(sw.len(), len0);
+        let all = sw.range_keys(0, u64::MAX);
+        prop_assert!(all.windows(2).all(|w| w[0] < w[1]), "global scan not strictly sorted");
+    }
+
     /// A snapshot cut at an arbitrary point — including with a full
     /// run stack about to compact — is frozen: later inserts, seals
     /// and compactions on the live index never leak into it.
