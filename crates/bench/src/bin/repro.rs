@@ -5,7 +5,7 @@
 //!       [--modes scalar,batched,bg,tiered]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
-//!              appendix-a appendix-e scaling write persist wal all   (default: all)
+//!              appendix-a appendix-e scaling write persist wal stats all   (default: all)
 //! --modes filters the `write` experiment's measured write modes
 //!         (default: all four)
 //! ```
@@ -90,6 +90,7 @@ fn main() {
             "write",
             "persist",
             "wal",
+            "stats",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -171,6 +172,16 @@ fn main() {
                 };
                 wal::print(&wal::run(&wcfg), wcfg.keys);
             }
+            "stats" => {
+                // Same scale reasoning as `write`: the metrics story
+                // (counters, gauges, event tail, overhead) is fully
+                // visible well below paper scale.
+                let scfg = BenchConfig {
+                    keys: cfg.keys.min(200_000),
+                    ..cfg.clone()
+                };
+                stats::print(&stats::run(&scfg), scfg.keys);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
     }
@@ -179,7 +190,7 @@ fn main() {
 fn print_usage() {
     println!(
         "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S] [--modes scalar,batched,bg,tiered]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist wal all\n\
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist wal stats all\n\
          --modes filters the write experiment's measured write modes (default: all four)"
     );
 }

@@ -21,6 +21,7 @@
 //! | [`mod@write`] | beyond the paper — sharded write path: scalar/batched/background inserts/sec + lookup-under-writes |
 //! | [`persist`]  | beyond the paper — warm restart: cold build vs mapped snapshot load, with lookup parity |
 //! | [`mod@wal`]  | beyond the paper — durable live writes: WAL insert overhead per sync policy + crash recovery |
+//! | [`stats`]    | beyond the paper — live observability: mixed workload metrics snapshot + instrumentation overhead |
 //!
 //! Scale: every experiment takes a key count; the defaults target a
 //! laptop (≈2M keys, seconds per experiment). The paper's absolute
@@ -43,12 +44,15 @@ pub mod harness;
 pub mod naive;
 pub mod persist;
 pub mod scaling;
+pub mod stats;
 pub mod table;
 pub mod table1;
 pub mod wal;
 pub mod write;
 
-pub use harness::{time_batch_chunked_ns, time_batch_ns, BenchConfig};
+pub use harness::{
+    time_batch_chunked_ns, time_batch_ns, time_each_ns, BenchConfig, LatencySummary,
+};
 pub use table::Table;
 
 /// Resolve the key-count scale: CLI override > `LI_KEYS` env > default.

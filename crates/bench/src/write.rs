@@ -32,9 +32,10 @@
 //! table prints `available_parallelism` so the reader can judge
 //! (EXPERIMENTS.md records the caveat).
 
-use crate::harness::BenchConfig;
+use crate::harness::{BenchConfig, LatencySummary};
 use crate::table::Table;
 use li_data::Dataset;
+use li_obs::Histogram;
 use li_serve::{RebalanceConfig, RebalanceWorker, ShardedWritable, ShardedWritableConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -171,16 +172,6 @@ fn gcd(mut a: usize, mut b: usize) -> usize {
     a
 }
 
-/// p-th percentile (0..=100) of unsorted latency samples, in place.
-fn percentile(samples: &mut [u64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_unstable();
-    let rank = ((samples.len() - 1) as f64 * p / 100.0).round() as usize;
-    samples[rank] as f64
-}
-
 /// Run one (configuration, mode) sub-run: the writer floods `inserts`
 /// fresh keys (scalar or batched) while the measuring thread samples
 /// lookups; in background mode a worker owns rebalancing for the
@@ -217,7 +208,10 @@ fn run_one(
         .then(|| RebalanceWorker::spawn(Arc::clone(&sw)));
 
     let done = AtomicBool::new(false);
-    let mut samples: Vec<u64> = Vec::with_capacity(lookups.len());
+    // Every sampled lookup lands in the shared li-obs histogram; the
+    // mean/p99 columns come from its snapshot (same quantile engine as
+    // the serving tier's own metrics).
+    let lookup_hist = Histogram::new();
     let mut write_secs = 0.0f64;
     let mut inserted = 0usize;
 
@@ -254,12 +248,7 @@ fn run_one(
             }
             let t0 = Instant::now();
             acc += usize::from(sw.contains(q));
-            let ns = t0.elapsed().as_nanos() as u64;
-            if samples.len() < samples.capacity() {
-                samples.push(ns);
-            } else {
-                samples[i % lookups.len()] = ns;
-            }
+            lookup_hist.record_since(t0);
         }
         std::hint::black_box(acc);
 
@@ -275,13 +264,12 @@ fn run_one(
     }
     drop(worker);
 
-    let mean = samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64;
-    let p99 = percentile(&mut samples, 99.0);
+    let lat = LatencySummary::of(&lookup_hist);
     ModeStats {
         inserted,
         inserts_per_sec: inserted as f64 / write_secs.max(1e-9),
-        mean_lookup_ns: mean,
-        p99_lookup_ns: p99,
+        mean_lookup_ns: lat.mean_ns,
+        p99_lookup_ns: lat.p99_ns as f64,
         splits: sw.splits(),
         shard_merges: sw.shard_merges(),
         compactions: sw.compactions(),
@@ -414,6 +402,7 @@ pub fn print(rows: &[WriteRow], keys: usize) {
     t.note(&format!(
         "lookups sampled concurrently with the insert stream; host exposes {cores} core(s) — on 1 core the numbers measure interleaving, not parallel capacity"
     ));
+    t.note("mean/p99 lookup latency comes from an li-obs log-linear histogram (bounded-error quantiles, same engine as the serving tier's metrics)");
     t.note("Scalar/Batched rebalance inline on the inserting thread; BG and Tiered rows attach a RebalanceWorker (rebuilds off the insert path, published with a straggler drain)");
     t.note("Tiered rows seal full buffers into sorted runs (no retrain) and the worker folds full stacks into the base — one retrain per max_runs buffers; Compactions counts those folds");
     t.note("splits/merges = rebalance actions the load provoked (a shard splits at 1.5x its initial fair share; the keyset doubles over the run)");
@@ -507,16 +496,5 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s), "n={n} stride={stride}");
         }
-    }
-
-    #[test]
-    fn percentile_is_monotone_and_bounded() {
-        let mut s: Vec<u64> = (1..=100).rev().collect();
-        assert_eq!(percentile(&mut s.clone(), 0.0), 1.0);
-        assert_eq!(percentile(&mut s.clone(), 100.0), 100.0);
-        let p50 = percentile(&mut s.clone(), 50.0);
-        let p99 = percentile(&mut s, 99.0);
-        assert!(p50 <= p99);
-        assert_eq!(percentile(&mut [], 99.0), 0.0);
     }
 }

@@ -1,0 +1,303 @@
+//! Log-linear (HDR-style) latency histogram with bounded-error
+//! quantile recovery.
+//!
+//! The bucket layout is the classic HDR scheme with `SUB_BITS = 5`
+//! (32 sub-buckets per octave): values below 64 get one bucket each
+//! (exact recovery), and every octave above is split into 32
+//! equal-width linear sub-buckets, so the bucket containing any value
+//! `v` has width ≤ `max(1, v / 32)` — the quantile estimate (the
+//! bucket's upper bound) is within ~3.2% of the true sample. The full
+//! `u64` range fits in 1920 buckets (~15 KiB of atomics).
+//!
+//! Recording is one relaxed `fetch_add` on the bucket plus one on the
+//! running sum — no locks, no allocation — so many threads can record
+//! into one histogram concurrently. Reads go through
+//! [`Histogram::snapshot`]; snapshots of different histograms (or of
+//! per-worker shards of one logical series) merge with
+//! [`HistogramSnapshot::merge`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets covering the full `u64` range: 64 exact buckets for
+/// values `< 64`, then 58 octaves × 32 sub-buckets each.
+pub(crate) const NUM_BUCKETS: usize = SUB * 2 + (63 - SUB_BITS as usize) * SUB;
+
+/// The bucket index holding value `v`.
+///
+/// Monotone in `v`: `a <= b` implies `bucket_of(a) <= bucket_of(b)` —
+/// the property that makes cumulative-count quantile walks exact at
+/// bucket granularity. Exposed so tests can assert the quantile error
+/// bound (`bucket_of(estimate) == bucket_of(oracle)`).
+pub fn bucket_of(v: u64) -> usize {
+    // Highest set bit of v (0 for v in {0,1}); buckets are exact until
+    // the octave outgrows the 32-way sub-bucket resolution.
+    let msb = 63 - (v | 1).leading_zeros();
+    let shift = msb.saturating_sub(SUB_BITS);
+    (shift as usize) * SUB + (v >> shift) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `b`.
+///
+/// `bucket_of(lo) == bucket_of(hi) == b`; quantile estimates returned
+/// by [`HistogramSnapshot::value_at_quantile`] are always some
+/// bucket's `hi`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < NUM_BUCKETS, "bucket {b} out of range");
+    if b < SUB * 2 {
+        return (b as u64, b as u64);
+    }
+    let shift = (b / SUB - 1) as u32;
+    let sub = (b % SUB + SUB) as u64;
+    let lo = sub << shift;
+    // (sub + 1) << shift overflows u64 exactly at the top bucket; do
+    // the arithmetic in u128.
+    let hi = (((sub as u128 + 1) << shift) - 1) as u64;
+    (lo, hi)
+}
+
+/// A concurrent log-linear histogram of `u64` samples (nanoseconds,
+/// by convention).
+///
+/// `record` is wait-free: one relaxed add on the bucket, one on the
+/// count, one on the sum. See the module docs for the error bound.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Wait-free; safe to call from many threads.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record the elapsed nanoseconds since `start`.
+    pub fn record_since(&self, start: Instant) {
+        self.record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A guard that records the elapsed nanoseconds between now and
+    /// its drop.
+    pub fn start_timer(&self) -> Timer<'_> {
+        Timer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Total samples recorded so far (relaxed read).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket array.
+    ///
+    /// The per-bucket counts are each read atomically and each bucket
+    /// only ever grows, so concurrent snapshots see monotonically
+    /// non-decreasing totals; the derived `count` is the bucket sum,
+    /// keeping count and quantiles mutually consistent even when a
+    /// snapshot races active recorders.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// Guard returned by [`Histogram::start_timer`]; records the elapsed
+/// nanoseconds into the histogram when dropped.
+pub struct Timer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.hist.record_since(self.start);
+    }
+}
+
+/// A frozen copy of a [`Histogram`]: quantiles, mean, and merging.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the
+    /// bucket containing the sample of rank `⌈q·n⌉` (1-based, clamped
+    /// to `[1, n]`).
+    ///
+    /// Because bucket indices are monotone in the value, the returned
+    /// estimate lands in the **same bucket** as the true rank-order
+    /// sample — so it is ≥ the true sample and within one bucket width
+    /// of it (`≤ max(1, sample/32)` absolute, exact below 64). Returns
+    /// 0 for an empty snapshot.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(b).1;
+            }
+        }
+        // Unreachable when count == bucket sum; harden anyway.
+        u64::MAX
+    }
+
+    /// Merge another snapshot into this one (per-bucket add) —
+    /// per-worker histogram shards fold into one series this way.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_self_consistent() {
+        let probes: Vec<u64> = (0..2000u64)
+            .chain((6..64).map(|i| (1u64 << i) - 1))
+            .chain((6..64).map(|i| 1u64 << i))
+            .chain((6..64).map(|i| (1u64 << i) + 1))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(bucket_of(w[0]) <= bucket_of(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &v in &probes {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "v={v} b={b} lo={lo} hi={hi}");
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+            // Width bound: <= max(1, v/32).
+            assert!(hi - lo <= (v / 32).max(1) - if v < 64 { 1 } else { 0 });
+        }
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn small_values_recover_exactly() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 64);
+        assert_eq!(s.value_at_quantile(0.0), 0);
+        assert_eq!(s.value_at_quantile(1.0), 63);
+        // Rank of q=0.5 over 64 samples is 32 -> value 31 exactly.
+        assert_eq!(s.value_at_quantile(0.5), 31);
+    }
+
+    #[test]
+    fn timer_records_a_plausible_duration() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+            std::hint::black_box(1 + 1);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert!(s.value_at_quantile(1.0) < 1_000_000_000, "under a second");
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 100, 10_000, u64::MAX] {
+            a.record(v);
+            b.record(v);
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 12);
+        assert_eq!(m.value_at_quantile(1.0), u64::MAX);
+        let solo = a.snapshot();
+        assert_eq!(
+            solo.value_at_quantile(0.5),
+            m.value_at_quantile(0.5),
+            "same distribution, same quantiles"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # li-obs — lock-free observability primitives
+//!
+//! The measurement layer under the serving tier: everything here is
+//! designed so a hot path (a scalar lookup or insert measured in
+//! hundreds of nanoseconds) can record into it for the cost of **a few
+//! relaxed atomic adds — zero locks, zero allocation**, while readers
+//! assemble consistent snapshots and render a Prometheus-style text
+//! exposition on the side.
+//!
+//! Three primitives, one registry:
+//!
+//! * [`Counter`] / [`Gauge`] / [`GaugeSet`] — cache-line-padded
+//!   striped relaxed atomics ([`metrics`]). A counter `add` is one
+//!   relaxed `fetch_add` on a thread-striped cell; `value()` sums the
+//!   stripes.
+//! * [`Histogram`] — a log-linear (HDR-style) latency histogram
+//!   ([`hist`]): 32 sub-buckets per octave, so any recorded value is
+//!   recovered by [`HistogramSnapshot::value_at_quantile`] with
+//!   relative error ≤ 1/32 (exact below 64). Snapshots merge, and a
+//!   [`Timer`] guard records elapsed nanoseconds on drop.
+//! * [`TraceRing`] — a fixed-capacity lock-free ring of structural
+//!   [`TraceEvent`]s (shard split/merge, compaction fold, WAL
+//!   truncation, …) with coarse timestamps; writers claim slots by
+//!   CAS so a reader can never observe a torn event, and at capacity
+//!   the oldest events are overwritten first.
+//! * [`MetricsRegistry`] — get-or-create registration (a mutex, but
+//!   only on the cold registration path) plus
+//!   [`MetricsRegistry::snapshot`] → [`MetricsSnapshot`] →
+//!   [`MetricsSnapshot::render_text`].
+//!
+//! ```
+//! use li_obs::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let ops = reg.counter("ops_total");
+//! let lat = reg.histogram("op_ns");
+//! for i in 0..100u64 {
+//!     ops.incr();
+//!     lat.record(100 + i); // pretend nanoseconds
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("ops_total"), Some(100));
+//! let p99 = snap.histogram("op_ns").unwrap().value_at_quantile(0.99);
+//! assert!(p99 >= 198 && p99 <= 205);
+//! assert!(snap.render_text().contains("ops_total 100"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metrics;
+pub mod ring;
+
+pub use hist::{bucket_bounds, bucket_of, Histogram, HistogramSnapshot, Timer};
+pub use metrics::{Counter, Gauge, GaugeSet, MetricsRegistry, MetricsSnapshot, Sampler};
+pub use ring::{TraceEvent, TraceRing};

@@ -42,6 +42,12 @@
 //!   record pressure into lock-free counters and signal over a channel;
 //!   rebuilds happen off the insert path and are published with an
 //!   incremental straggler hand-off ([`rebalance_worker`]).
+//! * [`obs`] — the observability surface: every structure owns a
+//!   [`ServeMetrics`] bundle of `li-obs` striped counters, latency
+//!   histograms and a structural-event trace ring;
+//!   [`ShardedWritable::metrics`] reads it all back as one consistent
+//!   [`MetricsSnapshot`] and `render_text` renders the Prometheus-style
+//!   exposition.
 //! * [`wal`] — the durability tier for *live* writes: a per-structure
 //!   append-only write-ahead log (checksummed records, group-commit
 //!   [`WalSyncPolicy`]) that acknowledged writes hit before the
@@ -61,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod obs;
 pub mod persist;
 pub mod rebalance;
 pub mod rebalance_worker;
@@ -76,6 +83,8 @@ pub use builder::{
 };
 pub use li_core::delta::DeltaSnapshot;
 pub use li_index::{KeyStore, MappedFile, Prediction, RangeIndex};
+pub use li_obs::{MetricsRegistry, MetricsSnapshot};
+pub use obs::ServeMetrics;
 pub use persist::PersistError;
 pub use rebalance::{RebalanceAction, RebalanceConfig};
 pub use rebalance_worker::RebalanceWorker;

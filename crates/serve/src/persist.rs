@@ -445,6 +445,9 @@ fn decode_sw_config(dec: &mut Dec<'_>) -> Result<ShardedWritableConfig, PersistE
         retune,
         check_interval,
         max_runs,
+        // Runtime-only knob, deliberately not persisted: a reloaded
+        // structure observes by default like a fresh one.
+        observe: true,
         rebalance: RebalanceConfig {
             max_shard_len,
             merge_max_len,
@@ -723,6 +726,8 @@ impl ShardedWritable {
         let mut wal_guard = self.wal_slot().lock().unwrap_or_else(|e| e.into_inner());
         let lsn = wal_guard.as_ref().map_or(0, |w| w.last_lsn());
         self.save_snapshot(path.as_ref(), lsn)?;
+        self.metrics_handle()
+            .event(crate::obs::events::SNAPSHOT_SAVE, self.len() as u64, lsn);
         if let Some(wal) = wal_guard.as_mut() {
             wal.truncate_after_snapshot()?;
         }

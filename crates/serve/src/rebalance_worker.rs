@@ -219,18 +219,17 @@ struct Pressure {
 }
 
 /// Counters the worker thread publishes for the handle (and tests).
+///
+/// Structural totals (splits, merges, compactions, runs folded) are
+/// deliberately **absent**: those live in the structure's
+/// [`ServeMetrics`](crate::ServeMetrics) registry — the single source
+/// of truth — and the handle's accessors read them from there against
+/// an attach-time baseline. Only worker-private bookkeeping (passes,
+/// races, drained pressure) is tracked here.
 #[derive(Debug, Default)]
 struct WorkerStats {
-    splits: AtomicUsize,
-    merges: AtomicUsize,
     passes: AtomicUsize,
     races: AtomicUsize,
-    /// Run-stack compactions applied (shards whose sealed runs were
-    /// folded into the base with one retrain).
-    compactions: AtomicUsize,
-    /// Sealed runs folded across all compactions (≥ `max_runs` per
-    /// compaction event under steady pressure).
-    runs_compacted: AtomicUsize,
     /// Cumulative inserts drained off the pressure board.
     pressure_inserts: AtomicUsize,
     /// Passes whose drained pressure included a hot-shard observation.
@@ -281,7 +280,24 @@ pub struct RebalanceWorker {
     sw: Arc<ShardedWritable>,
     link: Arc<WorkerLink>,
     stats: Arc<WorkerStats>,
+    /// Registry totals at attach time. The structural accessors
+    /// (`splits()`, `merges()`, `compactions()`, `runs_compacted()`)
+    /// are thin reads of the structure's metrics registry minus these
+    /// baselines — the registry is the single source of truth, so the
+    /// worker's view and [`ShardedWritable::splits`] & friends can
+    /// never drift apart.
+    base: Baseline,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Structural-counter totals captured from the registry at attach
+/// time, so the handle reports only actions applied while attached.
+#[derive(Debug, Clone, Copy)]
+struct Baseline {
+    splits: u64,
+    merges: u64,
+    compactions: u64,
+    runs_compacted: u64,
 }
 
 impl RebalanceWorker {
@@ -294,6 +310,15 @@ impl RebalanceWorker {
     pub fn spawn(sw: Arc<ShardedWritable>) -> Self {
         let (tx, rx) = mpsc::channel();
         let link = Arc::new(WorkerLink::new(tx));
+        // Baseline the structural counters before attaching: everything
+        // the registry accrues from here on happened on our watch.
+        let obs = sw.metrics_handle();
+        let base = Baseline {
+            splits: obs.splits.value(),
+            merges: obs.shard_merges.value(),
+            compactions: obs.compactions.value(),
+            runs_compacted: obs.runs_compacted.value(),
+        };
         sw.attach_worker(Arc::clone(&link));
         let stats = Arc::new(WorkerStats::default());
         let spawned = {
@@ -337,6 +362,7 @@ impl RebalanceWorker {
             sw,
             link,
             stats,
+            base,
             handle: Some(handle),
         }
     }
@@ -363,29 +389,41 @@ impl RebalanceWorker {
         self.stats.panicked.load(Ordering::Acquire)
     }
 
-    /// Shard splits this worker has applied.
+    /// Shard splits applied since this worker attached.
+    ///
+    /// A thin read of the registry's `li_shard_splits_total` counter
+    /// against the attach-time baseline — the same counter
+    /// [`ShardedWritable::splits`](crate::ShardedWritable::splits)
+    /// reports, so the two can never drift. While attached, the worker
+    /// owns rebalancing, so this is exactly the worker's own tally
+    /// (plus any manual [`ShardedWritable::rebalance`]
+    /// (crate::ShardedWritable::rebalance) calls the owner raced in).
     pub fn splits(&self) -> usize {
-        self.stats.splits.load(Ordering::Relaxed)
+        (self.sw.metrics_handle().splits.value()).saturating_sub(self.base.splits) as usize
     }
 
-    /// Shard merges this worker has applied.
+    /// Shard merges applied since this worker attached (thin read of
+    /// `li_shard_merges_total`; see [`RebalanceWorker::splits`]).
     pub fn merges(&self) -> usize {
-        self.stats.merges.load(Ordering::Relaxed)
+        (self.sw.metrics_handle().shard_merges.value()).saturating_sub(self.base.merges) as usize
     }
 
-    /// Run-stack compactions this worker has applied (tiered mode:
-    /// shards whose sealed runs it folded into the base with one
-    /// retrain). While attached, the worker is the *only* compactor, so
-    /// this equals the structure's own
+    /// Run-stack compactions applied since this worker attached
+    /// (tiered mode: shards whose sealed runs were folded into the
+    /// base with one retrain). While attached, the worker is the
+    /// *only* compactor, so this equals the structure's own
     /// [`ShardedWritable::compactions`](crate::ShardedWritable::compactions)
-    /// counter.
+    /// counter — both are thin reads of `li_compactions_total`.
     pub fn compactions(&self) -> usize {
-        self.stats.compactions.load(Ordering::Relaxed)
+        (self.sw.metrics_handle().compactions.value()).saturating_sub(self.base.compactions)
+            as usize
     }
 
-    /// Sealed runs folded across all of this worker's compactions.
+    /// Sealed runs folded since this worker attached (thin read of
+    /// `li_runs_compacted_total`).
     pub fn runs_compacted(&self) -> usize {
-        self.stats.runs_compacted.load(Ordering::Relaxed)
+        (self.sw.metrics_handle().runs_compacted.value()).saturating_sub(self.base.runs_compacted)
+            as usize
     }
 
     /// Rebalance passes the worker has completed (one per wake).
@@ -469,15 +507,10 @@ fn worker_loop(sw: &ShardedWritable, link: &WorkerLink, rx: &Receiver<Wake>, sta
         // Tiered mode: fold full run stacks into their bases first —
         // one retrain per K sealed runs, off the insert path, before
         // split/merge planning looks at shard shapes. Inserters never
-        // compact while we are attached (they only signal), so the
-        // worker's counters account every compaction.
-        let (compactions, runs_folded) = sw.compact_pending();
-        if compactions > 0 {
-            stats.compactions.fetch_add(compactions, Ordering::Relaxed);
-            stats
-                .runs_compacted
-                .fetch_add(runs_folded, Ordering::Relaxed);
-        }
+        // compact while we are attached (they only signal); the folds
+        // land in the structure's metrics registry, which the handle's
+        // accessors read back.
+        let _ = sw.compact_pending();
         // Run steps until the topology is stable. The per-round budget
         // is the same backstop as the inline loop; a round that
         // exhausts it with work remaining (a giant backlog, or a storm
@@ -488,12 +521,10 @@ fn worker_loop(sw: &ShardedWritable, link: &WorkerLink, rx: &Receiver<Wake>, sta
         'pass: for _round in 0..4 {
             for _ in 0..budget {
                 match sw.rebalance_step_background() {
-                    BackgroundStep::Applied(RebalanceAction::Split { .. }) => {
-                        stats.splits.fetch_add(1, Ordering::Relaxed);
-                    }
-                    BackgroundStep::Applied(RebalanceAction::Merge { .. }) => {
-                        stats.merges.fetch_add(1, Ordering::Relaxed);
-                    }
+                    // Applied actions are already counted by the
+                    // publish path into the metrics registry.
+                    BackgroundStep::Applied(RebalanceAction::Split { .. })
+                    | BackgroundStep::Applied(RebalanceAction::Merge { .. }) => {}
                     BackgroundStep::Raced => {
                         stats.races.fetch_add(1, Ordering::Relaxed);
                     }

@@ -65,13 +65,16 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use li_core::delta::{DeltaIndex, DeltaSnapshot};
 use li_core::rmi::{RmiConfig, TopModel};
 use li_index::partition::{boundaries, even_offsets, split_point};
 use li_index::KeyStore;
+use li_obs::MetricsSnapshot;
 
 use crate::builder::{retune_rmi, RetunePolicy};
+use crate::obs::{events, ServeMetrics};
 use crate::persist::PersistError;
 use crate::rebalance::{plan, RebalanceAction, RebalanceConfig};
 use crate::rebalance_worker::WorkerLink;
@@ -120,6 +123,14 @@ pub struct ShardedWritableConfig {
     /// Compaction runs on the attached [`crate::RebalanceWorker`] when
     /// there is one, inline otherwise.
     pub max_runs: usize,
+    /// Hot-path observability (default `true`): count every insert and
+    /// latency-sample 1-in-N of them into the structure's
+    /// [`ServeMetrics`]. `false` strips the per-op instrumentation from
+    /// the insert fast path (one branch remains) — the `repro stats`
+    /// overhead benchmark compares the two. Structural metrics (splits,
+    /// merges, compactions, WAL and worker activity) record regardless:
+    /// they are cold-path and double as the structure's own counters.
+    pub observe: bool,
     /// Split/merge thresholds.
     pub rebalance: RebalanceConfig,
 }
@@ -132,6 +143,7 @@ impl Default for ShardedWritableConfig {
             retune: RetunePolicy::default(),
             check_interval: 1024,
             max_runs: 0,
+            observe: true,
             rebalance: RebalanceConfig::default(),
         }
     }
@@ -205,12 +217,17 @@ struct Topology {
 pub struct ShardedWritable {
     topo: RwLock<Arc<Topology>>,
     config: ShardedWritableConfig,
-    /// Successful (key-adding) inserts, for the periodic rebalance scan.
+    /// Successful (key-adding) inserts, for the periodic rebalance
+    /// scan. Kept as a plain global atomic (not an `li-obs` striped
+    /// counter) because the scan trigger needs an exact before/after
+    /// pair from one `fetch_add` — control logic, not telemetry.
     inserts: AtomicUsize,
-    splits: AtomicUsize,
-    shard_merges: AtomicUsize,
-    /// Shard compactions applied (tiered mode; see `compact_pending`).
-    compactions: AtomicUsize,
+    /// The observability bundle: op counters, latency histograms, the
+    /// structural-event ring, and the **single source of truth** for
+    /// the split/merge/compaction counters behind
+    /// [`ShardedWritable::splits`] and friends. Shared (via `Arc`
+    /// clones) with every shard, the WAL and the background worker.
+    obs: Arc<ServeMetrics>,
     /// Link to an attached background rebalance worker. `None` (the
     /// default) means inserts rebalance inline; `Some` means inserts
     /// only record pressure and signal — the worker owns rebalancing.
@@ -237,13 +254,14 @@ impl ShardedWritable {
     /// is a [`KeyStore::slice`] of the caller's allocation.
     pub fn new(data: impl Into<KeyStore>, shards: usize, config: ShardedWritableConfig) -> Self {
         config.validate();
+        let obs = Arc::new(ServeMetrics::new());
         let store: KeyStore = data.into();
         let n = shards.clamp(1, store.len().max(1));
         let offsets = even_offsets(store.len(), n);
         let bounds = boundaries(&store, &offsets);
         let shard_vec: Vec<Arc<WritableShard>> = offsets
             .windows(2)
-            .map(|w| Arc::new(build_retuned_shard(store.slice(w[0]..w[1]), &config)))
+            .map(|w| Arc::new(build_retuned_shard(store.slice(w[0]..w[1]), &config, &obs)))
             .collect();
         let router = ShardRouter::fit(bounds.clone());
         Self {
@@ -255,9 +273,7 @@ impl ShardedWritable {
             })),
             config,
             inserts: AtomicUsize::new(0),
-            splits: AtomicUsize::new(0),
-            shard_merges: AtomicUsize::new(0),
-            compactions: AtomicUsize::new(0),
+            obs,
             worker: RwLock::new(None),
             wal: Mutex::new(None),
             durable: AtomicBool::new(false),
@@ -283,11 +299,29 @@ impl ShardedWritable {
     /// must not acknowledge non-durable writes use
     /// [`ShardedWritable::try_insert`].
     pub fn insert(&self, key: u64) -> bool {
+        // Observability: count every insert and decide the 1-in-N
+        // latency sample with ONE relaxed striped add (`incr_sampled`),
+        // so the two `Instant::now` calls never dominate the hot path
+        // (see `crate::obs`).
+        if self.config.observe && self.obs.inserts.incr_sampled(crate::obs::INSERT_SAMPLE) {
+            let t = Instant::now();
+            let r = self.insert_logged(key);
+            self.obs.insert_ns.record_since(t);
+            return r;
+        }
+        self.insert_logged(key)
+    }
+
+    /// The WAL-then-memory insert body behind [`ShardedWritable::insert`].
+    fn insert_logged(&self, key: u64) -> bool {
         if self.durable.load(Ordering::Acquire) {
             let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(w) = slot.as_mut() {
                 // Failure latched inside the Wal; see the doc above.
                 let _ = w.append_insert(key);
+                if self.config.observe {
+                    self.obs.durable_inserts.incr();
+                }
                 return self.insert_unlogged(key);
             }
         }
@@ -299,10 +333,16 @@ impl ShardedWritable {
     /// record is accepted by the log, so an `Err` means the key was
     /// **not** inserted. Identical to `insert` when no WAL is attached.
     pub fn try_insert(&self, key: u64) -> Result<bool, PersistError> {
+        if self.config.observe {
+            self.obs.inserts.incr();
+        }
         if self.durable.load(Ordering::Acquire) {
             let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(w) = slot.as_mut() {
                 w.append_insert(key)?;
+                if self.config.observe {
+                    self.obs.durable_inserts.incr();
+                }
                 return Ok(self.insert_unlogged(key));
             }
         }
@@ -363,10 +403,29 @@ impl ShardedWritable {
     /// assert_eq!(sw.len(), 5);
     /// ```
     pub fn insert_batch(&self, keys: &[u64]) -> Vec<bool> {
+        // One timer pair amortized over the whole batch: count every
+        // key, record the per-key average latency.
+        if self.config.observe && !keys.is_empty() {
+            self.obs.batch_inserts.add(keys.len() as u64);
+            let t = Instant::now();
+            let flags = self.insert_batch_logged(keys);
+            let per_key = t.elapsed().as_nanos() as u64 / keys.len() as u64;
+            self.obs.batch_insert_ns.record(per_key);
+            return flags;
+        }
+        self.insert_batch_logged(keys)
+    }
+
+    /// The WAL-then-memory batch body behind
+    /// [`ShardedWritable::insert_batch`].
+    fn insert_batch_logged(&self, keys: &[u64]) -> Vec<bool> {
         if self.durable.load(Ordering::Acquire) && !keys.is_empty() {
             let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(w) = slot.as_mut() {
                 let _ = w.append_batch(keys); // failure latched inside
+                if self.config.observe {
+                    self.obs.durable_inserts.add(keys.len() as u64);
+                }
                 return self.insert_batch_unlogged(keys);
             }
         }
@@ -379,10 +438,16 @@ impl ShardedWritable {
     /// in-memory apply is too). Identical to `insert_batch` when no
     /// WAL is attached.
     pub fn try_insert_batch(&self, keys: &[u64]) -> Result<Vec<bool>, PersistError> {
+        if self.config.observe && !keys.is_empty() {
+            self.obs.batch_inserts.add(keys.len() as u64);
+        }
         if self.durable.load(Ordering::Acquire) && !keys.is_empty() {
             let mut slot = self.wal.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(w) = slot.as_mut() {
                 w.append_batch(keys)?;
+                if self.config.observe {
+                    self.obs.durable_inserts.add(keys.len() as u64);
+                }
                 return Ok(self.insert_batch_unlogged(keys));
             }
         }
@@ -500,21 +565,22 @@ impl ShardedWritable {
         // the topology, and a shard orphaned by a concurrent rebalance
         // is merely wasted work, never lost keys.
         let topo = self.read_topo();
-        let mut events = 0usize;
+        let mut compacted = 0usize;
         let mut folded = 0usize;
         for shard in topo.shards.iter() {
             if shard.needs_compaction() {
                 let runs = shard.compact();
                 if runs > 0 {
-                    events += 1;
+                    compacted += 1;
                     folded += runs;
+                    self.obs.compactions.incr();
+                    self.obs.runs_compacted.add(runs as u64);
+                    self.obs
+                        .event(events::COMPACT_FOLD, runs as u64, shard.len() as u64);
                 }
             }
         }
-        if events > 0 {
-            self.compactions.fetch_add(events, Ordering::Relaxed);
-        }
-        (events, folded)
+        (compacted, folded)
     }
 
     /// Attach a background worker's link: from now on inserts record
@@ -598,23 +664,78 @@ impl ShardedWritable {
         self.read_topo().generation
     }
 
-    /// How many shard splits have been applied.
-    pub fn splits(&self) -> usize {
-        self.splits.load(Ordering::Relaxed)
+    /// The structure's observability bundle — shared (by `Arc` clone)
+    /// with its shards, WAL and background worker. Hand it to a
+    /// [`crate::ShardedIndex::attach_metrics`] to fold a read-only
+    /// structure's lookups into the same registry, or walk it directly
+    /// for typed access to individual counters and histograms.
+    pub fn metrics_handle(&self) -> &Arc<ServeMetrics> {
+        &self.obs
     }
 
-    /// How many shard merges have been applied.
+    /// A consistent point-in-time [`MetricsSnapshot`] of every op
+    /// counter, latency histogram, gauge and the structural-event tail.
+    ///
+    /// The per-shard gauge sets (`li_shard_len{shard="i"}`,
+    /// `li_shard_runs`, `li_shard_pending`) and the topology gauges are
+    /// refreshed under the topology read lock, and the registry is
+    /// snapshotted **while that guard is held** — so the gauges always
+    /// describe the same topology generation the snapshot reports.
+    ///
+    /// # Examples
+    /// ```
+    /// use li_serve::{ShardedWritable, ShardedWritableConfig};
+    ///
+    /// let sw = ShardedWritable::new(vec![1u64, 2, 3], 2, ShardedWritableConfig::default());
+    /// sw.insert(10);
+    /// let snap = sw.metrics();
+    /// assert_eq!(snap.counter("li_inserts_total"), Some(1));
+    /// assert_eq!(snap.gauge("li_shard_count"), Some(2));
+    /// assert!(snap.render_text().contains("li_shard_len{shard=\"0\"}"));
+    /// ```
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let guard = self.topo.read().unwrap_or_else(|e| e.into_inner());
+        let lens: Vec<u64> = guard.shards.iter().map(|s| s.len() as u64).collect();
+        let runs: Vec<u64> = guard.shards.iter().map(|s| s.run_count() as u64).collect();
+        let pending: Vec<u64> = guard.shards.iter().map(|s| s.pending() as u64).collect();
+        self.obs.shard_len.set_all(&lens);
+        self.obs.shard_runs.set_all(&runs);
+        self.obs.shard_pending.set_all(&pending);
+        self.obs.shard_count.set(guard.shards.len() as i64);
+        self.obs.generation.set(guard.generation as i64);
+        self.obs.registry().snapshot()
+    }
+
+    /// The Prometheus-style text exposition of
+    /// [`ShardedWritable::metrics`] (counters, gauges, summary
+    /// quantiles per histogram, and the event tail as comments).
+    pub fn render_text(&self) -> String {
+        self.metrics().render_text()
+    }
+
+    /// How many shard splits have been applied. A thin read of the
+    /// metrics registry's `li_shard_splits_total` counter — the single
+    /// source of truth both this accessor and
+    /// [`ShardedWritable::metrics`] report from, so they can never
+    /// drift apart.
+    pub fn splits(&self) -> usize {
+        self.obs.splits.value() as usize
+    }
+
+    /// How many shard merges have been applied (thin read of
+    /// `li_shard_merges_total`; see [`ShardedWritable::splits`]).
     pub fn shard_merges(&self) -> usize {
-        self.shard_merges.load(Ordering::Relaxed)
+        self.obs.shard_merges.value() as usize
     }
 
     /// How many run-stack compactions have been applied (shards whose
     /// sealed runs were folded into the base with one retrain). Always
     /// `0` when `max_runs == 0`. While a [`crate::RebalanceWorker`] is
     /// attached, every compaction happens on the worker, so this equals
-    /// the worker's own compaction counter.
+    /// the worker's own compaction counter. (Thin read of
+    /// `li_compactions_total`; see [`ShardedWritable::splits`].)
     pub fn compactions(&self) -> usize {
-        self.compactions.load(Ordering::Relaxed)
+        self.obs.compactions.value() as usize
     }
 
     /// Sealed runs currently stacked across all shards, awaiting
@@ -704,10 +825,7 @@ impl ShardedWritable {
                 break;
             };
             *guard = Arc::new(next);
-            match action {
-                RebalanceAction::Split { .. } => self.splits.fetch_add(1, Ordering::Relaxed),
-                RebalanceAction::Merge { .. } => self.shard_merges.fetch_add(1, Ordering::Relaxed),
-            };
+            self.note_rebalance(&action, &guard);
             applied.push(action);
         }
         applied
@@ -736,10 +854,21 @@ impl ShardedWritable {
     /// pair of O(1) length checks; otherwise it re-exports the touched
     /// shard for a linear diff plus the buffered straggler re-inserts.
     pub(crate) fn rebalance_step_background(&self) -> BackgroundStep {
+        // Every phase below is timed into its own histogram
+        // (`li_pass_*_ns`) unconditionally — this is the cold worker
+        // path, where a pair of clock reads per phase is noise against
+        // an export + retrain, and the phase breakdown is exactly the
+        // tail-latency story the background mode exists to tell.
+
         // Phase 1 — observe (read lock, released immediately).
+        let t_observe = Instant::now();
         let topo = self.read_topo();
         let (lens, err_hot) = self.observe(&topo);
-        let Some(action) = plan(&lens, &err_hot, &self.config.rebalance) else {
+        self.obs.pass_observe_ns.record_since(t_observe);
+        let t_plan = Instant::now();
+        let planned = plan(&lens, &err_hot, &self.config.rebalance);
+        self.obs.pass_plan_ns.record_since(t_plan);
+        let Some(action) = planned else {
             return BackgroundStep::Stable;
         };
         let gen0 = topo.generation;
@@ -749,16 +878,20 @@ impl ShardedWritable {
                 // Phase 2 — rebuild off-lock. The export is kept (as a
                 // zero-copy KeyStore the two halves slice) for the
                 // phase-3 straggler diff.
+                let t_retrain = Instant::now();
                 let exported = KeyStore::new(topo.shards[s].export_keys());
                 let Some(m) = split_point(exported.as_slice()) else {
                     // Fewer than two distinct keys: nothing to split.
                     return BackgroundStep::Stable;
                 };
                 let boundary = exported[m];
-                let left = build_retuned_shard(exported.slice(0..m), &self.config);
-                let right = build_retuned_shard(exported.slice(m..exported.len()), &self.config);
+                let left = build_retuned_shard(exported.slice(0..m), &self.config, &self.obs);
+                let right =
+                    build_retuned_shard(exported.slice(m..exported.len()), &self.config, &self.obs);
+                self.obs.pass_retrain_ns.record_since(t_retrain);
 
                 // Phase 3 — publish + drain.
+                let t_publish = Instant::now();
                 let mut guard = self.topo.write().unwrap_or_else(|e| e.into_inner());
                 if guard.generation != gen0 {
                     return BackgroundStep::Raced;
@@ -771,26 +904,32 @@ impl ShardedWritable {
                 // never removed, so an unchanged length means nothing
                 // raced in and the O(shard) re-export is skipped.
                 if guard.shards[s].len() > exported.len() {
+                    let t_drain = Instant::now();
                     for k in straggler_diff(&guard.shards[s].export_keys(), exported.as_slice()) {
                         let target = if k < boundary { &left } else { &right };
                         target.insert(k);
                     }
+                    self.obs.pass_drain_ns.record_since(t_drain);
                 }
                 let next = split_topology(&guard, s, boundary, Arc::new(left), Arc::new(right));
                 *guard = Arc::new(next);
-                self.splits.fetch_add(1, Ordering::Relaxed);
+                self.note_rebalance(&action, &guard);
+                self.obs.pass_publish_ns.record_since(t_publish);
                 BackgroundStep::Applied(action)
             }
             RebalanceAction::Merge { left: l } => {
                 // Phase 2 — rebuild off-lock. Adjacent ownership ranges:
                 // the concatenated exports are already globally sorted.
+                let t_retrain = Instant::now();
                 let mut keys = topo.shards[l].export_keys();
                 let left_len = keys.len();
                 keys.extend(topo.shards[l + 1].export_keys());
                 let exported = KeyStore::new(keys);
-                let merged = build_retuned_shard(exported.clone(), &self.config);
+                let merged = build_retuned_shard(exported.clone(), &self.config, &self.obs);
+                self.obs.pass_retrain_ns.record_since(t_retrain);
 
                 // Phase 3 — publish + drain.
+                let t_publish = Instant::now();
                 let mut guard = self.topo.write().unwrap_or_else(|e| e.into_inner());
                 if guard.generation != gen0 {
                     return BackgroundStep::Raced;
@@ -799,20 +938,48 @@ impl ShardedWritable {
                 // shard's (concatenated) ownership range. Same O(1)
                 // unchanged-length skip as the split path, per shard.
                 let (left_exp, right_exp) = exported.as_slice().split_at(left_len);
-                if guard.shards[l].len() > left_exp.len() {
-                    for k in straggler_diff(&guard.shards[l].export_keys(), left_exp) {
-                        merged.insert(k);
+                if guard.shards[l].len() > left_exp.len()
+                    || guard.shards[l + 1].len() > right_exp.len()
+                {
+                    let t_drain = Instant::now();
+                    if guard.shards[l].len() > left_exp.len() {
+                        for k in straggler_diff(&guard.shards[l].export_keys(), left_exp) {
+                            merged.insert(k);
+                        }
                     }
-                }
-                if guard.shards[l + 1].len() > right_exp.len() {
-                    for k in straggler_diff(&guard.shards[l + 1].export_keys(), right_exp) {
-                        merged.insert(k);
+                    if guard.shards[l + 1].len() > right_exp.len() {
+                        for k in straggler_diff(&guard.shards[l + 1].export_keys(), right_exp) {
+                            merged.insert(k);
+                        }
                     }
+                    self.obs.pass_drain_ns.record_since(t_drain);
                 }
                 let next = merge_topology(&guard, l, Arc::new(merged));
                 *guard = Arc::new(next);
-                self.shard_merges.fetch_add(1, Ordering::Relaxed);
+                self.note_rebalance(&action, &guard);
+                self.obs.pass_publish_ns.record_since(t_publish);
                 BackgroundStep::Applied(action)
+            }
+        }
+    }
+
+    /// Account a just-published split or merge: bump the registry
+    /// counter (the single source of truth behind
+    /// [`ShardedWritable::splits`] / [`ShardedWritable::shard_merges`])
+    /// and trace the event with the new generation and shard count.
+    /// Called with the topology write guard still held, right after the
+    /// `Arc` swap, so the payload describes exactly the published
+    /// topology.
+    fn note_rebalance(&self, action: &RebalanceAction, topo: &Topology) {
+        let (generation, n) = (topo.generation, topo.shards.len() as u64);
+        match action {
+            RebalanceAction::Split { .. } => {
+                self.obs.splits.incr();
+                self.obs.event(events::SHARD_SPLIT, generation, n);
+            }
+            RebalanceAction::Merge { .. } => {
+                self.obs.shard_merges.incr();
+                self.obs.event(events::SHARD_MERGE, generation, n);
             }
         }
     }
@@ -851,8 +1018,8 @@ impl ShardedWritable {
         let m = split_point(&keys)?;
         let right_keys = keys.split_off(m);
         let boundary = right_keys[0];
-        let left = Arc::new(build_retuned_shard(keys, &self.config));
-        let right = Arc::new(build_retuned_shard(right_keys, &self.config));
+        let left = Arc::new(build_retuned_shard(keys, &self.config, &self.obs));
+        let right = Arc::new(build_retuned_shard(right_keys, &self.config, &self.obs));
         Some(split_topology(topo, s, boundary, left, right))
     }
 
@@ -863,7 +1030,7 @@ impl ShardedWritable {
         let mut keys = topo.shards[left].export_keys();
         keys.extend(topo.shards[left + 1].export_keys());
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "merge tore order");
-        let merged = Arc::new(build_retuned_shard(keys, &self.config));
+        let merged = Arc::new(build_retuned_shard(keys, &self.config, &self.obs));
         merge_topology(topo, left, merged)
     }
 
@@ -905,6 +1072,10 @@ impl ShardedWritable {
     ) -> Self {
         config.validate();
         assert_eq!(bounds.len() + 1, shards.len(), "one bound per extra shard");
+        let obs = Arc::new(ServeMetrics::new());
+        for shard in &shards {
+            shard.attach_obs(Arc::clone(&obs));
+        }
         let router = ShardRouter::fit(bounds.clone());
         Self {
             topo: RwLock::new(Arc::new(Topology {
@@ -915,9 +1086,7 @@ impl ShardedWritable {
             })),
             config,
             inserts: AtomicUsize::new(0),
-            splits: AtomicUsize::new(0),
-            shard_merges: AtomicUsize::new(0),
-            compactions: AtomicUsize::new(0),
+            obs,
             worker: RwLock::new(None),
             wal: Mutex::new(None),
             durable: AtomicBool::new(false),
@@ -965,7 +1134,9 @@ impl ShardedWritable {
                 "a WAL is already attached to this ShardedWritable".into(),
             ));
         }
-        *slot = Some(Wal::create(wal_path, policy)?);
+        let mut w = Wal::create(wal_path, policy)?;
+        w.set_obs(Arc::clone(&self.obs));
+        *slot = Some(w);
         self.durable.store(true, Ordering::Release);
         Ok(())
     }
@@ -1071,6 +1242,7 @@ impl ShardedWritable {
         let snapshot_path = snapshot_path.as_ref();
         let (sw, snapshot_lsn, snapshot_loaded) = if snapshot_path.exists() {
             let (sw, lsn) = Self::load_with_lsn(snapshot_path)?;
+            sw.obs.event(events::SNAPSHOT_LOAD, sw.len() as u64, lsn);
             (sw, lsn, true)
         } else {
             (Self::new(Vec::new(), 1, config), 0, false)
@@ -1096,7 +1268,11 @@ impl ShardedWritable {
             replayed += 1;
         }
 
-        let wal = Wal::open_after_recovery(wal_path.as_ref(), policy, &found, snapshot_lsn)?;
+        let mut wal = Wal::open_after_recovery(wal_path.as_ref(), policy, &found, snapshot_lsn)?;
+        wal.set_obs(Arc::clone(&sw.obs));
+        sw.obs.wal_replayed.add(replayed as u64);
+        sw.obs
+            .event(events::RECOVERY_REPLAY, replayed as u64, truncated_bytes);
         let report = RecoveryReport {
             snapshot_loaded,
             snapshot_lsn,
@@ -1203,7 +1379,11 @@ fn merge_topology(topo: &Topology, left_idx: usize, merged: Arc<WritableShard>) 
 /// loop sizes and densifies the model for this shard's actual keys,
 /// and the shard keeps the chosen configuration for its future delta
 /// merge retrains.
-fn build_retuned_shard(keys: impl Into<KeyStore>, config: &ShardedWritableConfig) -> WritableShard {
+fn build_retuned_shard(
+    keys: impl Into<KeyStore>,
+    config: &ShardedWritableConfig,
+    obs: &Arc<ServeMetrics>,
+) -> WritableShard {
     let keys: KeyStore = keys.into();
     let (rmi, cfg) = retune_rmi(
         &keys,
@@ -1211,9 +1391,11 @@ fn build_retuned_shard(keys: impl Into<KeyStore>, config: &ShardedWritableConfig
         config.leaf_fraction,
         Some(&config.retune),
     );
-    WritableShard::from_delta(
+    let shard = WritableShard::from_delta(
         DeltaIndex::from_trained(rmi, cfg, config.merge_threshold).with_tiering(config.max_runs),
-    )
+    );
+    shard.attach_obs(Arc::clone(obs));
+    shard
 }
 
 /// A consistent, lock-free point-in-time view of a [`ShardedWritable`]:
@@ -1491,6 +1673,7 @@ mod tests {
             },
             check_interval: 0,
             max_runs: 0,
+            observe: true,
             rebalance: RebalanceConfig {
                 max_shard_len: 1 << 20, // never length-split
                 merge_max_len: 8,
@@ -1537,8 +1720,9 @@ mod tests {
             },
             ..loose.clone()
         };
-        let coarse = build_retuned_shard(data.clone(), &loose);
-        let dense = build_retuned_shard(data, &tuned);
+        let obs = Arc::new(ServeMetrics::new());
+        let coarse = build_retuned_shard(data.clone(), &loose, &obs);
+        let dense = build_retuned_shard(data, &tuned, &obs);
         assert!(
             dense.base_stats().mean_abs_err < coarse.base_stats().mean_abs_err,
             "retuned {} vs coarse {}",

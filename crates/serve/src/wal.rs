@@ -56,7 +56,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::obs::{events, ServeMetrics};
 
 /// Record kind: a single [`crate::ShardedWritable::insert`].
 const KIND_INSERT: u8 = 1;
@@ -333,6 +336,10 @@ pub struct Wal {
     /// Latched failure: once an append or sync fails, every later
     /// append refuses until the log is truncated (see module docs).
     failed: Option<String>,
+    /// The owning structure's observability bundle ([`Wal::set_obs`]);
+    /// standalone logs (crash-injection suite, doctests) record
+    /// nothing.
+    obs: Option<Arc<ServeMetrics>>,
 }
 
 impl Wal {
@@ -358,6 +365,7 @@ impl Wal {
             last_sync: Instant::now(),
             syncs: 0,
             failed: None,
+            obs: None,
         })
     }
 
@@ -398,6 +406,7 @@ impl Wal {
             last_sync: Instant::now(),
             syncs: 0,
             failed: None,
+            obs: None,
         };
         // Appends go after the valid prefix, not wherever the cursor
         // happened to land.
@@ -431,17 +440,26 @@ impl Wal {
         if let Some(why) = &self.failed {
             return Err(WalError::Failed(why.clone()));
         }
+        // Timed only with a bundle attached: the append is an encode +
+        // buffered write (the fsync is accounted separately in sync()),
+        // so the clock-read pair is a modest fixed overhead against it.
+        let t = self.obs.as_ref().map(|_| Instant::now());
         let lsn = self.next_lsn;
         let bytes = encode(lsn, kind, body);
         if let Err(e) = self.file.write_all(&bytes) {
             // The file may now hold a partial record; latch so nothing
             // valid can ever be appended after it.
             self.failed = Some(e.to_string());
+            self.note_latch();
             return Err(e.into());
         }
         self.next_lsn += 1;
         self.len += bytes.len() as u64;
         self.unsynced += 1;
+        if let (Some(obs), Some(t)) = (&self.obs, t) {
+            obs.wal_appends.incr();
+            obs.wal_append_ns.record_since(t);
+        }
         let due = match self.policy {
             WalSyncPolicy::PerRecord => true,
             WalSyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
@@ -462,13 +480,19 @@ impl Wal {
         if self.unsynced == 0 {
             return Ok(());
         }
+        let t = self.obs.as_ref().map(|_| Instant::now());
         if let Err(e) = self.file.sync_data() {
             self.failed = Some(e.to_string());
+            self.note_latch();
             return Err(e.into());
         }
         self.unsynced = 0;
         self.last_sync = Instant::now();
         self.syncs += 1;
+        if let (Some(obs), Some(t)) = (&self.obs, t) {
+            obs.wal_syncs.incr();
+            obs.wal_sync_ns.record_since(t);
+        }
         Ok(())
     }
 
@@ -478,6 +502,7 @@ impl Wal {
     /// and a latched failure clears: whatever append the failure
     /// interrupted is now covered by the snapshot.
     pub fn truncate_after_snapshot(&mut self) -> Result<(), WalError> {
+        let discarded = self.len;
         self.file.set_len(0)?;
         self.file.seek_write_position(0)?;
         self.file.sync_data()?;
@@ -485,6 +510,10 @@ impl Wal {
         self.unsynced = 0;
         self.last_sync = Instant::now();
         self.failed = None;
+        if let Some(obs) = &self.obs {
+            obs.wal_truncates.incr();
+            obs.event(events::WAL_TRUNCATE, self.last_lsn(), discarded);
+        }
         Ok(())
     }
 
@@ -517,6 +546,20 @@ impl Wal {
     /// The sync policy in force.
     pub fn policy(&self) -> WalSyncPolicy {
         self.policy
+    }
+
+    /// Attach the owning structure's observability bundle: appends,
+    /// syncs and truncations report into its registry from here on.
+    pub(crate) fn set_obs(&mut self, obs: Arc<ServeMetrics>) {
+        self.obs = Some(obs);
+    }
+
+    /// Trace a latch transition. The latch itself (`failure()`) is the
+    /// state of record — the ring event is for the post-mortem tail.
+    fn note_latch(&self) {
+        if let Some(obs) = &self.obs {
+            obs.event(events::WAL_LATCH, self.next_lsn, 0);
+        }
     }
 }
 

@@ -21,17 +21,25 @@
 //! observe / rebuild-off-lock / publish discipline the background
 //! rebalancer uses for topology changes.
 
-use std::sync::RwLock;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 use li_core::delta::{DeltaIndex, DeltaSnapshot};
 use li_core::rmi::{Rmi, RmiConfig, RmiStats};
 use li_index::KeyStore;
+
+use crate::obs::{events, ServeMetrics};
 
 /// A concurrently writable shard: `DeltaIndex` behind an `RwLock`,
 /// reads served from lock-free snapshots.
 #[derive(Debug)]
 pub struct WritableShard {
     inner: RwLock<DeltaIndex>,
+    /// The owning structure's observability bundle, attached once at
+    /// build/load time (standalone shards stay unattached — they pay
+    /// one `OnceLock` load per write and record nothing). Seals,
+    /// buffer merges and compaction phases report here.
+    obs: OnceLock<Arc<ServeMetrics>>,
 }
 
 impl WritableShard {
@@ -40,6 +48,7 @@ impl WritableShard {
     pub fn new(data: impl Into<KeyStore>, config: RmiConfig, merge_threshold: usize) -> Self {
         Self {
             inner: RwLock::new(DeltaIndex::new(data, config, merge_threshold)),
+            obs: OnceLock::new(),
         }
     }
 
@@ -48,6 +57,7 @@ impl WritableShard {
     pub fn from_trained(base: Rmi, config: RmiConfig, merge_threshold: usize) -> Self {
         Self {
             inner: RwLock::new(DeltaIndex::from_trained(base, config, merge_threshold)),
+            obs: OnceLock::new(),
         }
     }
 
@@ -82,6 +92,7 @@ impl WritableShard {
             inner: RwLock::new(
                 DeltaIndex::new(data, config, merge_threshold).with_tiering(max_runs),
             ),
+            obs: OnceLock::new(),
         }
     }
 
@@ -114,10 +125,23 @@ impl WritableShard {
         self.write_lock().insert_batch(keys)
     }
 
+    /// Attach the owning structure's observability bundle. First caller
+    /// wins; later calls are no-ops (a shard never changes owners).
+    pub(crate) fn attach_obs(&self, obs: Arc<ServeMetrics>) {
+        let _ = self.obs.set(obs);
+    }
+
     /// Force a full collapse + retrain now (sealed runs and the buffer
     /// both fold into the base).
     pub fn merge(&self) {
-        self.write_lock().merge();
+        let mut guard = self.write_lock();
+        // Forced merges always arm the watch's timer: there is no
+        // buffer-fullness precondition to infer it from.
+        let watch = self.obs.get().map(|obs| TierWatch::armed(obs, &guard));
+        guard.merge();
+        if let Some(watch) = watch {
+            watch.finish(&guard);
+        }
     }
 
     /// Fold every sealed run into the base with one retrain, training
@@ -136,12 +160,27 @@ impl WritableShard {
             }
             (guard.snapshot(), guard.config().clone())
         };
+        // Compaction is cold (one retrain per K sealed runs), so both
+        // phases are timed unconditionally when a bundle is attached:
+        // the off-lock retrain vs. the under-write-lock install is
+        // exactly the split the histograms exist to show.
+        let obs = self.obs.get();
+        let t_train = Instant::now();
         let Some(rebuilt) = cut.train_compacted(&cfg) else {
             return 0;
         };
-        self.write_lock()
+        if let Some(obs) = obs {
+            obs.compact_train_ns.record_since(t_train);
+        }
+        let t_install = Instant::now();
+        let folded = self
+            .write_lock()
             .install_compacted(&cut, rebuilt)
-            .unwrap_or(0)
+            .unwrap_or(0);
+        if let Some(obs) = obs {
+            obs.compact_install_ns.record_since(t_install);
+        }
+        folded
     }
 
     /// Whether the run stack has reached its tiering bound (always
@@ -226,6 +265,7 @@ impl WritableShard {
     pub(crate) fn from_delta(delta: DeltaIndex) -> Self {
         Self {
             inner: RwLock::new(delta),
+            obs: OnceLock::new(),
         }
     }
 
@@ -234,28 +274,38 @@ impl WritableShard {
     /// call would pay a second lock handoff per insert).
     pub(crate) fn insert_observed(&self, key: u64) -> InsertObs {
         let mut guard = self.write_lock();
+        let watch = self.obs.get().map(|obs| TierWatch::begin(obs, &guard, 1));
         let inserted = guard.insert(key);
-        InsertObs {
+        let out = InsertObs {
             inserted,
             len: guard.len(),
             needs_compaction: guard.needs_compaction(),
+        };
+        if let Some(watch) = watch {
+            watch.finish(&guard);
         }
+        out
     }
 
     /// Batched [`WritableShard::insert_observed`]: flags in input order
     /// plus the shard observations, one lock acquisition.
     pub(crate) fn insert_batch_observed(&self, keys: &[u64]) -> (Vec<bool>, InsertObs) {
         let mut guard = self.write_lock();
+        let watch = self
+            .obs
+            .get()
+            .map(|obs| TierWatch::begin(obs, &guard, keys.len()));
         let flags = guard.insert_batch(keys);
         let inserted = flags.iter().any(|&f| f);
-        (
-            flags,
-            InsertObs {
-                inserted,
-                len: guard.len(),
-                needs_compaction: guard.needs_compaction(),
-            },
-        )
+        let out = InsertObs {
+            inserted,
+            len: guard.len(),
+            needs_compaction: guard.needs_compaction(),
+        };
+        if let Some(watch) = watch {
+            watch.finish(&guard);
+        }
+        (flags, out)
     }
 
     /// The base snapshot, retrain configuration and merge threshold,
@@ -285,6 +335,70 @@ impl WritableShard {
 
     fn write_lock(&self) -> std::sync::RwLockWriteGuard<'_, DeltaIndex> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Captures a shard's tier counters under the write lock *before* a
+/// write, so the seal or buffer merge the write may trigger can be
+/// detected — and its duration attributed — *after* it, all within the
+/// same critical section. Detection is by counter diff (the `DeltaIndex`
+/// already counts its own seals and merges), so no tiering logic is
+/// duplicated here.
+struct TierWatch<'a> {
+    obs: &'a Arc<ServeMetrics>,
+    seals0: usize,
+    merges0: usize,
+    threshold: usize,
+    /// Armed only when the buffer can actually fill during this write —
+    /// the plain buffered-insert fast path never pays a clock read.
+    started: Option<Instant>,
+}
+
+impl<'a> TierWatch<'a> {
+    fn begin(obs: &'a Arc<ServeMetrics>, guard: &DeltaIndex, incoming: usize) -> Self {
+        let threshold = guard.merge_threshold();
+        let armed = guard.pending().saturating_add(incoming) >= threshold;
+        Self {
+            obs,
+            seals0: guard.seals(),
+            merges0: guard.merges(),
+            threshold,
+            started: armed.then(Instant::now),
+        }
+    }
+
+    /// A watch whose timer is unconditionally running (forced merges).
+    fn armed(obs: &'a Arc<ServeMetrics>, guard: &DeltaIndex) -> Self {
+        Self {
+            started: Some(Instant::now()),
+            ..Self::begin(obs, guard, 0)
+        }
+    }
+
+    fn finish(self, guard: &DeltaIndex) {
+        let seals = guard.seals() - self.seals0;
+        let merges = guard.merges() - self.merges0;
+        if seals > 0 {
+            self.obs.buffer_seals.add(seals as u64);
+            // A run is sealed exactly when the buffer hits capacity, so
+            // the run length is the threshold.
+            self.obs.event(
+                events::BUFFER_SEAL,
+                self.threshold as u64,
+                guard.run_count() as u64,
+            );
+        }
+        if merges > 0 {
+            self.obs.buffer_merges.add(merges as u64);
+            if let Some(t) = self.started {
+                self.obs.merge_ns.record_since(t);
+            }
+            self.obs.event(
+                events::BUFFER_MERGE,
+                self.threshold as u64,
+                guard.len() as u64,
+            );
+        }
     }
 }
 

@@ -21,7 +21,10 @@
 //! sharded, concurrently readable and writable serving index
 //! ([`serve::ShardedIndex`], [`serve::WritableShard`], and the fully
 //! sharded write path [`serve::ShardedWritable`] with dynamic shard
-//! rebalancing) over the same `RangeIndex` vocabulary.
+//! rebalancing) over the same `RangeIndex` vocabulary. The [`obs`]
+//! module is the lock-free observability layer underneath it: striped
+//! counters, log-linear latency histograms and the structural-event
+//! trace ring that [`serve::ShardedWritable::metrics`] snapshots.
 
 pub mod scale;
 
@@ -32,6 +35,7 @@ pub use li_data as data;
 pub use li_hash as hash;
 pub use li_index as index;
 pub use li_models as models;
+pub use li_obs as obs;
 pub use li_serve as serve;
 
 // The foundation vocabulary at the crate root: the shared key store,

@@ -33,6 +33,10 @@ mod warm_restart;
 #[path = "../examples/crash_recovery.rs"]
 mod crash_recovery;
 
+#[allow(dead_code)]
+#[path = "../examples/live_stats.rs"]
+mod live_stats;
+
 #[test]
 fn quickstart_smoke() {
     quickstart::run(3_000);
@@ -66,4 +70,9 @@ fn warm_restart_smoke() {
 #[test]
 fn crash_recovery_smoke() {
     crash_recovery::run(2_000);
+}
+
+#[test]
+fn live_stats_smoke() {
+    live_stats::run(4_000);
 }

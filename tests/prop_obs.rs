@@ -1,0 +1,280 @@
+//! Property suite for the `li-obs` observability primitives.
+//!
+//! Three families of properties, matching the three guarantees the
+//! serving tier's instrumentation leans on:
+//!
+//! * **Histogram quantiles are oracle-exact at bucket granularity**:
+//!   for arbitrary sample sets (including 0, `u64::MAX`, single
+//!   samples and heavy duplicates), `value_at_quantile(q)` lands in
+//!   the *same bucket* as the true rank-order sample from a sorted
+//!   oracle, is `>=` it, and overshoots by at most one bucket width
+//!   (`<= max(1, sample/32)`; exact below 64). Merging sharded
+//!   histograms must preserve the combined distribution's quantiles.
+//! * **Striped counters never lose increments**: the cross-stripe sum
+//!   equals a sequential oracle no matter how many threads record
+//!   concurrently.
+//! * **The trace ring never tears and drops oldest-first**: after `n`
+//!   records into a capacity-`c` ring, the snapshot is exactly the
+//!   last `min(n, c)` events in order, and a reader racing concurrent
+//!   writers only ever observes whole events.
+
+use learned_indexes::obs::{bucket_bounds, bucket_of, Counter, Histogram, TraceRing};
+use proptest::prelude::*;
+
+/// Quantiles probed by every histogram property (the rendered set plus
+/// the extremes and a sub-permille point).
+const QUANTILES: [f64; 8] = [0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+/// The true rank-order sample for quantile `q` (the sorted oracle the
+/// histogram's estimate is judged against): 1-based rank `⌈q·n⌉`
+/// clamped to `[1, n]`.
+fn oracle_at(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Assert the full bucket-width error contract for one sample set.
+fn assert_quantiles_bounded(samples: &[u64], ctx: &str) -> Result<(), TestCaseError> {
+    let hist = Histogram::new();
+    for &v in samples {
+        hist.record(v);
+    }
+    let snap = hist.snapshot();
+    prop_assert_eq!(snap.count(), samples.len() as u64, "{}: count", ctx);
+    let wrap_sum = samples.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+    prop_assert_eq!(snap.sum(), wrap_sum, "{}: sum", ctx);
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for &q in &QUANTILES {
+        let est = snap.value_at_quantile(q);
+        let want = oracle_at(&sorted, q);
+        // Same bucket as the true sample — the exact-at-bucket-
+        // granularity guarantee.
+        prop_assert_eq!(
+            bucket_of(est),
+            bucket_of(want),
+            "{}: q={} est={} want={}",
+            ctx,
+            q,
+            est,
+            want
+        );
+        // The estimate is the bucket's upper bound: >= the true
+        // sample, and over by at most the bucket width.
+        prop_assert!(est >= want, "{ctx}: q={q} est={est} < oracle {want}");
+        let (lo, hi) = bucket_bounds(bucket_of(want));
+        prop_assert!(est - want <= hi - lo, "{ctx}: q={q} est={est} want={want}");
+        prop_assert!(
+            u128::from(est - want) <= u128::from(want / 32).max(1),
+            "{ctx}: q={q} width bound est={est} want={want}"
+        );
+        if want < 64 {
+            prop_assert_eq!(est, want, "{}: exact below 64 (q={})", ctx, q);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Wide-domain samples (full u64 range): quantile estimates stay
+    /// within one bucket of the sorted oracle everywhere.
+    #[test]
+    fn histogram_quantiles_track_sorted_oracle_wide(
+        samples in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        assert_quantiles_bounded(&samples, "wide")?;
+    }
+
+    /// Narrow-domain samples (latency-shaped: small values, heavy
+    /// natural duplication) plus forced extremes: 0 and u64::MAX mixed
+    /// into every set.
+    #[test]
+    fn histogram_quantiles_track_sorted_oracle_narrow(
+        samples in prop::collection::vec(0u64..5000, 1..300),
+        extremes in prop::collection::vec(0usize..3, 0..4),
+    ) {
+        // 0 = min, 1 = max, 2 = a boundary value (64 = first inexact
+        // octave).
+        let mut samples = samples;
+        for e in extremes {
+            samples.push(match e { 0 => 0, 1 => u64::MAX, _ => 64 });
+        }
+        assert_quantiles_bounded(&samples, "narrow")?;
+    }
+
+    /// Heavy duplicates: a handful of distinct values, many copies
+    /// each. Quantiles must recover the duplicated values themselves
+    /// (they dominate every rank).
+    #[test]
+    fn histogram_quantiles_survive_heavy_duplicates(
+        values in prop::collection::vec(any::<u64>(), 1..5),
+        reps in 1usize..80,
+    ) {
+        let samples: Vec<u64> = values
+            .iter()
+            .flat_map(|&v| std::iter::repeat_n(v, reps))
+            .collect();
+        assert_quantiles_bounded(&samples, "dups")?;
+    }
+
+    /// Sharded recording: samples split across several histograms and
+    /// merged must answer every quantile identically to one histogram
+    /// that saw everything.
+    #[test]
+    fn merged_shards_equal_the_whole(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        shards in 1usize..5,
+    ) {
+        let whole = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = parts[0].snapshot();
+        for p in &parts[1..] {
+            merged.merge(&p.snapshot());
+        }
+        let want = whole.snapshot();
+        prop_assert_eq!(merged.count(), want.count());
+        prop_assert_eq!(merged.sum(), want.sum());
+        for &q in &QUANTILES {
+            prop_assert_eq!(
+                merged.value_at_quantile(q),
+                want.value_at_quantile(q),
+                "q={}",
+                q
+            );
+        }
+    }
+
+    /// Striped counter under concurrent recording: the cross-stripe
+    /// sum equals the sequential oracle — stripes spread increments,
+    /// they never lose them.
+    #[test]
+    fn striped_counter_sum_equals_sequential_oracle(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(1u64..1000, 0..50),
+            1..6,
+        ),
+    ) {
+        let oracle: u64 = per_thread.iter().flatten().sum();
+        let counter = Counter::new();
+        std::thread::scope(|s| {
+            for adds in &per_thread {
+                let counter = &counter;
+                s.spawn(move || {
+                    for &n in adds {
+                        counter.add(n);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.value(), oracle);
+    }
+
+    /// Sequential ring records: the snapshot is exactly the newest
+    /// `min(n, capacity)` events, oldest-first, payloads intact.
+    #[test]
+    fn ring_drops_oldest_first_at_capacity(
+        capacity in 2usize..64,
+        n in 0u64..300,
+    ) {
+        let ring = TraceRing::new(capacity, |_| "e");
+        for i in 0..n {
+            ring.record(1, i, !i);
+        }
+        let cap = ring.capacity() as u64; // rounded up to a power of 2
+        let tail = ring.snapshot();
+        prop_assert_eq!(tail.len() as u64, n.min(cap));
+        let first = n.saturating_sub(cap);
+        for (j, e) in tail.iter().enumerate() {
+            let seq = first + j as u64;
+            prop_assert_eq!(e.seq, seq, "oldest-first order");
+            prop_assert_eq!(e.a, seq);
+            prop_assert_eq!(e.b, !seq);
+        }
+        prop_assert_eq!(ring.recorded(), n);
+        prop_assert_eq!(ring.dropped(), 0, "no writer stalled a full lap");
+    }
+
+    /// A reader racing concurrent writers never observes a torn event:
+    /// every snapshotted payload satisfies the writers' `b == !a`
+    /// invariant and seqs stay strictly increasing.
+    #[test]
+    fn ring_snapshots_never_tear_under_concurrent_writers(
+        capacity in 2usize..32,
+        per_writer in 100u64..600,
+        writers in 2u64..5,
+    ) {
+        let ring = TraceRing::new(capacity, |_| "e");
+        std::thread::scope(|s| {
+            for t in 0..writers {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        let x = t * per_writer + i;
+                        ring.record(1, x, !x);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let tail = ring.snapshot();
+                for e in &tail {
+                    assert_eq!(e.b, !e.a, "torn event escaped");
+                }
+                assert!(
+                    tail.windows(2).all(|w| w[0].seq < w[1].seq),
+                    "snapshot out of order"
+                );
+                std::thread::yield_now();
+            }
+        });
+        prop_assert_eq!(ring.recorded(), writers * per_writer);
+        // Post-quiescence: whole events, in order, newest retained.
+        let tail = ring.snapshot();
+        for e in &tail {
+            prop_assert_eq!(e.b, !e.a);
+        }
+    }
+}
+
+/// Deterministic edge cases the strategies above can only hit by luck.
+mod edges {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        for &q in &QUANTILES {
+            assert_eq!(snap.value_at_quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        for v in [0u64, 1, 63, 64, 1 << 40, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            let snap = h.snapshot();
+            for &q in &QUANTILES {
+                let est = snap.value_at_quantile(q);
+                assert_eq!(bucket_of(est), bucket_of(v), "v={v} q={q}");
+                assert!(est >= v, "v={v} q={q} est={est}");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_max_is_representable_and_exactly_recovered() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        // The top bucket's upper bound is u64::MAX itself.
+        assert_eq!(h.snapshot().value_at_quantile(1.0), u64::MAX);
+    }
+}
