@@ -5,7 +5,7 @@
 //!       [--modes scalar,batched,bg,tiered]
 //!
 //! experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive
-//!              appendix-a appendix-e scaling write persist wal stats all   (default: all)
+//!              appendix-a appendix-e scaling write persist gauntlet wal stats all   (default: all)
 //! --modes filters the `write` experiment's measured write modes
 //!         (default: all four)
 //! ```
@@ -89,6 +89,7 @@ fn main() {
             "scaling",
             "write",
             "persist",
+            "gauntlet",
             "wal",
             "stats",
         ]
@@ -151,6 +152,10 @@ fn main() {
                 };
                 write::print(&write::run_modes(&wcfg, &write_modes), wcfg.keys);
             }
+            "gauntlet" => {
+                let (rows, verdicts) = gauntlet::run(&cfg);
+                gauntlet::print(&rows, &verdicts, cfg.keys);
+            }
             "persist" => {
                 // Training dominates the cold side, so the warm-load
                 // advantage is already unambiguous at 1M keys; cap to
@@ -190,7 +195,7 @@ fn main() {
 fn print_usage() {
     println!(
         "repro [EXPERIMENT...] [--keys N] [--queries Q] [--seed S] [--modes scalar,batched,bg,tiered]\n\
-         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist wal stats all\n\
+         experiments: fig4 fig5 fig6 fig8 fig10 fig11 table1 naive appendix-a appendix-e scaling write persist gauntlet wal stats all\n\
          --modes filters the write experiment's measured write modes (default: all four)"
     );
 }

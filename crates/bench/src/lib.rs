@@ -20,6 +20,7 @@
 //! | [`scaling`]  | beyond the paper — sharded serving under multi-thread batched load |
 //! | [`mod@write`] | beyond the paper — sharded write path: scalar/batched/background inserts/sec + lookup-under-writes |
 //! | [`persist`]  | beyond the paper — warm restart: cold build vs mapped snapshot load, with lookup parity |
+//! | [`gauntlet`] | beyond the paper — adaptive per-shard backend selection on SOSD-style adversarial distributions |
 //! | [`mod@wal`]  | beyond the paper — durable live writes: WAL insert overhead per sync policy + crash recovery |
 //! | [`stats`]    | beyond the paper — live observability: mixed workload metrics snapshot + instrumentation overhead |
 //!
@@ -40,6 +41,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod gauntlet;
 pub mod harness;
 pub mod naive;
 pub mod persist;

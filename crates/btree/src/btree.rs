@@ -84,10 +84,14 @@ impl BTreeIndex {
         for level in &self.levels {
             let start = child * self.page_size;
             let end = (start + self.page_size).min(level.len());
-            // Position of the last separator <= key within this node:
-            // the first separator is a lower fence, so the child offset
-            // is (number of separators < key+1) - 1, clamped at 0.
-            let in_node = level[start..end].partition_point(|&k| k <= key);
+            // Position of the last separator strictly < key within this
+            // node (first separator is a lower fence). Routing on `<`
+            // rather than `<=` keeps duplicate runs that span page
+            // boundaries correct: a run of `key`s starting in an earlier
+            // page must not be skipped by an equal separator here — if
+            // the routed page holds only smaller keys, the answer is its
+            // end, which is exactly where the run starts.
+            let in_node = level[start..end].partition_point(|&k| k < key);
             child = start + in_node.saturating_sub(1);
         }
         child
@@ -119,7 +123,9 @@ impl RangeIndex for BTreeIndex {
         let p = self.predict(key);
         // If every key in the page is smaller, the answer is the start of
         // the next page, which `lower_bound` returns as `p.hi` — correct
-        // because the next page's first key is > key (separator property).
+        // because the next page's first key is >= key (separator
+        // property under strict-< routing), and when it is == key it is
+        // the first occurrence of a duplicate run.
         lower_bound(&self.data, key, p.lo, p.hi)
     }
 
@@ -152,6 +158,10 @@ impl RangeIndex for BTreeIndex {
 
     fn name(&self) -> String {
         format!("btree(page={})", self.page_size)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -266,5 +276,20 @@ mod tests {
         let idx = BTreeIndex::new(data, 32);
         assert_eq!(idx.range(10, 20), 5..10);
         assert_eq!(idx.range(11, 13), 6..7); // only key 12
+    }
+
+    /// Duplicate runs spanning page boundaries: lower_bound must return
+    /// the run's *first* occurrence even when a later page's separator
+    /// equals the key (regression: `<=` routing skipped to that page).
+    #[test]
+    fn duplicate_runs_resolve_to_first_occurrence() {
+        // Runs of 7 equal keys over small pages so runs straddle pages
+        // at every alignment, across multiple tree heights.
+        let data: Vec<u64> = (0..700u64).map(|i| (i / 7) * 3).collect();
+        for page in [2usize, 3, 4, 8, 16] {
+            check_against_oracle(data.clone(), page);
+        }
+        // All-equal input: every separator is the key.
+        check_against_oracle(vec![42; 257], 4);
     }
 }

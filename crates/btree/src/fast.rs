@@ -106,6 +106,10 @@ impl RangeIndex for FastTree {
     fn name(&self) -> String {
         "fast".to_string()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -70,14 +70,13 @@ impl RangeIndex for InterpBTree {
                 hi: self.data.len(),
             };
         }
-        // Interpolation search over the separators: first separator > key
-        // minus one names the page.
-        let idx = interpolation_search(
-            &self.separators,
-            key.saturating_add(1),
-            0,
-            self.separators.len(),
-        );
+        // Interpolation search over the separators: first separator
+        // >= key, minus one, names the page — i.e. route on the last
+        // separator strictly < key, so a duplicate run spanning a page
+        // boundary resolves to its first occurrence (the page-local
+        // search returns the page end when every key is smaller, which
+        // is where such a run starts).
+        let idx = interpolation_search(&self.separators, key, 0, self.separators.len());
         let page = idx.saturating_sub(1);
         let lo = page * self.page_size;
         let hi = (lo + self.page_size).min(self.data.len());
@@ -96,6 +95,10 @@ impl RangeIndex for InterpBTree {
 
     fn name(&self) -> String {
         format!("interp-btree(page={})", self.page_size)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -149,6 +152,27 @@ mod tests {
         check(vec![], 64);
         check(vec![7], 64);
         check(vec![7, 9], 64);
+    }
+
+    /// Duplicate runs spanning page boundaries must resolve to the
+    /// run's first occurrence (regression: routing on the first
+    /// separator > key landed past earlier occurrences).
+    #[test]
+    fn duplicate_runs_resolve_to_first_occurrence() {
+        let data: Vec<u64> = (0..700u64).map(|i| (i / 7) * 3).collect();
+        for page in [2usize, 3, 8, 32] {
+            let idx = InterpBTree::with_page_size(data.clone(), page);
+            for &k in data.iter().step_by(5) {
+                for q in [k.saturating_sub(1), k, k + 1] {
+                    assert_eq!(idx.lower_bound(q), oracle(&data, q), "page={page} q={q}");
+                }
+            }
+        }
+        let all_equal = vec![42u64; 257];
+        let idx = InterpBTree::with_page_size(all_equal.clone(), 4);
+        assert_eq!(idx.lower_bound(42), 0);
+        assert_eq!(idx.lower_bound(41), 0);
+        assert_eq!(idx.lower_bound(43), 257);
     }
 
     #[test]

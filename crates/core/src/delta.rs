@@ -476,6 +476,25 @@ impl DeltaIndex {
         Some(k)
     }
 
+    /// [`DeltaIndex::install_compacted`] plus a configuration swap:
+    /// install `rebuilt` — trained from `cut`'s
+    /// [`DeltaSnapshot::merged_keys`] under a possibly *different*
+    /// configuration than the current base — and make `config` the
+    /// index's configuration from now on (future merge retrains use
+    /// it). This is how a serving layer's backend re-selection changes
+    /// a shard's family at compaction time: same race rules, same
+    /// return value, but the decision sticks.
+    pub fn install_compacted_with(
+        &mut self,
+        cut: &DeltaSnapshot,
+        rebuilt: Rmi,
+        config: RmiConfig,
+    ) -> Option<usize> {
+        let folded = self.install_compacted(cut, rebuilt)?;
+        self.config = config;
+        Some(folded)
+    }
+
     /// Force a full collapse now: every sealed run AND the buffer merged
     /// into the base with one retrain. In untiered mode (no runs) this
     /// is exactly the classic D.1 merge.
@@ -717,6 +736,20 @@ impl DeltaSnapshot {
     /// file records for replay on load).
     pub fn delta_keys(&self) -> &[u64] {
         &self.delta
+    }
+
+    /// The keys a compaction of this snapshot would fold into the new
+    /// base: base keys plus every captured run, merged sorted unique
+    /// (the pending buffer stays live and is excluded). This is what a
+    /// serving layer re-runs backend selection over before deciding how
+    /// to train the compacted base.
+    pub fn merged_keys(&self) -> Vec<u64> {
+        let mut slices: Vec<&[u64]> = Vec::with_capacity(self.runs.len() + 1);
+        slices.push(self.base.data());
+        for r in &self.runs {
+            slices.push(r.as_slice());
+        }
+        merge_many(&slices)
     }
 
     /// Train the compacted base this snapshot implies: base keys plus

@@ -218,6 +218,8 @@ impl Leaf {
 /// Summary statistics of a trained RMI.
 #[derive(Debug, Clone)]
 pub struct RmiStats {
+    /// Keys the index was trained over.
+    pub keys: usize,
     /// Leaf-model count (the "2nd stage size").
     pub leaves: usize,
     /// Leaves replaced by B-Trees (hybrid mode).
@@ -438,6 +440,7 @@ impl Rmi {
             leaves,
             search: config.search,
             stats_cache: RmiStats {
+                keys: 0,
                 leaves: leaf_count,
                 btree_leaves: 0,
                 mean_abs_err: 0.0,
@@ -529,6 +532,7 @@ impl Rmi {
                 })
                 .sum::<usize>();
         RmiStats {
+            keys: n,
             leaves: self.leaves.len(),
             btree_leaves,
             mean_abs_err: if n == 0 { 0.0 } else { sum_abs / n as f64 },
@@ -638,6 +642,7 @@ impl Rmi {
             leaves,
             search: params.search,
             stats_cache: RmiStats {
+                keys: 0,
                 leaves: 0,
                 btree_leaves: 0,
                 mean_abs_err: 0.0,

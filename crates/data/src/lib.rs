@@ -25,10 +25,18 @@
 //! workload sampling (existing and missing keys), and [`records`] holds
 //! the 20-byte record layout used by the hash-map experiments
 //! (Appendices B/C).
+//!
+//! Beyond the paper, [`gauntlet`] generates the SOSD-style adversarial
+//! distributions (books/osm/fb-like, stepped, heavy-duplicate) that
+//! drive `li-serve`'s adaptive backend selection gauntlet. Every
+//! generator in this crate — including those — is a pure function of
+//! an explicit `u64` seed; there is no ambient RNG state anywhere
+//! (regression-pinned in `gauntlet::tests`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gauntlet;
 pub mod keyset;
 pub mod lognormal;
 pub mod maps;
@@ -36,6 +44,7 @@ pub mod records;
 pub mod strings;
 pub mod weblog;
 
+pub use gauntlet::Gauntlet;
 pub use keyset::KeySet;
 pub use li_models::rng::SplitMix64;
 pub use records::Record20;

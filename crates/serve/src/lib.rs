@@ -32,6 +32,13 @@
 //!   snapshots ([`ShardedSnapshot`]), and a dynamic rebalancer
 //!   ([`rebalance`]) that splits hot shards, merges cold neighbors,
 //!   and retunes each rebuilt shard's model density to its keys.
+//! * [`select`] — adaptive per-shard backend selection:
+//!   [`Backend::Auto`] probes each shard with a retuned RMI,
+//!   grid-searches backend × tuning over the probe's `RmiStats` under
+//!   a fitted cost model, and builds the winner — so a hard-to-learn
+//!   shard becomes a B-Tree and a smooth one stays an RMI, per shard,
+//!   automatically. The write tier re-runs selection on every shard
+//!   rebuild; every decision is counted and traced.
 //! * [`persist`] — the persistence tier: save a trained
 //!   [`ShardedIndex`] or [`ShardedWritable`] to one page-aligned
 //!   snapshot file (coefficients + key payload, checksummed, published
@@ -72,6 +79,7 @@ pub mod persist;
 pub mod rebalance;
 pub mod rebalance_worker;
 pub mod router;
+pub mod select;
 pub mod sharded;
 pub mod sharded_writable;
 pub mod wal;
@@ -89,6 +97,7 @@ pub use persist::PersistError;
 pub use rebalance::{RebalanceAction, RebalanceConfig};
 pub use rebalance_worker::RebalanceWorker;
 pub use router::ShardRouter;
+pub use select::{choose, choose_multiset, AutoShardBuilder, Backend, BackendChoice};
 pub use sharded::ShardedIndex;
 pub use sharded_writable::{
     RecoveryReport, ShardedSnapshot, ShardedWritable, ShardedWritableConfig,

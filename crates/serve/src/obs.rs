@@ -73,6 +73,10 @@ pub mod events {
     /// Crash recovery replayed the durable WAL tail: `a` = records
     /// replayed, `b` = torn bytes truncated.
     pub const RECOVERY_REPLAY: u32 = 10;
+    /// The backend selector decided a shard's backend at (re)build:
+    /// `a` = chosen family code ([`crate::select::BackendChoice::code`]),
+    /// `b` = keys in the shard.
+    pub const BACKEND_SELECT: u32 = 11;
 }
 
 /// Resolve an event kind code to its catalog name.
@@ -88,6 +92,7 @@ pub fn event_name(kind: u32) -> &'static str {
         events::SNAPSHOT_SAVE => "snapshot_save",
         events::SNAPSHOT_LOAD => "snapshot_load",
         events::RECOVERY_REPLAY => "recovery_replay",
+        events::BACKEND_SELECT => "backend_select",
         _ => "unknown",
     }
 }
@@ -134,6 +139,13 @@ pub struct ServeMetrics {
     pub wal_truncates: Arc<Counter>,
     /// `li_wal_replayed_total`: records replayed by crash recovery.
     pub wal_replayed: Arc<Counter>,
+    /// `li_backend_selections_total`: backend-selector decisions made
+    /// at shard (re)build (Auto mode only).
+    pub backend_selections: Arc<Counter>,
+    /// `li_backend_switches_total`: re-selections that changed a
+    /// shard's backend family relative to the shard it was rebuilt
+    /// from (Auto mode only).
+    pub backend_switches: Arc<Counter>,
 
     // ---- gauges ----
     /// `li_shard_count`: live shard count.
@@ -207,6 +219,8 @@ impl ServeMetrics {
             wal_syncs: c("li_wal_syncs_total"),
             wal_truncates: c("li_wal_truncates_total"),
             wal_replayed: c("li_wal_replayed_total"),
+            backend_selections: c("li_backend_selections_total"),
+            backend_switches: c("li_backend_switches_total"),
             shard_count: registry.gauge("li_shard_count"),
             generation: registry.gauge("li_generation"),
             shard_len: registry.gauge_set("li_shard_len", "shard"),
@@ -278,7 +292,7 @@ mod tests {
 
     #[test]
     fn every_kind_has_a_catalog_name() {
-        for k in 1..=10u32 {
+        for k in 1..=11u32 {
             assert_ne!(event_name(k), "unknown", "kind {k}");
         }
         assert_eq!(event_name(0), "unknown");

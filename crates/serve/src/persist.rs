@@ -41,12 +41,19 @@
 //!   are structure, not trained models); the base RMI is never refit:
 //!   [`li_core::train_count`] is the witness.
 //!
-//! Format v3 covers the workspace's serving defaults: RMI shard
-//! backends with linear tops (hybrid B-Tree leaves included — the tree
-//! is structure, rebuilt from the mapped keys, not a trained model),
-//! plus per-shard sealed run stacks for the tiered write path.
-//! Other backends and tops get a [`PersistError::Unsupported`], never a
-//! silently lossy file. v3 additionally stamps the **snapshot LSN** —
+//! Format v3 covers every serving backend. Read-tier shards carry a
+//! one-byte backend tag: RMI shards (linear tops; hybrid B-Tree
+//! leaves included) store their coefficients, while the tree backends
+//! (B-Tree, interpolation B-Tree, FAST) store at most a page size —
+//! they are *structure*, rebuilt from the mapped key slices with zero
+//! training — so the mixed topologies [`crate::Backend::Auto`]
+//! produces round-trip backend-for-backend. Write-tier shards persist
+//! their [`RmiConfig`] (which carries an Auto-selected hybrid
+//! materialization) next to each delta base, plus per-shard sealed run
+//! stacks for the tiered write path. Anything else — multivariate
+//! tops, backends outside the four above — gets a
+//! [`PersistError::Unsupported`], never a silently lossy file. v3
+//! additionally stamps the **snapshot LSN** —
 //! the last [`crate::wal::Wal`] record the snapshot covers — into the
 //! header, so [`ShardedWritable::recover`] knows exactly which log
 //! suffix is still live (see `crate::wal` and ARCHITECTURE.md
@@ -62,8 +69,11 @@ use li_core::rmi::{LeafModelParams, LeafParams, Rmi, RmiConfig, RmiParams, TopMo
 use li_core::SearchStrategy;
 use li_index::{KeyStore, MappedFile, RangeIndex};
 
+use li_btree::{BTreeIndex, FastTree, InterpBTree};
+
 use crate::builder::RetunePolicy;
 use crate::rebalance::RebalanceConfig;
+use crate::select::Backend;
 use crate::sharded::ShardedIndex;
 use crate::sharded_writable::{ShardedWritable, ShardedWritableConfig};
 use crate::writable::WritableShard;
@@ -417,6 +427,7 @@ fn encode_sw_config(enc: &mut Enc, cfg: &ShardedWritableConfig) {
     }
     enc.usize(cfg.rebalance.max_shards);
     enc.usize(cfg.max_runs);
+    enc.u8(cfg.backend.tag());
 }
 
 fn decode_sw_config(dec: &mut Dec<'_>) -> Result<ShardedWritableConfig, PersistError> {
@@ -439,12 +450,21 @@ fn decode_sw_config(dec: &mut Dec<'_>) -> Result<ShardedWritableConfig, PersistE
     };
     let max_shards = dec.usize()?;
     let max_runs = dec.usize()?;
+    let backend_tag = dec.u8()?;
+    let backend = Backend::from_tag(backend_tag)
+        .ok_or_else(|| format_err(format!("bad backend tag {backend_tag}")))?;
+    if matches!(backend, Backend::Interp | Backend::Fast) {
+        return Err(format_err(format!(
+            "backend tag {backend_tag} is not a write-tier backend"
+        )));
+    }
     let cfg = ShardedWritableConfig {
         merge_threshold,
         leaf_fraction,
         retune,
         check_interval,
         max_runs,
+        backend,
         // Runtime-only knob, deliberately not persisted: a reloaded
         // structure observes by default like a fresh one.
         observe: true,
@@ -603,6 +623,25 @@ fn open_verified(
     Ok((region, n_keys, keys_end..total, snapshot_lsn))
 }
 
+/// Per-shard backend tags in a [`ShardedIndex`] snapshot manifest.
+/// These match [`crate::BackendChoice::code`] for the families the
+/// adaptive selector emits.
+const SHARD_TAG_RMI: u8 = 0;
+const SHARD_TAG_BTREE: u8 = 1;
+const SHARD_TAG_INTERP: u8 = 2;
+const SHARD_TAG_FAST: u8 = 3;
+
+/// Decode and bounds-check a tree backend's page size: the constructors
+/// assert `>= 2`, and a corrupt manifest must become a typed error, not
+/// a panic (or an absurd allocation) inside them.
+fn decode_page_size(dec: &mut Dec<'_>) -> Result<usize, PersistError> {
+    let page_size = dec.usize()?;
+    if !(2..=1 << 20).contains(&page_size) {
+        return Err(format_err(format!("bad shard page size {page_size}")));
+    }
+    Ok(page_size)
+}
+
 fn check_sorted_unique(keys: &[u64], what: &str) -> Result<(), PersistError> {
     if keys.windows(2).all(|w| w[0] < w[1]) {
         Ok(())
@@ -619,37 +658,58 @@ impl ShardedIndex {
     /// Save a snapshot of this index to `path` (atomic: tmp + file
     /// fsync + rename + directory fsync).
     ///
-    /// Requires every shard backend to be an [`Rmi`] with a linear top
-    /// (the serving default); anything else returns
-    /// [`PersistError::Unsupported`] — format v1 stores coefficients,
-    /// not arbitrary structures.
+    /// Every shard records a one-byte backend tag followed by that
+    /// backend's parameters: RMI shards (tag 0) store their model
+    /// coefficients; B-Tree (1) and interpolation B-Tree (2) shards
+    /// store only their page size and FAST shards (3) nothing at all —
+    /// the tree backends are *structural* over the key payload, so the
+    /// load path rebuilds them from the mapped key slices without
+    /// training anything. Mixed topologies (what [`crate::Backend::Auto`]
+    /// produces) round-trip backend-for-backend.
+    ///
+    /// RMI shards must have a linear top (the serving default), and
+    /// every backend must be one of the four above; anything else
+    /// returns [`PersistError::Unsupported`] — the format stores
+    /// parameters, not arbitrary structures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let (store, offsets, backend_name, shards) = self.persist_parts();
-        let mut params = Vec::with_capacity(shards.len());
-        for (i, shard) in shards.iter().enumerate() {
-            let rmi = shard
-                .as_any()
-                .and_then(|a| a.downcast_ref::<Rmi>())
-                .ok_or_else(|| {
-                    PersistError::Unsupported(format!(
-                        "shard {i} backend ({backend_name}) is not an RMI; \
-                         format v3 persists RMI shards only"
-                    ))
-                })?;
-            params.push(rmi.to_params().ok_or_else(|| {
-                PersistError::Unsupported(format!(
-                    "shard {i} uses a multivariate/MLP top; format v3 persists linear tops only"
-                ))
-            })?);
-        }
         let mut enc = Enc::default();
         enc.str(backend_name);
         enc.usize(shards.len());
         for &o in offsets {
             enc.usize(o);
         }
-        for p in &params {
-            encode_rmi_params(&mut enc, p);
+        for (i, shard) in shards.iter().enumerate() {
+            let any = shard.as_any().ok_or_else(|| {
+                PersistError::Unsupported(format!(
+                    "shard {i} backend ({}) does not expose its concrete type",
+                    shard.name()
+                ))
+            })?;
+            if let Some(rmi) = any.downcast_ref::<Rmi>() {
+                enc.u8(SHARD_TAG_RMI);
+                let params = rmi.to_params().ok_or_else(|| {
+                    PersistError::Unsupported(format!(
+                        "shard {i} uses a multivariate/MLP top; \
+                         the format persists linear tops only"
+                    ))
+                })?;
+                encode_rmi_params(&mut enc, &params);
+            } else if let Some(btree) = any.downcast_ref::<BTreeIndex>() {
+                enc.u8(SHARD_TAG_BTREE);
+                enc.usize(btree.page_size());
+            } else if let Some(interp) = any.downcast_ref::<InterpBTree>() {
+                enc.u8(SHARD_TAG_INTERP);
+                enc.usize(interp.page_size());
+            } else if any.downcast_ref::<FastTree>().is_some() {
+                enc.u8(SHARD_TAG_FAST);
+            } else {
+                return Err(PersistError::Unsupported(format!(
+                    "shard {i} backend ({}) is not a persistable type \
+                     (RMI, B-Tree, interpolation B-Tree or FAST)",
+                    shard.name()
+                )));
+            }
         }
         publish(
             path.as_ref(),
@@ -687,10 +747,24 @@ impl ShardedIndex {
         }
         let mut shards: Vec<Box<dyn RangeIndex>> = Vec::with_capacity(shard_count);
         for w in offsets.windows(2) {
-            let params = decode_rmi_params(&mut dec)?;
-            let shard = Rmi::from_params(store.slice(w[0]..w[1]), &params)
-                .ok_or_else(|| format_err("shard parameters inconsistent with its key range"))?;
-            shards.push(Box::new(shard));
+            let tag = dec.u8()?;
+            let slice = store.slice(w[0]..w[1]);
+            let shard: Box<dyn RangeIndex> = match tag {
+                SHARD_TAG_RMI => {
+                    let params = decode_rmi_params(&mut dec)?;
+                    Box::new(Rmi::from_params(slice, &params).ok_or_else(|| {
+                        format_err("shard parameters inconsistent with its key range")
+                    })?)
+                }
+                SHARD_TAG_BTREE => Box::new(BTreeIndex::new(slice, decode_page_size(&mut dec)?)),
+                SHARD_TAG_INTERP => Box::new(InterpBTree::with_page_size(
+                    slice,
+                    decode_page_size(&mut dec)?,
+                )),
+                SHARD_TAG_FAST => Box::new(FastTree::new(slice)),
+                t => return Err(format_err(format!("bad shard backend tag {t}"))),
+            };
+            shards.push(shard);
         }
         dec.finish()?;
         Ok(ShardedIndex::from_loaded(
@@ -1021,7 +1095,7 @@ mod tests {
     }
 
     #[test]
-    fn non_rmi_backends_are_unsupported_not_lossy() {
+    fn btree_backends_round_trip_structurally() {
         let path = tmp_path("btree-backend.lidx");
         let _guard = Cleanup(path.clone());
         let idx = ShardedIndex::build(
@@ -1029,6 +1103,58 @@ mod tests {
             2,
             &BTreeShardBuilder::new(32),
         );
+        idx.save(&path).unwrap();
+        let before = li_core::train_count();
+        let loaded = ShardedIndex::load(&path).unwrap();
+        // Tree shards are rebuilt structurally — nothing trains.
+        assert_eq!(li_core::train_count(), before);
+        for s in 0..2 {
+            assert_eq!(loaded.shard(s).name(), idx.shard(s).name());
+        }
+        for k in 0..256u64 {
+            assert_eq!(loaded.lower_bound(k), k as usize);
+        }
+    }
+
+    /// A backend the format cannot carry (no `as_any` downcast hook):
+    /// save must refuse with a typed error, never write a lossy file.
+    struct OpaqueBackend(KeyStore);
+    impl RangeIndex for OpaqueBackend {
+        fn key_store(&self) -> &KeyStore {
+            &self.0
+        }
+        fn predict(&self, _key: u64) -> li_index::Prediction {
+            li_index::Prediction {
+                pos: 0,
+                lo: 0,
+                hi: self.0.len(),
+            }
+        }
+        fn lower_bound(&self, key: u64) -> usize {
+            self.0.as_slice().partition_point(|&k| k < key)
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn name(&self) -> String {
+            "opaque".into()
+        }
+    }
+    struct OpaqueBuilder;
+    impl crate::builder::ShardBuilder for OpaqueBuilder {
+        fn build(&self, shard: KeyStore) -> Box<dyn RangeIndex> {
+            Box::new(OpaqueBackend(shard))
+        }
+        fn name(&self) -> String {
+            "opaque".into()
+        }
+    }
+
+    #[test]
+    fn unknown_backends_are_unsupported_not_lossy() {
+        let path = tmp_path("opaque-backend.lidx");
+        let _guard = Cleanup(path.clone());
+        let idx = ShardedIndex::build((0..256u64).collect::<Vec<_>>(), 2, &OpaqueBuilder);
         let err = idx.save(&path).unwrap_err();
         assert!(matches!(err, PersistError::Unsupported(_)), "{err}");
         assert!(!path.exists(), "a failed save must not leave a file");

@@ -298,6 +298,8 @@ struct Baseline {
     merges: u64,
     compactions: u64,
     runs_compacted: u64,
+    backend_selections: u64,
+    backend_switches: u64,
 }
 
 impl RebalanceWorker {
@@ -318,6 +320,8 @@ impl RebalanceWorker {
             merges: obs.shard_merges.value(),
             compactions: obs.compactions.value(),
             runs_compacted: obs.runs_compacted.value(),
+            backend_selections: obs.backend_selections.value(),
+            backend_switches: obs.backend_switches.value(),
         };
         sw.attach_worker(Arc::clone(&link));
         let stats = Arc::new(WorkerStats::default());
@@ -424,6 +428,25 @@ impl RebalanceWorker {
     pub fn runs_compacted(&self) -> usize {
         (self.sw.metrics_handle().runs_compacted.value()).saturating_sub(self.base.runs_compacted)
             as usize
+    }
+
+    /// Backend grid-searches run since this worker attached (thin read
+    /// of `li_backend_selections_total`). Under [`crate::Backend::Auto`]
+    /// (crate::Backend::Auto) every shard rebuild the worker publishes
+    /// — each split half, each merge, each compaction — re-runs
+    /// selection exactly once, so this tracks the worker's rebuild
+    /// tally shard-for-shard.
+    pub fn backend_selections(&self) -> usize {
+        (self.sw.metrics_handle().backend_selections.value())
+            .saturating_sub(self.base.backend_selections) as usize
+    }
+
+    /// Selections that flipped a shard's backend family (RMI ↔ tree)
+    /// since this worker attached (thin read of
+    /// `li_backend_switches_total`).
+    pub fn backend_switches(&self) -> usize {
+        (self.sw.metrics_handle().backend_switches.value())
+            .saturating_sub(self.base.backend_switches) as usize
     }
 
     /// Rebalance passes the worker has completed (one per wake).

@@ -79,6 +79,7 @@ use crate::persist::PersistError;
 use crate::rebalance::{plan, RebalanceAction, RebalanceConfig};
 use crate::rebalance_worker::WorkerLink;
 use crate::router::ShardRouter;
+use crate::select::{train_selected, Backend};
 use crate::wal::{self, Wal, WalOp, WalSyncPolicy};
 use crate::writable::WritableShard;
 
@@ -123,6 +124,16 @@ pub struct ShardedWritableConfig {
     /// Compaction runs on the attached [`crate::RebalanceWorker`] when
     /// there is one, inline otherwise.
     pub max_runs: usize,
+    /// How every shard (re)build trains its base (default
+    /// [`Backend::Rmi`] — the retuned RMI, exactly the pre-adaptive
+    /// behavior). [`Backend::Auto`] re-runs the adaptive grid search
+    /// (`crate::select`) on every shard build, split, merge and
+    /// compaction, so each shard's backend family follows its own
+    /// drifting key distribution; [`Backend::BTree`] pins every shard
+    /// to the all-B-Tree-leaf hybrid. The write tier's delta base must
+    /// stay an RMI structurally, so `Interp`/`Fast` are rejected by
+    /// validation here (they remain read-tier backends).
+    pub backend: Backend,
     /// Hot-path observability (default `true`): count every insert and
     /// latency-sample 1-in-N of them into the structure's
     /// [`ServeMetrics`]. `false` strips the per-op instrumentation from
@@ -143,6 +154,7 @@ impl Default for ShardedWritableConfig {
             retune: RetunePolicy::default(),
             check_interval: 1024,
             max_runs: 0,
+            backend: Backend::Rmi,
             observe: true,
             rebalance: RebalanceConfig::default(),
         }
@@ -159,6 +171,11 @@ impl ShardedWritableConfig {
         assert!(
             self.retune.max_mean_err >= 0.0 && self.retune.max_mean_err.is_finite(),
             "retune.max_mean_err must be finite and >= 0"
+        );
+        assert!(
+            matches!(self.backend, Backend::Auto | Backend::Rmi | Backend::BTree),
+            "the write tier's delta base must be an RMI (plain or hybrid): \
+             backend must be Auto, Rmi or BTree"
         );
         self.rebalance.validate();
     }
@@ -569,7 +586,17 @@ impl ShardedWritable {
         let mut folded = 0usize;
         for shard in topo.shards.iter() {
             if shard.needs_compaction() {
-                let runs = shard.compact();
+                // Under Backend::Auto a compaction is also a
+                // re-decision point: the fold retrains the base anyway,
+                // so the selector gets to change the shard's backend
+                // family for free (drifted-hard shards go hybrid,
+                // smoothed-out shards go back to a plain RMI).
+                let (runs, selection) = match self.config.backend {
+                    Backend::Auto => {
+                        shard.compact_selected(self.config.leaf_fraction, &self.config.retune)
+                    }
+                    _ => (shard.compact(), None),
+                };
                 if runs > 0 {
                     compacted += 1;
                     folded += runs;
@@ -577,6 +604,14 @@ impl ShardedWritable {
                     self.obs.runs_compacted.add(runs as u64);
                     self.obs
                         .event(events::COMPACT_FOLD, runs as u64, shard.len() as u64);
+                    if let Some((choice, switched)) = selection {
+                        self.obs.backend_selections.incr();
+                        self.obs
+                            .event(events::BACKEND_SELECT, choice.code(), shard.len() as u64);
+                        if switched {
+                            self.obs.backend_switches.incr();
+                        }
+                    }
                 }
             }
         }
@@ -738,6 +773,34 @@ impl ShardedWritable {
         self.obs.compactions.value() as usize
     }
 
+    /// How many adaptive backend selections have run (thin read of
+    /// `li_backend_selections_total`). Under [`Backend::Auto`] every
+    /// shard (re)build — initial construction, each half of a split,
+    /// each merge, each compaction fold — runs exactly one selection;
+    /// under a pinned backend this stays 0.
+    pub fn backend_selections(&self) -> usize {
+        self.obs.backend_selections.value() as usize
+    }
+
+    /// How many of those selections *changed* the shard's backend
+    /// family from what it was before the rebuild (thin read of
+    /// `li_backend_switches_total`).
+    pub fn backend_switches(&self) -> usize {
+        self.obs.backend_switches.value() as usize
+    }
+
+    /// How many shards currently serve from an all-B-Tree-leaf hybrid
+    /// base (the write tier's tree family) rather than a plain RMI —
+    /// the structural ground truth the selection counters are checked
+    /// against in the stress suite.
+    pub fn hybrid_shards(&self) -> usize {
+        self.read_topo()
+            .shards
+            .iter()
+            .filter(|s| s.is_hybrid())
+            .count()
+    }
+
     /// Sealed runs currently stacked across all shards, awaiting
     /// compaction.
     pub fn run_count(&self) -> usize {
@@ -885,9 +948,15 @@ impl ShardedWritable {
                     return BackgroundStep::Stable;
                 };
                 let boundary = exported[m];
-                let left = build_retuned_shard(exported.slice(0..m), &self.config, &self.obs);
-                let right =
-                    build_retuned_shard(exported.slice(m..exported.len()), &self.config, &self.obs);
+                let was_hybrid = Some(topo.shards[s].is_hybrid());
+                let left =
+                    build_selected_shard(exported.slice(0..m), &self.config, &self.obs, was_hybrid);
+                let right = build_selected_shard(
+                    exported.slice(m..exported.len()),
+                    &self.config,
+                    &self.obs,
+                    was_hybrid,
+                );
                 self.obs.pass_retrain_ns.record_since(t_retrain);
 
                 // Phase 3 — publish + drain.
@@ -925,7 +994,12 @@ impl ShardedWritable {
                 let left_len = keys.len();
                 keys.extend(topo.shards[l + 1].export_keys());
                 let exported = KeyStore::new(keys);
-                let merged = build_retuned_shard(exported.clone(), &self.config, &self.obs);
+                let merged = build_selected_shard(
+                    exported.clone(),
+                    &self.config,
+                    &self.obs,
+                    Some(topo.shards[l].is_hybrid()),
+                );
                 self.obs.pass_retrain_ns.record_since(t_retrain);
 
                 // Phase 3 — publish + drain.
@@ -1018,8 +1092,19 @@ impl ShardedWritable {
         let m = split_point(&keys)?;
         let right_keys = keys.split_off(m);
         let boundary = right_keys[0];
-        let left = Arc::new(build_retuned_shard(keys, &self.config, &self.obs));
-        let right = Arc::new(build_retuned_shard(right_keys, &self.config, &self.obs));
+        let was_hybrid = Some(topo.shards[s].is_hybrid());
+        let left = Arc::new(build_selected_shard(
+            keys,
+            &self.config,
+            &self.obs,
+            was_hybrid,
+        ));
+        let right = Arc::new(build_selected_shard(
+            right_keys,
+            &self.config,
+            &self.obs,
+            was_hybrid,
+        ));
         Some(split_topology(topo, s, boundary, left, right))
     }
 
@@ -1030,7 +1115,12 @@ impl ShardedWritable {
         let mut keys = topo.shards[left].export_keys();
         keys.extend(topo.shards[left + 1].export_keys());
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "merge tore order");
-        let merged = Arc::new(build_retuned_shard(keys, &self.config, &self.obs));
+        let merged = Arc::new(build_selected_shard(
+            keys,
+            &self.config,
+            &self.obs,
+            Some(topo.shards[left].is_hybrid()),
+        ));
         merge_topology(topo, left, merged)
     }
 
@@ -1375,22 +1465,65 @@ fn merge_topology(topo: &Topology, left_idx: usize, merged: Arc<WritableShard>) 
     }
 }
 
-/// Build a shard over `keys`: the shared [`crate::builder::retune_rmi`]
-/// loop sizes and densifies the model for this shard's actual keys,
-/// and the shard keeps the chosen configuration for its future delta
-/// merge retrains.
+/// Build a shard over `keys` according to the configured
+/// [`ShardedWritableConfig::backend`]:
+///
+/// * [`Backend::Rmi`] — the shared [`crate::builder::retune_rmi`] loop
+///   sizes and densifies the model for this shard's actual keys
+///   (exactly the pre-adaptive behavior);
+/// * [`Backend::Auto`] — the adaptive selector
+///   ([`crate::select::train_selected`]) probes, grid-searches and
+///   materializes the winner, recording the decision as a
+///   `li_backend_selections_total` increment plus a `backend_select`
+///   event; when `prev_hybrid` carries the backend family the shard
+///   had before this rebuild (splits, merges), a family change also
+///   bumps `li_backend_switches_total`;
+/// * [`Backend::BTree`] — every shard pinned to the all-B-Tree-leaf
+///   hybrid at the reference page size.
+///
+/// Either way the shard keeps the chosen configuration for its future
+/// delta merge retrains, so the decision sticks until the next rebuild.
 fn build_retuned_shard(
     keys: impl Into<KeyStore>,
     config: &ShardedWritableConfig,
     obs: &Arc<ServeMetrics>,
 ) -> WritableShard {
+    build_selected_shard(keys, config, obs, None)
+}
+
+/// [`build_retuned_shard`] with the pre-rebuild backend family (`None`
+/// = fresh build, nothing to switch *from*).
+fn build_selected_shard(
+    keys: impl Into<KeyStore>,
+    config: &ShardedWritableConfig,
+    obs: &Arc<ServeMetrics>,
+    prev_hybrid: Option<bool>,
+) -> WritableShard {
     let keys: KeyStore = keys.into();
-    let (rmi, cfg) = retune_rmi(
-        &keys,
-        &TopModel::Linear,
-        config.leaf_fraction,
-        Some(&config.retune),
-    );
+    let (rmi, cfg) = match config.backend {
+        Backend::Auto => {
+            let (rmi, cfg, choice) = train_selected(&keys, config.leaf_fraction, &config.retune);
+            obs.backend_selections.incr();
+            obs.event(events::BACKEND_SELECT, choice.code(), keys.len() as u64);
+            if prev_hybrid.is_some_and(|was| was != cfg.hybrid_threshold.is_some()) {
+                obs.backend_switches.incr();
+            }
+            (rmi, cfg)
+        }
+        Backend::BTree => {
+            // One leaf per ~4 pages: the leaf models only partition the
+            // key space; the pages inside each leaf do the searching.
+            let leaves = (keys.len() / 512).clamp(1, keys.len().max(1));
+            let cfg = RmiConfig::two_stage(TopModel::Linear, leaves).with_hybrid(0);
+            (li_core::rmi::Rmi::build(keys.clone(), &cfg), cfg)
+        }
+        _ => retune_rmi(
+            &keys,
+            &TopModel::Linear,
+            config.leaf_fraction,
+            Some(&config.retune),
+        ),
+    };
     let shard = WritableShard::from_delta(
         DeltaIndex::from_trained(rmi, cfg, config.merge_threshold).with_tiering(config.max_runs),
     );
@@ -1673,6 +1806,7 @@ mod tests {
             },
             check_interval: 0,
             max_runs: 0,
+            backend: Backend::Rmi,
             observe: true,
             rebalance: RebalanceConfig {
                 max_shard_len: 1 << 20, // never length-split

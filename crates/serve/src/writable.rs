@@ -28,7 +28,9 @@ use li_core::delta::{DeltaIndex, DeltaSnapshot};
 use li_core::rmi::{Rmi, RmiConfig, RmiStats};
 use li_index::KeyStore;
 
+use crate::builder::RetunePolicy;
 use crate::obs::{events, ServeMetrics};
+use crate::select::{train_selected, BackendChoice};
 
 /// A concurrently writable shard: `DeltaIndex` behind an `RwLock`,
 /// reads served from lock-free snapshots.
@@ -181,6 +183,59 @@ impl WritableShard {
             obs.compact_install_ns.record_since(t_install);
         }
         folded
+    }
+
+    /// [`WritableShard::compact`] with backend **re-selection**: before
+    /// training the compacted base, re-run the adaptive grid search
+    /// (`crate::select`) over the keys the fold will produce, and
+    /// install the winner's configuration alongside the rebuilt base —
+    /// so a shard that drifted hard-to-learn since its last build
+    /// silently becomes an all-B-Tree-leaf hybrid, and one that
+    /// smoothed out becomes a plain RMI again. Same off-lock discipline
+    /// and race rules as [`WritableShard::compact`].
+    ///
+    /// Returns `(runs folded, selection)`; `selection` is `None` when
+    /// nothing was folded (empty stack or raced), otherwise the choice
+    /// plus whether it *switched* the shard's backend family.
+    pub(crate) fn compact_selected(
+        &self,
+        leaf_fraction: f64,
+        retune: &RetunePolicy,
+    ) -> (usize, Option<(BackendChoice, bool)>) {
+        let (cut, was_hybrid) = {
+            let guard = self.read_lock();
+            if guard.run_count() == 0 {
+                return (0, None);
+            }
+            (guard.snapshot(), guard.config().hybrid_threshold.is_some())
+        };
+        let obs = self.obs.get();
+        let t_train = Instant::now();
+        let keys = KeyStore::new(cut.merged_keys());
+        let (rebuilt, cfg, choice) = train_selected(&keys, leaf_fraction, retune);
+        if let Some(obs) = obs {
+            obs.compact_train_ns.record_since(t_train);
+        }
+        let t_install = Instant::now();
+        let folded = self
+            .write_lock()
+            .install_compacted_with(&cut, rebuilt, cfg)
+            .unwrap_or(0);
+        if let Some(obs) = obs {
+            obs.compact_install_ns.record_since(t_install);
+        }
+        if folded == 0 {
+            return (0, None);
+        }
+        let switched = was_hybrid != (choice != BackendChoice::Rmi);
+        (folded, Some((choice, switched)))
+    }
+
+    /// Whether the trained base is currently an all-B-Tree-leaf hybrid
+    /// (the write tier's "tree family") rather than a plain RMI — i.e.
+    /// what the adaptive selector last decided for this shard.
+    pub fn is_hybrid(&self) -> bool {
+        self.read_lock().config().hybrid_threshold.is_some()
     }
 
     /// Whether the run stack has reached its tiering bound (always

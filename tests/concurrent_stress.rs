@@ -34,6 +34,13 @@
 //!    (never torn backwards), the per-shard gauge family must always
 //!    pair with the shard-count gauge taken under the same topology
 //!    read, and the final totals must equal the exact op oracle.
+//! 6. **Adaptive selection under storm** — with `Backend::Auto` and a
+//!    worker attached, a writer storm drives splits and compactions,
+//!    each of which re-runs backend selection; the selection counter
+//!    must equal the structural event tally exactly, at least one
+//!    rebuild must *switch* a shard's backend family, and the final
+//!    topology must prove it structurally (a mix of RMI and
+//!    tree-family shards).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -41,7 +48,7 @@ use std::time::Duration;
 
 use learned_indexes::rmi::{RmiConfig, TopModel};
 use learned_indexes::serve::{
-    RebalanceConfig, RebalanceWorker, RmiShardBuilder, ShardedIndex, ShardedWritable,
+    Backend, RebalanceConfig, RebalanceWorker, RmiShardBuilder, ShardedIndex, ShardedWritable,
     ShardedWritableConfig, WritableShard,
 };
 use learned_indexes::{KeyStore, RangeIndex};
@@ -840,4 +847,171 @@ fn snapshot_taken_before_merges_serves_the_old_state_forever() {
     assert!(!before.contains(1));
     assert_eq!(before.rank(u64::MAX), 1000);
     assert_eq!(shard.len(), 1200);
+}
+
+/// Case 6: adaptive backend selection under a writer storm. The
+/// structure starts with four dense near-linear shards (which the
+/// selector provably keeps on RMI), and the storm lands entirely in
+/// shard 0's range, driving it through sealed runs, compactions and at
+/// least one split — every one of which re-runs selection on the
+/// worker. The split halves are small enough that the cost model
+/// provably prefers the FAST tree, so the storm must flip at least one
+/// shard's backend family; the quiet shards must keep theirs. The
+/// selection counter is then provable exactly from the structural
+/// event counters: one grid search per shard built.
+#[test]
+fn writer_storm_reselects_backends_on_worker_rebuilds() {
+    // 4 × 24_000 dense keys on a stride-64 grid: retuned RMI error is
+    // ~0, so selection keeps RMI everywhere at build time.
+    let initial: Vec<u64> = (0..96_000u64).map(|i| i * 64).collect();
+    let writers = 4u64;
+    let per_writer = 800u64;
+    let config = ShardedWritableConfig {
+        merge_threshold: 256, // seal every 256 fresh keys per shard
+        check_interval: 0,
+        max_runs: 2, // compaction due at 2 sealed runs
+        backend: Backend::Auto,
+        rebalance: RebalanceConfig {
+            max_shard_len: 26_000, // shard 0 starts at 24_000: in reach
+            merge_max_len: 0,      // merges off — splits only
+            max_mean_err: None,
+            max_shards: 16,
+        },
+        ..ShardedWritableConfig::default()
+    };
+    let sw = Arc::new(ShardedWritable::new(initial.clone(), 4, config));
+    assert_eq!(
+        sw.backend_selections(),
+        4,
+        "initial build must run one selection per shard"
+    );
+    assert_eq!(
+        sw.hybrid_shards(),
+        0,
+        "dense linear shards must start on RMI"
+    );
+    let worker = RebalanceWorker::spawn(Arc::clone(&sw));
+
+    let done = AtomicBool::new(false);
+    let snapshots_checked = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let sw_ref = &*sw;
+        let done_ref = &done;
+        let checked_ref = &snapshots_checked;
+        let initial_ref = &initial;
+
+        // Readers: every snapshot stays consistent while shard 0's
+        // backend family changes underneath them.
+        for t in 0..2 {
+            scope.spawn(move || {
+                let mut last_len = 0usize;
+                loop {
+                    let finished = done_ref.load(Ordering::Acquire);
+                    let snap = sw_ref.snapshot();
+
+                    let per_shard: usize = snap.shard_snapshots().iter().map(|s| s.len()).sum();
+                    assert_eq!(per_shard, snap.len(), "t={t}: torn shard lengths");
+                    let total = snap.rank(u64::MAX) + usize::from(snap.contains(u64::MAX));
+                    assert_eq!(total, snap.len(), "t={t}: torn rank bookkeeping");
+
+                    assert!(snap.len() >= last_len, "t={t}: len went backwards");
+                    last_len = snap.len();
+                    for &k in initial_ref.iter().step_by(7919) {
+                        assert!(snap.contains(k), "t={t}: lost initial key {k}");
+                    }
+
+                    let scan = snap.range_keys(1_000, 60_000);
+                    assert!(scan.windows(2).all(|w| w[0] < w[1]), "t={t}: bad scan");
+                    assert_eq!(scan.len(), snap.rank(60_000) - snap.rank(1_000));
+
+                    checked_ref.fetch_add(1, Ordering::Relaxed);
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Writers: disjoint stripes of fresh odd keys interleaving the
+        // stride-64 grid inside shard 0's range only (max key
+        // 3200·64+1 ≪ shard 0's initial upper bound 24_000·64).
+        scope.spawn(move || {
+            std::thread::scope(|inner| {
+                for w in 0..writers {
+                    inner.spawn(move || {
+                        for i in 0..per_writer {
+                            sw_ref.insert((w * per_writer + i) * 64 + 1);
+                        }
+                    });
+                }
+            });
+            done_ref.store(true, Ordering::Release);
+        });
+    });
+
+    assert!(
+        worker.wait_until_stable(Duration::from_secs(60)),
+        "worker failed to quiesce after the storm"
+    );
+    assert!(snapshots_checked.load(Ordering::Relaxed) > 0);
+
+    // The storm must have driven shard 0 over its split threshold and
+    // through at least one full run stack.
+    assert!(worker.splits() >= 1, "storm must split shard 0");
+    assert!(
+        worker.compactions() >= 1,
+        "storm must drive at least one compaction"
+    );
+    assert_eq!(sw.shard_merges(), 0, "merges are disabled");
+
+    // THE invariant: one grid search per shard built, ever. Initial
+    // build selects once per shard; every split builds two shards;
+    // every merge and every compaction builds one.
+    assert_eq!(
+        sw.backend_selections(),
+        4 + 2 * sw.splits() + sw.shard_merges() + sw.compactions(),
+        "selection counter diverged from the structural event tally \
+         (splits={}, merges={}, compactions={})",
+        sw.splits(),
+        sw.shard_merges(),
+        sw.compactions()
+    );
+    // Worker-relative reads agree: attach-time baseline was 4.
+    assert_eq!(
+        worker.backend_selections(),
+        2 * worker.splits() + worker.merges() + worker.compactions(),
+        "worker-relative selection tally diverged"
+    );
+
+    // At least one rebuild flipped a family: shard 0's split halves
+    // (~13k dense keys each) sit below the RMI/FAST crossover, while
+    // it started on RMI.
+    assert!(
+        sw.backend_switches() >= 1,
+        "the storm must switch at least one shard's backend family"
+    );
+    assert_eq!(worker.backend_switches(), sw.backend_switches());
+
+    // Structural proof, not just counters: the hot region's shards are
+    // now tree-family, the three untouched dense shards still RMI.
+    let hybrid = sw.hybrid_shards();
+    assert!(hybrid >= 1, "no tree-family shard after the storm");
+    assert!(
+        hybrid <= sw.shard_count() - 3,
+        "untouched dense shards must stay on RMI (hybrid={hybrid} of {})",
+        sw.shard_count()
+    );
+
+    // Exact final contents: initial keys + every storm key.
+    let mut expect: std::collections::BTreeSet<u64> = initial.into_iter().collect();
+    for w in 0..writers {
+        for i in 0..per_writer {
+            expect.insert((w * per_writer + i) * 64 + 1);
+        }
+    }
+    assert_eq!(sw.len(), expect.len());
+    let dump = sw.range_keys(0, u64::MAX);
+    assert!(dump.iter().eq(expect.iter()), "final contents diverged");
 }

@@ -348,3 +348,130 @@ fn malformed_files_yield_typed_errors() {
         Err(PersistError::Format(_))
     ));
 }
+
+/// Mixed-backend topologies (what `Backend::Auto` produces) round-trip
+/// **backend-for-backend**: every loaded shard rebuilds as the same
+/// concrete type the original selected, with `train_count` flat and
+/// answers oracle-equivalent. Also covers each uniform tree backend so
+/// every shard tag (RMI=0, B-Tree=1, interp=2, FAST=3) round-trips.
+#[test]
+fn mixed_backend_topologies_round_trip_backend_for_backend() {
+    use learned_indexes::data::Gauntlet;
+    use learned_indexes::serve::Backend;
+
+    // 3 dense near-linear shards (selection keeps RMI) + 1 stepped
+    // shard (selection picks a tree family): a genuinely mixed
+    // topology out of one Auto build.
+    let mut keys: Vec<u64> = (0..90_000u64).map(|i| i * 3).collect();
+    keys.extend(
+        Gauntlet::Stepped
+            .generate(30_000, 7)
+            .into_iter()
+            .map(|k| k + (1u64 << 40)),
+    );
+    let cases: Vec<(&str, Backend, Vec<u64>)> = vec![
+        ("auto-mixed", Backend::Auto, keys),
+        (
+            "btree",
+            Backend::BTree,
+            (0..4_000u64).map(|i| i * 7).collect(),
+        ),
+        (
+            "interp",
+            Backend::Interp,
+            (0..4_000u64).map(|i| i * 7).collect(),
+        ),
+        (
+            "fast",
+            Backend::Fast,
+            (0..4_000u64).map(|i| i * 7).collect(),
+        ),
+    ];
+    for (tag, backend, data) in cases {
+        let path = tmp_path(&format!("mixed-{tag}"));
+        let _guard = Cleanup(path.clone());
+        let original = ShardedIndex::build(data.clone(), 4, &backend);
+        let names: Vec<String> = (0..4).map(|s| original.shard(s).name()).collect();
+        if tag == "auto-mixed" {
+            let families: std::collections::BTreeSet<&str> =
+                names.iter().map(|n| n.split('(').next().unwrap()).collect();
+            assert!(
+                families.len() >= 2,
+                "the composite keyset must produce a mixed topology, got {names:?}"
+            );
+        }
+        original.save(&path).unwrap();
+        drop(original);
+
+        let before = train_count();
+        let loaded = ShardedIndex::load(&path).unwrap();
+        assert_eq!(train_count(), before, "{tag}: load must not train");
+        for (s, want) in names.iter().enumerate() {
+            assert_eq!(
+                &loaded.shard(s).name(),
+                want,
+                "{tag}: shard {s} came back as a different backend"
+            );
+        }
+        for &q in data.iter().step_by(37) {
+            assert_eq!(
+                loaded.lower_bound(q),
+                data.partition_point(|&k| k < q),
+                "{tag}: q={q}"
+            );
+        }
+    }
+}
+
+/// FNV-1a (64-bit), bit-identical to the snapshot format's checksum —
+/// used below to re-seal a file after a *semantic* corruption, so the
+/// load failure proves the typed validation path, not the checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A corrupted backend-tag byte — re-sealed with valid checksums so it
+/// reaches the decoder — is rejected with a typed `Format` error
+/// naming the tag, never a panic and never a silently wrong backend.
+#[test]
+fn corrupt_backend_tag_is_a_typed_format_error() {
+    use learned_indexes::serve::Backend;
+
+    let path = tmp_path("bad-tag");
+    let _guard = Cleanup(path.clone());
+    let n_keys = 256usize;
+    let data: Vec<u64> = (0..n_keys as u64).collect();
+    ShardedIndex::build(data, 2, &Backend::Fast)
+        .save(&path)
+        .unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    const HEADER_LEN: usize = 4096;
+    let keys_end = HEADER_LEN + n_keys * 8;
+    // Manifest layout: str "fast" (8-byte len + 4 bytes) · shard count
+    // (8) · 3 offsets (24) · then shard 0's one-byte backend tag.
+    let tag_pos = keys_end + 8 + 4 + 8 + 24;
+    assert_eq!(bytes[tag_pos], 3, "expected the FAST tag where computed");
+    bytes[tag_pos] = 9; // no such backend
+
+    // Re-seal: manifest checksum (header bytes 40..48), then the
+    // header checksum over bytes 0..56 (bytes 56..64).
+    let manifest_sum = fnv1a(&bytes[keys_end..]);
+    bytes[40..48].copy_from_slice(&manifest_sum.to_le_bytes());
+    let header_sum = fnv1a(&bytes[0..56]);
+    bytes[56..64].copy_from_slice(&header_sum.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    match ShardedIndex::load(&path) {
+        Err(PersistError::Format(msg)) => {
+            assert!(msg.contains("backend tag"), "unexpected rejection: {msg}")
+        }
+        Err(e) => panic!("expected a Format error, got {e}"),
+        Ok(_) => panic!("a corrupt backend tag must not load"),
+    }
+}
